@@ -1,0 +1,71 @@
+// Ablation D2 — the adaptive eviction-rate clamp. The paper fixes the
+// bounds at [20 %, 80 %]; this bench sweeps alternatives to show how the
+// clamp trades resilience against detectability and overhead.
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace raptee;
+  const auto knobs = bench::Knobs::from_env();
+  bench::print_header("ablation_adaptive_bounds", knobs);
+  std::cout << "D2 ablation: adaptive eviction clamp [lower, upper] at t=10%\n\n";
+
+  struct Bounds {
+    double lower, upper;
+  };
+  const std::vector<Bounds> variants{{0.2, 0.8},   // paper
+                                     {0.0, 1.0},   // unclamped
+                                     {0.4, 0.6},   // narrow
+                                     {0.5, 0.5}};  // fixed-50 via clamp
+  const std::vector<int> fs{10, 20, 30};
+
+  // Per f: one baseline, then one cell per bounds variant.
+  std::vector<metrics::ExperimentConfig> configs;
+  for (int f : fs) {
+    metrics::ExperimentConfig baseline = bench::base_config(knobs);
+    baseline.byzantine_fraction = f / 100.0;
+    configs.push_back(baseline);
+    for (const Bounds& b : variants) {
+      metrics::ExperimentConfig raptee = baseline;
+      raptee.trusted_fraction = 0.10;
+      raptee.eviction = core::EvictionSpec::adaptive(b.lower, b.upper);
+      raptee.run_identification = true;
+      configs.push_back(raptee);
+    }
+  }
+  const auto cells = bench::run_cells(std::move(configs), knobs.reps, knobs.threads);
+
+  metrics::TablePrinter table(
+      {"bounds", "f%", "improvement %", "discovery ovh %", "ident F1", "mean ER %"});
+  metrics::CsvWriter csv({"lower", "upper", "f_pct", "improvement_pct",
+                          "discovery_overhead_pct", "ident_f1", "mean_er_pct"});
+
+  const std::size_t stride = 1 + variants.size();
+  for (std::size_t vi = 0; vi < variants.size(); ++vi) {
+    const Bounds& b = variants[vi];
+    const std::string bounds = "[" + metrics::fmt(100 * b.lower, 0) + "," +
+                               metrics::fmt(100 * b.upper, 0) + "]";
+    for (std::size_t fi = 0; fi < fs.size(); ++fi) {
+      const auto& baseline = cells[fi * stride];
+      const auto& raptee = cells[fi * stride + 1 + vi];
+      const auto disc = bench::overhead_pct(baseline.discovery,
+                                            baseline.discovery_reached,
+                                            raptee.discovery, raptee.discovery_reached);
+      table.add_row({bounds, std::to_string(fs[fi]),
+                     metrics::fmt(bench::improvement_pct(baseline, raptee)),
+                     bench::fmt_opt(disc),
+                     metrics::fmt(raptee.ident_best_f1.mean(), 2),
+                     metrics::fmt(100.0 * raptee.eviction_rate.mean())});
+      csv.add_row({metrics::fmt(b.lower, 2), metrics::fmt(b.upper, 2),
+                   std::to_string(fs[fi]),
+                   metrics::fmt(bench::improvement_pct(baseline, raptee), 3),
+                   bench::fmt_opt(disc, 3),
+                   metrics::fmt(raptee.ident_best_f1.mean(), 4),
+                   metrics::fmt(100.0 * raptee.eviction_rate.mean(), 2)});
+    }
+  }
+  std::cout << table.render() << '\n';
+  bench::write_csv("ablation_adaptive_bounds.csv", csv);
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Ablation D1 — the trusted-overlay extension: trusted nodes add one
+// standing exchange per round with their oldest known trusted peer, turning
+// incidental pull-time discovery into a persistent sub-overlay. OFF in the
+// paper-faithful configuration; this bench quantifies what it buys.
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace raptee;
+  const auto knobs = bench::Knobs::from_env();
+  bench::print_header("ablation_trusted_overlay", knobs);
+  std::cout << "D1 ablation: trusted overlay off (paper-faithful) vs on\n\n";
+
+  const std::vector<int> fs{10, 20};
+  const std::vector<int> ts{1, 10};
+
+  // Per (f, t): baseline, overlay-off, overlay-on.
+  std::vector<metrics::ExperimentConfig> configs;
+  for (int f : fs) {
+    for (int t : ts) {
+      metrics::ExperimentConfig baseline = bench::base_config(knobs);
+      baseline.byzantine_fraction = f / 100.0;
+      configs.push_back(baseline);
+      metrics::ExperimentConfig off = baseline;
+      off.trusted_fraction = t / 100.0;
+      off.eviction = core::EvictionSpec::adaptive();
+      off.trusted_overlay = false;
+      configs.push_back(off);
+      metrics::ExperimentConfig on = off;
+      on.trusted_overlay = true;
+      configs.push_back(on);
+    }
+  }
+  const auto cells = bench::run_cells(std::move(configs), knobs.reps, knobs.threads);
+
+  metrics::TablePrinter table({"f%", "t%", "improvement off %", "improvement on %",
+                               "trusted pollution off %", "trusted pollution on %"});
+  metrics::CsvWriter csv({"f_pct", "t_pct", "overlay", "improvement_pct",
+                          "trusted_pollution_pct"});
+
+  std::size_t idx = 0;
+  for (int f : fs) {
+    for (int t : ts) {
+      const auto& baseline = cells[idx++];
+      const auto& off = cells[idx++];
+      const auto& on = cells[idx++];
+      table.add_row({std::to_string(f), std::to_string(t),
+                     metrics::fmt(bench::improvement_pct(baseline, off)),
+                     metrics::fmt(bench::improvement_pct(baseline, on)),
+                     metrics::fmt(100.0 * off.pollution_trusted.mean()),
+                     metrics::fmt(100.0 * on.pollution_trusted.mean())});
+      csv.add_row({std::to_string(f), std::to_string(t), "off",
+                   metrics::fmt(bench::improvement_pct(baseline, off), 3),
+                   metrics::fmt(100.0 * off.pollution_trusted.mean(), 3)});
+      csv.add_row({std::to_string(f), std::to_string(t), "on",
+                   metrics::fmt(bench::improvement_pct(baseline, on), 3),
+                   metrics::fmt(100.0 * on.pollution_trusted.mean(), 3)});
+    }
+  }
+  std::cout << table.render() << '\n';
+  bench::write_csv("ablation_trusted_overlay.csv", csv);
+  return 0;
+}

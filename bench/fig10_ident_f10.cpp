@@ -1,0 +1,8 @@
+// Figure 10 — trusted-node identification attack with f = 10 %.
+#include "ident_common.hpp"
+
+int main() {
+  using namespace raptee;
+  bench::run_ident_fixed_f_figure("fig10_ident_f10", 10, bench::Knobs::from_env());
+  return 0;
+}

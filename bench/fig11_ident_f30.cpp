@@ -1,0 +1,8 @@
+// Figure 11 — trusted-node identification attack with f = 30 %.
+#include "ident_common.hpp"
+
+int main() {
+  using namespace raptee;
+  bench::run_ident_fixed_f_figure("fig11_ident_f30", 30, bench::Knobs::from_env());
+  return 0;
+}

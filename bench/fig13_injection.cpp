@@ -1,0 +1,72 @@
+// Figure 13 — view-poisoned trusted-node injection: resilience improvement
+// vs f, one panel per honest-trusted share t, one curve per injected share.
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace raptee;
+  const auto knobs = bench::Knobs::from_env();
+  bench::print_header("fig13_injection", knobs);
+  std::cout << "Corrupted trusted node injection (paper Fig. 13): resilience "
+               "improvement with +x% view-poisoned trusted nodes\n\n";
+
+  const auto fs = bench::f_grid(knobs);
+  const std::vector<int> t_panels = knobs.full ? std::vector<int>{1, 10, 30}
+                                               : std::vector<int>{1, 30};
+  const std::vector<int> injections =
+      knobs.full ? std::vector<int>{0, 1, 5, 10, 20, 30} : std::vector<int>{0, 5, 30};
+
+  // Batch layout per f: one Brahms baseline, then (t, inj) cells.
+  std::vector<metrics::ExperimentConfig> configs;
+  for (int f : fs) {
+    metrics::ExperimentConfig baseline = bench::base_config(knobs);
+    baseline.byzantine_fraction = f / 100.0;
+    configs.push_back(baseline);
+    for (int t : t_panels) {
+      for (int inj : injections) {
+        metrics::ExperimentConfig raptee = baseline;
+        raptee.trusted_fraction = t / 100.0;
+        raptee.poisoned_extra_fraction = inj / 100.0;
+        raptee.eviction = core::EvictionSpec::adaptive();
+        configs.push_back(raptee);
+      }
+    }
+  }
+  const auto cells = bench::run_cells(std::move(configs), knobs.reps, knobs.threads);
+
+  metrics::CsvWriter csv({"t_pct", "injected_pct", "f_pct", "baseline_pollution_pct",
+                          "raptee_pollution_pct", "resilience_improvement_pct"});
+  const std::size_t stride = 1 + t_panels.size() * injections.size();
+
+  for (std::size_t pi = 0; pi < t_panels.size(); ++pi) {
+    const int t = t_panels[pi];
+    std::cout << "--- panel: attack on a system with t=" << t << "% ---\n";
+    std::vector<std::string> headers{"f%"};
+    for (int inj : injections) {
+      headers.push_back(inj == 0 ? ("t=" + std::to_string(t) + "%")
+                                 : ("+" + std::to_string(inj) + "%"));
+    }
+    metrics::TablePrinter table(headers);
+
+    for (std::size_t fi = 0; fi < fs.size(); ++fi) {
+      const auto& baseline = cells[fi * stride];
+      std::vector<std::string> row{std::to_string(fs[fi])};
+      for (std::size_t ii = 0; ii < injections.size(); ++ii) {
+        const auto& raptee =
+            cells[fi * stride + 1 + pi * injections.size() + ii];
+        const double imp = bench::improvement_pct(baseline, raptee);
+        row.push_back(metrics::fmt(imp));
+        csv.add_row({std::to_string(t), std::to_string(injections[ii]),
+                     std::to_string(fs[fi]),
+                     metrics::fmt(100.0 * baseline.pollution.mean(), 3),
+                     metrics::fmt(100.0 * raptee.pollution.mean(), 3),
+                     metrics::fmt(imp, 3)});
+      }
+      table.add_row(row);
+    }
+    std::cout << table.render() << '\n';
+  }
+  bench::write_csv("fig13_injection.csv", csv);
+  return 0;
+}

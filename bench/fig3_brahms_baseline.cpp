@@ -1,0 +1,39 @@
+// Figure 3 — Brahms under the balanced Byzantine attack: resilience
+// (percentage of Byzantine IDs in correct views), time to discovery and
+// time to view stability as functions of the Byzantine fraction f.
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace raptee;
+  const auto knobs = bench::Knobs::from_env();
+  bench::print_header("fig3_brahms_baseline", knobs);
+  std::cout << "Brahms resilience, time to discovery and to stability under "
+               "Byzantine faults (paper Fig. 3)\n\n";
+
+  metrics::TablePrinter table(
+      {"f%", "byz-in-views %", "discovery rounds", "stability rounds"});
+  metrics::CsvWriter csv({"f_pct", "pollution_pct", "pollution_sd_pct",
+                          "discovery_rounds", "stability_rounds"});
+
+  for (int f : bench::f_grid(knobs)) {
+    metrics::ExperimentConfig config = bench::base_config(knobs);
+    config.byzantine_fraction = f / 100.0;
+    const auto result = metrics::run_repeated(config, knobs.reps, knobs.threads);
+
+    const std::string discovery =
+        result.discovery_reached ? metrics::fmt(result.discovery.mean(), 0) : "-";
+    const std::string stability =
+        result.stability_reached ? metrics::fmt(result.stability.mean(), 0) : "-";
+    table.add_row({std::to_string(f), metrics::fmt(100.0 * result.pollution.mean()),
+                   discovery, stability});
+    csv.add_row({std::to_string(f), metrics::fmt(100.0 * result.pollution.mean(), 3),
+                 metrics::fmt(100.0 * result.pollution.sample_stddev(), 3), discovery,
+                 stability});
+  }
+
+  std::cout << table.render() << '\n';
+  bench::write_csv("fig3_brahms_baseline.csv", csv);
+  return 0;
+}

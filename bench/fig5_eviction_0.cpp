@@ -1,0 +1,12 @@
+// Figure 5 — RAPTEE vs Brahms with a fixed 0 % eviction rate.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace raptee;
+  bench::run_eviction_figure(
+      "fig5_eviction_0",
+      "Resilience improvement and performance overhead under a 0% eviction rate "
+      "(paper Fig. 5)",
+      core::EvictionSpec::fixed(0.0), bench::Knobs::from_env());
+  return 0;
+}

@@ -1,0 +1,12 @@
+// Figure 6 — RAPTEE vs Brahms with a fixed 40 % eviction rate.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace raptee;
+  bench::run_eviction_figure(
+      "fig6_eviction_40",
+      "Resilience improvement and performance overhead under a 40% eviction rate "
+      "(paper Fig. 6)",
+      core::EvictionSpec::fixed(0.4), bench::Knobs::from_env());
+  return 0;
+}

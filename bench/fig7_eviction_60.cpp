@@ -1,0 +1,12 @@
+// Figure 7 — RAPTEE vs Brahms with a fixed 60 % eviction rate.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace raptee;
+  bench::run_eviction_figure(
+      "fig7_eviction_60",
+      "Resilience improvement and performance overhead under a 60% eviction rate "
+      "(paper Fig. 7)",
+      core::EvictionSpec::fixed(0.6), bench::Knobs::from_env());
+  return 0;
+}

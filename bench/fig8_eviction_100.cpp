@@ -1,0 +1,12 @@
+// Figure 8 — RAPTEE vs Brahms with a fixed 100 % eviction rate.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace raptee;
+  bench::run_eviction_figure(
+      "fig8_eviction_100",
+      "Resilience improvement and performance overhead under a 100% eviction rate "
+      "(paper Fig. 8)",
+      core::EvictionSpec::fixed(1.0), bench::Knobs::from_env());
+  return 0;
+}

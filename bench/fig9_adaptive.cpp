@@ -1,0 +1,13 @@
+// Figure 9 — RAPTEE vs Brahms with the adaptive eviction-rate policy
+// (ER(p) = clamp(1-p, 20%, 80%)).
+#include "bench_common.hpp"
+
+int main() {
+  using namespace raptee;
+  bench::run_eviction_figure(
+      "fig9_adaptive",
+      "Resilience improvement and performance overhead under the adaptive eviction "
+      "rate policy (paper Fig. 9)",
+      core::EvictionSpec::adaptive(), bench::Knobs::from_env());
+  return 0;
+}

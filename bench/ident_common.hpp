@@ -1,0 +1,67 @@
+// Shared driver for the §VI-A identification-attack figures (10, 11, 12).
+#pragma once
+
+#include <iostream>
+
+#include "bench_common.hpp"
+
+namespace raptee::bench {
+
+/// Figures 10/11: fixed f, one curve per eviction rate, x-axis t.
+/// All (ER, t) cells run as one parallel batch.
+inline void run_ident_fixed_f_figure(const char* fig_name, int f_pct,
+                                     const Knobs& knobs) {
+  print_header(fig_name, knobs);
+  std::cout << "Precision, recall and F1-score of trusted-node identification "
+               "under "
+            << f_pct << "% of Byzantine nodes (paper "
+            << (f_pct == 10 ? "Fig. 10" : "Fig. 11") << ")\n\n";
+
+  const auto ts = t_grid(knobs);
+  const auto ers = er_grid(knobs);
+
+  std::vector<metrics::ExperimentConfig> configs;
+  for (int er : ers) {
+    for (int t : ts) {
+      metrics::ExperimentConfig config = base_config(knobs);
+      config.byzantine_fraction = f_pct / 100.0;
+      config.trusted_fraction = t / 100.0;
+      config.eviction = core::EvictionSpec::fixed(er / 100.0);
+      config.run_identification = true;
+      configs.push_back(config);
+    }
+  }
+  const auto cells = run_cells(std::move(configs), knobs.reps, knobs.threads);
+
+  std::vector<std::string> headers{"ER%\\t%"};
+  for (int t : ts) headers.push_back("t=" + std::to_string(t) + "%");
+  metrics::TablePrinter recall(headers), precision(headers), f1(headers);
+  metrics::CsvWriter csv({"f_pct", "er_pct", "t_pct", "recall", "precision", "f1"});
+
+  for (std::size_t ei = 0; ei < ers.size(); ++ei) {
+    std::vector<std::string> row_r{"ER-" + std::to_string(ers[ei])};
+    std::vector<std::string> row_p{"ER-" + std::to_string(ers[ei])};
+    std::vector<std::string> row_f{"ER-" + std::to_string(ers[ei])};
+    for (std::size_t ti = 0; ti < ts.size(); ++ti) {
+      const auto& cell = cells[ei * ts.size() + ti];
+      row_r.push_back(metrics::fmt(cell.ident_best_recall.mean(), 2));
+      row_p.push_back(metrics::fmt(cell.ident_best_precision.mean(), 2));
+      row_f.push_back(metrics::fmt(cell.ident_best_f1.mean(), 2));
+      csv.add_row({std::to_string(f_pct), std::to_string(ers[ei]),
+                   std::to_string(ts[ti]),
+                   metrics::fmt(cell.ident_best_recall.mean(), 4),
+                   metrics::fmt(cell.ident_best_precision.mean(), 4),
+                   metrics::fmt(cell.ident_best_f1.mean(), 4)});
+    }
+    recall.add_row(row_r);
+    precision.add_row(row_p);
+    f1.add_row(row_f);
+  }
+
+  std::cout << "(a) Recall\n" << recall.render() << '\n';
+  std::cout << "(b) Precision\n" << precision.render() << '\n';
+  std::cout << "(c) F1-score\n" << f1.render() << '\n';
+  write_csv(std::string(fig_name) + ".csv", csv);
+}
+
+}  // namespace raptee::bench

@@ -1,0 +1,131 @@
+// Protocol micro-benchmarks (google-benchmark): hot-path costs of the
+// building blocks — samplers, views, codecs, crypto, auth handshakes and a
+// whole simulated round. Not a paper figure; engineering reference data.
+#include <benchmark/benchmark.h>
+
+#include "brahms/auth.hpp"
+#include "brahms/sampler.hpp"
+#include "core/node_factory.hpp"
+#include "crypto/aes.hpp"
+#include "crypto/sha256.hpp"
+#include "gossip/framework.hpp"
+#include "sim/engine.hpp"
+#include "wire/link_cipher.hpp"
+#include "wire/message.hpp"
+
+namespace {
+
+using namespace raptee;
+
+void BM_Sha256_1KiB(benchmark::State& state) {
+  std::vector<std::uint8_t> data(1024, 0xAB);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::sha256(data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 1024);
+}
+BENCHMARK(BM_Sha256_1KiB);
+
+void BM_AesCtr_1KiB(benchmark::State& state) {
+  crypto::Drbg kg(1);
+  const auto key = kg.generate_key();
+  const crypto::Aes aes = crypto::Aes::aes256(key.bytes());
+  std::vector<std::uint8_t> data(1024, 0x55);
+  const auto counter = crypto::make_counter_block({});
+  for (auto _ : state) {
+    crypto::AesCtr ctr(aes, counter);
+    ctr.process(data);
+    benchmark::DoNotOptimize(data.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 1024);
+}
+BENCHMARK(BM_AesCtr_1KiB);
+
+void BM_LinkCipher_SealOpen(benchmark::State& state) {
+  crypto::Drbg kg(2);
+  const auto key = kg.generate_key();
+  wire::LinkCipher tx(key, 0), rx(key, 0);
+  const std::vector<std::uint8_t> msg(256, 0x42);
+  for (auto _ : state) {
+    auto opened = rx.open(tx.seal(msg));
+    benchmark::DoNotOptimize(opened.has_value());
+  }
+}
+BENCHMARK(BM_LinkCipher_SealOpen);
+
+void BM_SamplerArray_Feed(benchmark::State& state) {
+  Rng rng(3);
+  brahms::SamplerArray samplers(static_cast<std::size_t>(state.range(0)), rng);
+  std::uint32_t next_id = 0;
+  for (auto _ : state) {
+    samplers.feed(NodeId{next_id++ % 4096});
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_SamplerArray_Feed)->Arg(40)->Arg(200);
+
+void BM_PullReply_Codec(benchmark::State& state) {
+  wire::PullReply reply;
+  reply.sender = NodeId{1};
+  for (std::uint32_t i = 0; i < static_cast<std::uint32_t>(state.range(0)); ++i) {
+    reply.view.emplace_back(i);
+  }
+  for (auto _ : state) {
+    const auto decoded = wire::decode(wire::encode(wire::Message{reply}));
+    benchmark::DoNotOptimize(&decoded);
+  }
+}
+BENCHMARK(BM_PullReply_Codec)->Arg(40)->Arg(200);
+
+void BM_AuthHandshake(benchmark::State& state) {
+  const auto mode = static_cast<brahms::AuthMode>(state.range(0));
+  crypto::Drbg kg(4);
+  const auto group = kg.generate_key();
+  brahms::KeyedAuthenticator a(mode, group, kg.fork("a"));
+  brahms::KeyedAuthenticator b(mode, group, kg.fork("b"));
+  for (auto _ : state) {
+    const auto challenge = a.make_challenge();
+    const auto response = b.make_response(challenge);
+    crypto::AuthConfirm confirm;
+    const bool trusted = a.verify_response(challenge, response, &confirm);
+    benchmark::DoNotOptimize(b.verify_confirm(challenge, response, confirm));
+    benchmark::DoNotOptimize(trusted);
+  }
+}
+BENCHMARK(BM_AuthHandshake)
+    ->Arg(static_cast<int>(brahms::AuthMode::kFull))
+    ->Arg(static_cast<int>(brahms::AuthMode::kFingerprint))
+    ->Arg(static_cast<int>(brahms::AuthMode::kOracle));
+
+void BM_FrameworkRound_Cyclon(benchmark::State& state) {
+  gossip::FrameworkDriver driver(gossip::cyclon_params(20),
+                                 static_cast<std::size_t>(state.range(0)), 5);
+  driver.bootstrap_uniform();
+  for (auto _ : state) {
+    driver.run_round();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_FrameworkRound_Cyclon)->Arg(200)->Arg(1000);
+
+void BM_EngineRound_Brahms(benchmark::State& state) {
+  core::NodeFactory factory(6, brahms::AuthMode::kFingerprint);
+  sim::Engine engine({6});
+  brahms::BrahmsConfig config;
+  config.params.l1 = 24;
+  config.params.l2 = 24;
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  for (std::uint32_t i = 0; i < n; ++i) {
+    engine.add_node(factory.make_honest(NodeId{i}, config), NodeKind::kHonest);
+  }
+  engine.bootstrap_uniform(24);
+  for (auto _ : state) {
+    engine.step();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_EngineRound_Brahms)->Arg(100)->Arg(400)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,157 @@
+#include "adversary/byzantine.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace raptee::adversary {
+
+Coordinator::Coordinator(std::vector<NodeId> members, std::vector<NodeId> victims,
+                         AttackConfig config, std::uint64_t seed)
+    : members_(std::move(members)),
+      victims_(std::move(victims)),
+      config_(config),
+      rng_(mix64(seed, 0x42595A43ull)) {
+  RAPTEE_REQUIRE(!members_.empty(), "coordinator needs at least one member");
+  std::sort(members_.begin(), members_.end());
+}
+
+void Coordinator::set_victims(std::vector<NodeId> victims) {
+  victims_ = std::move(victims);
+}
+
+void Coordinator::begin_round(Round r) {
+  if (prepared_round_ && *prepared_round_ == r) return;
+  prepared_round_ = r;
+  // Balanced attack: the total budget is laid out round-robin over a
+  // shuffled victim list, so per-victim push counts differ by at most one —
+  // the spread the Brahms paper proves optimal for the adversary.
+  const std::vector<NodeId>& pool =
+      config_.targeted_victims.empty() ? victims_ : config_.targeted_victims;
+  schedule_.clear();
+  if (pool.empty() || config_.push_budget_per_member == 0) return;
+  const std::size_t total = members_.size() * config_.push_budget_per_member;
+  std::vector<NodeId> shuffled = pool;
+  rng_.shuffle(shuffled);
+  schedule_.reserve(total);
+  for (std::size_t j = 0; j < total; ++j) schedule_.push_back(shuffled[j % shuffled.size()]);
+}
+
+std::vector<NodeId> Coordinator::push_allocation(NodeId member) const {
+  const auto it = std::lower_bound(members_.begin(), members_.end(), member);
+  RAPTEE_ASSERT_MSG(it != members_.end() && *it == member, "unknown member");
+  const auto idx = static_cast<std::size_t>(it - members_.begin());
+  const std::size_t budget = config_.push_budget_per_member;
+  const std::size_t from = idx * budget;
+  if (from >= schedule_.size()) return {};
+  const std::size_t to = std::min(from + budget, schedule_.size());
+  return {schedule_.begin() + static_cast<std::ptrdiff_t>(from),
+          schedule_.begin() + static_cast<std::ptrdiff_t>(to)};
+}
+
+std::vector<NodeId> Coordinator::pull_targets(NodeId /*member*/) {
+  std::vector<NodeId> out;
+  if (victims_.empty()) return out;
+  out.reserve(config_.pull_fanout);
+  for (std::size_t i = 0; i < config_.pull_fanout; ++i) {
+    out.push_back(victims_[static_cast<std::size_t>(rng_.below(victims_.size()))]);
+  }
+  return out;
+}
+
+std::vector<NodeId> Coordinator::faulty_view(std::size_t k) {
+  if (k <= members_.size()) return rng_.sample(members_, k);
+  // Fewer members than requested: fill with repeats.
+  std::vector<NodeId> out = members_;
+  while (out.size() < k) {
+    out.push_back(members_[static_cast<std::size_t>(rng_.below(members_.size()))]);
+  }
+  rng_.shuffle(out);
+  return out;
+}
+
+NodeId Coordinator::faulty_id() {
+  return members_[static_cast<std::size_t>(rng_.below(members_.size()))];
+}
+
+bool Coordinator::is_member(NodeId id) const {
+  return std::binary_search(members_.begin(), members_.end(), id);
+}
+
+ByzantineNode::ByzantineNode(NodeId self, std::shared_ptr<Coordinator> coordinator,
+                             std::uint64_t seed)
+    : self_(self),
+      coordinator_(std::move(coordinator)),
+      drbg_(mix64(seed, self.value), "byzantine-camouflage"),
+      rng_(mix64(seed, ~static_cast<std::uint64_t>(self.value))) {
+  RAPTEE_REQUIRE(coordinator_ != nullptr, "ByzantineNode requires a coordinator");
+}
+
+void ByzantineNode::bootstrap(const std::vector<NodeId>& /*initial_peers*/) {
+  // The adversary has global knowledge; bootstrap handouts are ignored.
+}
+
+void ByzantineNode::begin_round(Round r) { coordinator_->begin_round(r); }
+
+std::vector<NodeId> ByzantineNode::push_targets() {
+  return coordinator_->push_allocation(self_);
+}
+
+wire::PushMessage ByzantineNode::make_push() {
+  // Each push advertises some Byzantine ID (the adversary maximizes the
+  // spread of faulty IDs, not of any single identity).
+  return wire::PushMessage{coordinator_->faulty_id()};
+}
+
+void ByzantineNode::on_push(const wire::PushMessage& /*push*/) {}
+
+std::vector<NodeId> ByzantineNode::pull_targets() {
+  return coordinator_->pull_targets(self_);
+}
+
+wire::PullRequest ByzantineNode::open_pull(NodeId /*target*/) {
+  wire::PullRequest request;
+  request.sender = self_;
+  drbg_.fill(request.challenge.r_a.data(), request.challenge.r_a.size());
+  return request;
+}
+
+wire::PullReply ByzantineNode::answer_pull(const wire::PullRequest& /*request*/) {
+  wire::PullReply reply;
+  reply.sender = self_;
+  drbg_.fill(reply.auth.r_b.data(), reply.auth.r_b.size());
+  drbg_.fill(reply.auth.proof_b.data(), reply.auth.proof_b.size());  // can't forge
+  reply.view = coordinator_->faulty_view(coordinator_->config().advertised_view_size);
+  return reply;
+}
+
+wire::AuthConfirm ByzantineNode::process_pull_reply(const wire::PullReply& /*reply*/) {
+  // The engine's traffic listener already surfaces this reply to the
+  // identification attack; the node only needs to keep the exchange shaped
+  // like an honest one.
+  wire::AuthConfirm confirm;
+  confirm.sender = self_;
+  drbg_.fill(confirm.confirm.proof_a.data(), confirm.confirm.proof_a.size());
+  if (coordinator_->config().attach_bogus_swap_offer) {
+    confirm.swap_offer = coordinator_->faulty_view(
+        std::max<std::size_t>(1, coordinator_->config().advertised_view_size / 2));
+  }
+  return confirm;
+}
+
+std::optional<wire::SwapReply> ByzantineNode::process_confirm(
+    const wire::AuthConfirm& /*confirm*/) {
+  return std::nullopt;  // nobody ever mutually authenticates with us
+}
+
+void ByzantineNode::process_swap_reply(const wire::SwapReply& /*reply*/) {}
+
+void ByzantineNode::end_round(Round /*r*/) {}
+
+std::vector<NodeId> ByzantineNode::current_view() const {
+  // What the node would advertise if asked; Byzantine views are excluded
+  // from every honest-side metric.
+  return coordinator_->members();
+}
+
+}  // namespace raptee::adversary

@@ -1,0 +1,108 @@
+// The adversary: a coordinator with global knowledge driving every
+// Byzantine node (paper §III-B).
+//
+// Attack behaviour (the Brahms-optimal strategy the paper assumes):
+//   * balanced pushes — the adversary's total push budget (rate-limited to
+//     α·l1 per member per round, the "limited pushes" assumption enforced
+//     system-wide) is spread evenly over all correct nodes, each push
+//     advertising a Byzantine ID;
+//   * poisoned pull answers — every pull request is answered with a view
+//     of exclusively Byzantine IDs;
+//   * camouflaged pulls — Byzantine nodes issue pull requests like honest
+//     ones, both to blend in and to harvest the pull-answer observations
+//     that feed the §VI-A identification attack.
+//
+// A targeted mode focuses the entire push budget on a victim subset
+// (the eclipse attempt Brahms' history sampling defends against).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "crypto/key.hpp"
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "sim/node.hpp"
+
+namespace raptee::adversary {
+
+struct AttackConfig {
+  std::size_t push_budget_per_member = 0;  ///< pushes per member per round (α·l1)
+  std::size_t pull_fanout = 0;             ///< pull requests per member (β·l1)
+  std::size_t advertised_view_size = 0;    ///< size of poisoned pull answers (l1)
+  /// When non-empty, the push budget is focused on these victims only.
+  std::vector<NodeId> targeted_victims;
+  /// Attach a bogus swap offer to every confirm (probes the swap defence).
+  bool attach_bogus_swap_offer = false;
+};
+
+class Coordinator {
+ public:
+  Coordinator(std::vector<NodeId> members, std::vector<NodeId> victims,
+              AttackConfig config, std::uint64_t seed);
+
+  /// Recomputes this round's balanced push schedule. Idempotent per round:
+  /// every member calls it, the first call does the work.
+  void begin_round(Round r);
+
+  /// The push targets assigned to `member` this round.
+  [[nodiscard]] std::vector<NodeId> push_allocation(NodeId member) const;
+  /// Pull targets for `member` (uniform over victims).
+  [[nodiscard]] std::vector<NodeId> pull_targets(NodeId member);
+
+  /// A poisoned view: `k` Byzantine IDs (distinct while possible).
+  [[nodiscard]] std::vector<NodeId> faulty_view(std::size_t k);
+  [[nodiscard]] NodeId faulty_id();
+
+  [[nodiscard]] bool is_member(NodeId id) const;
+  [[nodiscard]] const std::vector<NodeId>& members() const { return members_; }
+  [[nodiscard]] const AttackConfig& config() const { return config_; }
+
+  /// Replaces the victim set (population changes under churn).
+  void set_victims(std::vector<NodeId> victims);
+
+ private:
+  std::vector<NodeId> members_;  // sorted; a member's slice index is its rank
+  std::vector<NodeId> victims_;
+  AttackConfig config_;
+  Rng rng_;
+  /// Flat schedule: push j of the round goes to schedule_[j]; member i owns
+  /// slice [i·budget, (i+1)·budget).
+  std::vector<NodeId> schedule_;
+  std::optional<Round> prepared_round_;
+};
+
+/// One adversary-controlled protocol participant. All intelligence lives in
+/// the Coordinator; the node relays.
+class ByzantineNode final : public sim::INode {
+ public:
+  ByzantineNode(NodeId self, std::shared_ptr<Coordinator> coordinator,
+                std::uint64_t seed);
+
+  [[nodiscard]] NodeId id() const override { return self_; }
+  void bootstrap(const std::vector<NodeId>& initial_peers) override;
+  void begin_round(Round r) override;
+  [[nodiscard]] std::vector<NodeId> push_targets() override;
+  [[nodiscard]] wire::PushMessage make_push() override;
+  void on_push(const wire::PushMessage& push) override;
+  [[nodiscard]] std::vector<NodeId> pull_targets() override;
+  [[nodiscard]] wire::PullRequest open_pull(NodeId target) override;
+  [[nodiscard]] wire::PullReply answer_pull(const wire::PullRequest& request) override;
+  [[nodiscard]] wire::AuthConfirm process_pull_reply(const wire::PullReply& reply) override;
+  [[nodiscard]] std::optional<wire::SwapReply> process_confirm(
+      const wire::AuthConfirm& confirm) override;
+  void process_swap_reply(const wire::SwapReply& reply) override;
+  void end_round(Round r) override;
+  [[nodiscard]] std::vector<NodeId> current_view() const override;
+
+ private:
+  NodeId self_;
+  std::shared_ptr<Coordinator> coordinator_;
+  crypto::Drbg drbg_;  // random bytes for camouflage auth fields
+  Rng rng_;
+};
+
+}  // namespace raptee::adversary

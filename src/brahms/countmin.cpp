@@ -1,0 +1,92 @@
+#include "brahms/countmin.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/assert.hpp"
+
+namespace raptee::brahms {
+
+CountMinSketch::CountMinSketch(std::size_t width, std::size_t depth, Rng& seed_rng)
+    : width_(width) {
+  RAPTEE_REQUIRE(width >= 2 && depth >= 1, "degenerate sketch " << width << "x" << depth);
+  hashes_.reserve(depth);
+  rows_.reserve(depth);
+  for (std::size_t d = 0; d < depth; ++d) {
+    hashes_.emplace_back(seed_rng.next());
+    rows_.emplace_back(width, 0);
+  }
+}
+
+std::size_t CountMinSketch::slot(std::size_t row, NodeId id) const {
+  return static_cast<std::size_t>(hashes_[row](id) % width_);
+}
+
+void CountMinSketch::add(NodeId id, std::uint64_t count) {
+  for (std::size_t d = 0; d < rows_.size(); ++d) rows_[d][slot(d, id)] += count;
+  total_ += count;
+}
+
+std::uint64_t CountMinSketch::estimate(NodeId id) const {
+  std::uint64_t best = ~0ull;
+  for (std::size_t d = 0; d < rows_.size(); ++d) {
+    best = std::min(best, rows_[d][slot(d, id)]);
+  }
+  return rows_.empty() ? 0 : best;
+}
+
+void CountMinSketch::clear() {
+  for (auto& row : rows_) std::fill(row.begin(), row.end(), 0);
+  total_ = 0;
+}
+
+void CountMinSketch::decay() {
+  for (auto& row : rows_) {
+    for (auto& counter : row) counter >>= 1;
+  }
+  total_ >>= 1;
+}
+
+StreamUnbiaser::StreamUnbiaser(Config config, Rng& seed_rng)
+    : config_(config), sketch_(config.sketch_width, config.sketch_depth, seed_rng) {}
+
+std::vector<NodeId> StreamUnbiaser::filter(const std::vector<NodeId>& stream) {
+  if (stream.empty()) return {};
+  for (NodeId id : stream) sketch_.add(id);
+
+  // Median per-distinct-ID estimated frequency of this stream.
+  std::unordered_map<std::uint32_t, std::uint64_t> estimates;
+  estimates.reserve(stream.size());
+  for (NodeId id : stream) {
+    if (!estimates.count(id.value)) estimates[id.value] = sketch_.estimate(id);
+  }
+  std::vector<std::uint64_t> freqs;
+  freqs.reserve(estimates.size());
+  for (const auto& [id, est] : estimates) freqs.push_back(est);
+  std::nth_element(freqs.begin(), freqs.begin() + static_cast<std::ptrdiff_t>(freqs.size() / 2),
+                   freqs.end());
+  const std::uint64_t median = freqs[freqs.size() / 2];
+  const auto cap = static_cast<std::uint64_t>(
+      std::max(1.0, config_.cap_factor * static_cast<double>(std::max<std::uint64_t>(median, 1))));
+
+  std::vector<NodeId> kept;
+  kept.reserve(stream.size());
+  std::unordered_map<std::uint32_t, std::uint64_t> admitted;
+  admitted.reserve(estimates.size());
+  for (NodeId id : stream) {
+    std::uint64_t& count = admitted[id.value];
+    if (count < cap) {
+      ++count;
+      kept.push_back(id);
+    } else {
+      ++clipped_;
+    }
+  }
+  return kept;
+}
+
+void StreamUnbiaser::next_round() {
+  if (config_.decay_each_round) sketch_.decay();
+}
+
+}  // namespace raptee::brahms

@@ -1,0 +1,82 @@
+// Count-min sketch over the received ID stream — the paper's named future
+// work (§VIII: Anceaume et al. "employ count-min sketches to unbias a
+// biased stream of identifiers. Adopting a similar technique in RAPTEE
+// could constitute interesting future work").
+//
+// CountMinSketch estimates per-ID arrival frequency in O(width·depth)
+// memory with one-sided error (over-estimates only). StreamUnbiaser uses it
+// to cap each ID's admission rate into the view-renewal stream at
+// `cap_factor` times the median estimated frequency — the adversary's
+// massively repeated IDs are clipped toward the honest level, while honest
+// IDs (near the median) pass untouched.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "crypto/minwise.hpp"
+
+namespace raptee::brahms {
+
+class CountMinSketch {
+ public:
+  /// `width` counters per row, `depth` independent rows. Standard bounds:
+  /// error ≤ e·total/width with probability 1 - (1/2)^depth.
+  CountMinSketch(std::size_t width, std::size_t depth, Rng& seed_rng);
+
+  void add(NodeId id, std::uint64_t count = 1);
+  /// Point estimate (never under the true count).
+  [[nodiscard]] std::uint64_t estimate(NodeId id) const;
+  /// Total stream length seen.
+  [[nodiscard]] std::uint64_t total() const { return total_; }
+
+  void clear();
+  /// Halves every counter — cheap exponential decay so old rounds fade.
+  void decay();
+
+  [[nodiscard]] std::size_t width() const { return width_; }
+  [[nodiscard]] std::size_t depth() const { return rows_.size(); }
+
+ private:
+  [[nodiscard]] std::size_t slot(std::size_t row, NodeId id) const;
+
+  std::size_t width_;
+  std::vector<crypto::MinWiseHash> hashes_;
+  std::vector<std::vector<std::uint64_t>> rows_;
+  std::uint64_t total_ = 0;
+};
+
+/// Frequency-capping filter over a pulled-ID stream (RAPTEE extension E1).
+class StreamUnbiaser {
+ public:
+  struct Config {
+    std::size_t sketch_width = 256;
+    std::size_t sketch_depth = 4;
+    /// An ID may occupy at most cap_factor x the median per-ID frequency of
+    /// the current stream.
+    double cap_factor = 2.0;
+    /// Decay the sketch every round so the window is effectively a few
+    /// rounds long.
+    bool decay_each_round = true;
+  };
+
+  StreamUnbiaser(Config config, Rng& seed_rng);
+
+  /// Observes the round's stream and returns it with over-represented IDs
+  /// clipped: each ID keeps at most cap(median) occurrences.
+  [[nodiscard]] std::vector<NodeId> filter(const std::vector<NodeId>& stream);
+
+  void next_round();
+
+  [[nodiscard]] const CountMinSketch& sketch() const { return sketch_; }
+  [[nodiscard]] std::uint64_t clipped_total() const { return clipped_; }
+
+ private:
+  Config config_;
+  CountMinSketch sketch_;
+  std::uint64_t clipped_ = 0;
+};
+
+}  // namespace raptee::brahms

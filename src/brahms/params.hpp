@@ -1,0 +1,45 @@
+// Brahms protocol parameters (Bortnikov et al., Computer Networks 2009).
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+
+#include "common/assert.hpp"
+
+namespace raptee::brahms {
+
+/// α, β, γ split the l1-entry dynamic view between pushed IDs, pulled IDs
+/// and the history sample; the paper (and RAPTEE) use α=β=0.4, γ=0.2.
+struct Params {
+  std::size_t l1 = 48;   ///< dynamic view size (paper's large-scale runs: 200)
+  std::size_t l2 = 48;   ///< number of samplers / sample-list size
+  double alpha = 0.4;    ///< push share of the view renewal
+  double beta = 0.4;     ///< pull share
+  double gamma = 0.2;    ///< history-sample share
+
+  /// Pushes sent per round and maximum non-flood pushes accepted: α·l1.
+  [[nodiscard]] std::size_t push_slice() const {
+    return static_cast<std::size_t>(std::lround(alpha * static_cast<double>(l1)));
+  }
+  /// Pull requests sent per round and pulled share of the renewal: β·l1.
+  [[nodiscard]] std::size_t pull_slice() const {
+    return static_cast<std::size_t>(std::lround(beta * static_cast<double>(l1)));
+  }
+  /// History-sample share of the renewal: γ·l1 (remainder, so the three
+  /// slices always sum to exactly l1).
+  [[nodiscard]] std::size_t history_slice() const {
+    const std::size_t ps = push_slice(), ls = pull_slice();
+    RAPTEE_ASSERT_MSG(ps + ls <= l1, "alpha+beta must not exceed 1");
+    return l1 - ps - ls;
+  }
+
+  void validate() const {
+    RAPTEE_REQUIRE(l1 >= 4, "l1 too small: " << l1);
+    RAPTEE_REQUIRE(l2 >= 1, "l2 too small: " << l2);
+    RAPTEE_REQUIRE(alpha >= 0 && beta >= 0 && gamma >= 0, "negative share");
+    RAPTEE_REQUIRE(std::abs(alpha + beta + gamma - 1.0) < 1e-9,
+                   "alpha+beta+gamma must equal 1, got " << alpha + beta + gamma);
+  }
+};
+
+}  // namespace raptee::brahms

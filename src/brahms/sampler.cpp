@@ -1,0 +1,38 @@
+#include "brahms/sampler.hpp"
+
+#include <algorithm>
+
+namespace raptee::brahms {
+
+SamplerArray::SamplerArray(std::size_t l2, Rng& rng) {
+  samplers_.reserve(l2);
+  for (std::size_t i = 0; i < l2; ++i) samplers_.emplace_back(rng.next());
+}
+
+std::vector<NodeId> SamplerArray::sample_list() const {
+  std::vector<NodeId> out;
+  out.reserve(samplers_.size());
+  for (const auto& s : samplers_) {
+    if (s.holds_sample()) out.push_back(s.sample());
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::vector<NodeId> SamplerArray::history_sample(std::size_t k, Rng& rng) const {
+  return rng.sample(sample_list(), k);
+}
+
+std::size_t SamplerArray::validate(const std::function<bool(NodeId)>& alive, Rng& rng) {
+  std::size_t reinitialized = 0;
+  for (auto& s : samplers_) {
+    if (s.holds_sample() && !alive(s.sample())) {
+      s.reinit(rng.next());
+      ++reinitialized;
+    }
+  }
+  return reinitialized;
+}
+
+}  // namespace raptee::brahms

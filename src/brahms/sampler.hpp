@@ -1,0 +1,82 @@
+// Brahms' local sampling component: l2 independent samplers, each holding
+// the stream element minimizing a per-sampler min-wise independent hash
+// (Broder et al.). Over any stream that contains each alive ID infinitely
+// often, each sampler converges to an unbiased uniform sample, immune to
+// adversarial over-representation in the stream.
+//
+// Sample *validation* (churn defence): Brahms periodically probes the
+// currently held sample; if it stopped responding the sampler re-draws its
+// hash function and restarts, so departed nodes eventually wash out of S.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "crypto/minwise.hpp"
+
+namespace raptee::brahms {
+
+class Sampler {
+ public:
+  explicit Sampler(std::uint64_t hash_seed) : hash_(hash_seed) {}
+
+  /// Feeds one stream element.
+  void next(NodeId id) {
+    const std::uint64_t h = hash_(id);
+    if (!current_.valid() || h < current_hash_) {
+      current_ = id;
+      current_hash_ = h;
+    }
+  }
+
+  /// Currently held sample (kNoNode until the first element arrives).
+  [[nodiscard]] NodeId sample() const { return current_; }
+  [[nodiscard]] bool holds_sample() const { return current_.valid(); }
+
+  /// Re-initializes with a fresh hash function, forgetting the held sample.
+  void reinit(std::uint64_t new_hash_seed) {
+    hash_ = crypto::MinWiseHash(new_hash_seed);
+    current_ = kNoNode;
+    current_hash_ = ~0ull;
+  }
+
+ private:
+  crypto::MinWiseHash hash_;
+  NodeId current_ = kNoNode;
+  std::uint64_t current_hash_ = ~0ull;
+};
+
+class SamplerArray {
+ public:
+  /// Creates `l2` samplers with independent hash seeds drawn from `rng`.
+  SamplerArray(std::size_t l2, Rng& rng);
+
+  void feed(NodeId id) {
+    for (auto& s : samplers_) s.next(id);
+  }
+  void feed_all(const std::vector<NodeId>& ids) {
+    for (NodeId id : ids) feed(id);
+  }
+
+  [[nodiscard]] std::size_t size() const { return samplers_.size(); }
+
+  /// Distinct IDs currently held across all samplers.
+  [[nodiscard]] std::vector<NodeId> sample_list() const;
+
+  /// `k` IDs drawn uniformly (without replacement) from the distinct held
+  /// samples — the γ·l1 "history sample" of the view renewal.
+  [[nodiscard]] std::vector<NodeId> history_sample(std::size_t k, Rng& rng) const;
+
+  /// Probes every held sample with `alive`; re-initializes samplers whose
+  /// sample fails the probe. Returns the number re-initialized.
+  std::size_t validate(const std::function<bool(NodeId)>& alive, Rng& rng);
+
+  [[nodiscard]] const Sampler& at(std::size_t i) const { return samplers_[i]; }
+
+ private:
+  std::vector<Sampler> samplers_;
+};
+
+}  // namespace raptee::brahms

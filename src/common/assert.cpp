@@ -1,0 +1,25 @@
+#include "common/assert.hpp"
+
+namespace raptee::detail {
+
+namespace {
+std::string format(const char* kind, const char* expr, const char* file, int line,
+                   const std::string& msg) {
+  std::ostringstream oss;
+  oss << kind << ": `" << expr << "` at " << file << ':' << line;
+  if (!msg.empty()) oss << " — " << msg;
+  return oss.str();
+}
+}  // namespace
+
+void assertion_failed(const char* expr, const char* file, int line,
+                      const std::string& msg) {
+  throw AssertionError(format("assertion failed", expr, file, line, msg));
+}
+
+void requirement_failed(const char* expr, const char* file, int line,
+                        const std::string& msg) {
+  throw std::invalid_argument(format("requirement violated", expr, file, line, msg));
+}
+
+}  // namespace raptee::detail

@@ -1,0 +1,53 @@
+// Assertion and error machinery.
+//
+// Two tiers, following the Core Guidelines (I.6/E.12 discussion):
+//  * RAPTEE_ASSERT   — internal invariants. Violation is a programming bug;
+//                      always checked (simulation correctness beats speed),
+//                      throws AssertionError so tests can observe it.
+//  * RAPTEE_REQUIRE  — precondition on public API input; throws
+//                      std::invalid_argument with a formatted message.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace raptee {
+
+/// Thrown when an internal invariant is violated.
+class AssertionError : public std::logic_error {
+ public:
+  explicit AssertionError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void assertion_failed(const char* expr, const char* file, int line,
+                                   const std::string& msg);
+[[noreturn]] void requirement_failed(const char* expr, const char* file, int line,
+                                     const std::string& msg);
+}  // namespace detail
+
+}  // namespace raptee
+
+#define RAPTEE_ASSERT(expr)                                                     \
+  do {                                                                          \
+    if (!(expr)) ::raptee::detail::assertion_failed(#expr, __FILE__, __LINE__, ""); \
+  } while (false)
+
+#define RAPTEE_ASSERT_MSG(expr, msg)                                            \
+  do {                                                                          \
+    if (!(expr)) {                                                              \
+      std::ostringstream raptee_oss_;                                           \
+      raptee_oss_ << msg;                                                       \
+      ::raptee::detail::assertion_failed(#expr, __FILE__, __LINE__, raptee_oss_.str()); \
+    }                                                                           \
+  } while (false)
+
+#define RAPTEE_REQUIRE(expr, msg)                                               \
+  do {                                                                          \
+    if (!(expr)) {                                                              \
+      std::ostringstream raptee_oss_;                                           \
+      raptee_oss_ << msg;                                                       \
+      ::raptee::detail::requirement_failed(#expr, __FILE__, __LINE__, raptee_oss_.str()); \
+    }                                                                           \
+  } while (false)

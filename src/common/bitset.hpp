@@ -1,0 +1,65 @@
+// DynamicBitset: a compact run-time-sized bitset with a popcount cache,
+// used by the discovery tracker (one bit per correct node, one bitset per
+// observer — millions of membership updates per simulated round).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace raptee {
+
+class DynamicBitset {
+ public:
+  DynamicBitset() = default;
+  explicit DynamicBitset(std::size_t size)
+      : size_(size), words_((size + 63) / 64, 0) {}
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+
+  /// Sets bit i; returns true if the bit transitioned 0 -> 1.
+  bool set(std::size_t i) {
+    RAPTEE_ASSERT_MSG(i < size_, "bitset index " << i << " out of range " << size_);
+    const std::uint64_t mask = 1ull << (i & 63);
+    std::uint64_t& w = words_[i >> 6];
+    if (w & mask) return false;
+    w |= mask;
+    ++count_;
+    return true;
+  }
+
+  [[nodiscard]] bool test(std::size_t i) const {
+    RAPTEE_ASSERT_MSG(i < size_, "bitset index " << i << " out of range " << size_);
+    return (words_[i >> 6] >> (i & 63)) & 1u;
+  }
+
+  void reset(std::size_t i) {
+    RAPTEE_ASSERT_MSG(i < size_, "bitset index " << i << " out of range " << size_);
+    const std::uint64_t mask = 1ull << (i & 63);
+    std::uint64_t& w = words_[i >> 6];
+    if (w & mask) {
+      w &= ~mask;
+      --count_;
+    }
+  }
+
+  void clear() {
+    for (auto& w : words_) w = 0;
+    count_ = 0;
+  }
+
+  /// Number of set bits (O(1): maintained incrementally).
+  [[nodiscard]] std::size_t count() const { return count_; }
+
+  [[nodiscard]] double fill_ratio() const {
+    return size_ ? static_cast<double>(count_) / static_cast<double>(size_) : 0.0;
+  }
+
+ private:
+  std::size_t size_ = 0;
+  std::size_t count_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace raptee

@@ -1,0 +1,60 @@
+#include "common/log.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <iostream>
+#include <mutex>
+
+namespace raptee {
+
+namespace {
+
+std::atomic<int>& level_storage() {
+  static std::atomic<int> level{[] {
+    if (const char* env = std::getenv("RAPTEE_LOG_LEVEL")) {
+      return static_cast<int>(parse_log_level(env));
+    }
+    return static_cast<int>(LogLevel::kWarn);
+  }()};
+  return level;
+}
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel log_level() { return static_cast<LogLevel>(level_storage().load()); }
+
+void set_log_level(LogLevel level) { level_storage().store(static_cast<int>(level)); }
+
+LogLevel parse_log_level(const std::string& name) {
+  if (name == "trace") return LogLevel::kTrace;
+  if (name == "debug") return LogLevel::kDebug;
+  if (name == "info") return LogLevel::kInfo;
+  if (name == "warn") return LogLevel::kWarn;
+  if (name == "error") return LogLevel::kError;
+  if (name == "off") return LogLevel::kOff;
+  return LogLevel::kInfo;
+}
+
+namespace detail {
+
+void log_emit(LogLevel level, const std::string& message) {
+  static std::mutex mu;
+  std::lock_guard<std::mutex> lock(mu);
+  std::clog << '[' << level_name(level) << "] " << message << '\n';
+}
+
+}  // namespace detail
+
+}  // namespace raptee

@@ -1,0 +1,38 @@
+// Minimal leveled logger. Simulation hot paths never log; this exists for
+// examples, the bench harness and debugging. Thread-safe (one mutex around
+// the sink), level settable globally or via RAPTEE_LOG_LEVEL env var
+// (trace|debug|info|warn|error|off).
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace raptee {
+
+enum class LogLevel : int { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+LogLevel log_level();
+void set_log_level(LogLevel level);
+/// Parses a level name; returns kInfo on unknown input.
+LogLevel parse_log_level(const std::string& name);
+
+namespace detail {
+void log_emit(LogLevel level, const std::string& message);
+}
+
+}  // namespace raptee
+
+#define RAPTEE_LOG(level, expr)                                  \
+  do {                                                           \
+    if (static_cast<int>(level) >= static_cast<int>(::raptee::log_level())) { \
+      std::ostringstream raptee_log_oss_;                        \
+      raptee_log_oss_ << expr;                                   \
+      ::raptee::detail::log_emit(level, raptee_log_oss_.str());  \
+    }                                                            \
+  } while (false)
+
+#define RAPTEE_LOG_TRACE(expr) RAPTEE_LOG(::raptee::LogLevel::kTrace, expr)
+#define RAPTEE_LOG_DEBUG(expr) RAPTEE_LOG(::raptee::LogLevel::kDebug, expr)
+#define RAPTEE_LOG_INFO(expr) RAPTEE_LOG(::raptee::LogLevel::kInfo, expr)
+#define RAPTEE_LOG_WARN(expr) RAPTEE_LOG(::raptee::LogLevel::kWarn, expr)
+#define RAPTEE_LOG_ERROR(expr) RAPTEE_LOG(::raptee::LogLevel::kError, expr)

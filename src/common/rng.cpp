@@ -1,0 +1,80 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+
+namespace raptee {
+
+std::uint64_t Rng::below(std::uint64_t bound) {
+  RAPTEE_ASSERT_MSG(bound > 0, "Rng::below requires a positive bound");
+  // Lemire 2019: multiply-shift with rejection of the biased low range.
+  std::uint64_t x = next();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  auto low = static_cast<std::uint64_t>(m);
+  if (low < bound) {
+    const std::uint64_t threshold = (0 - bound) % bound;
+    while (low < threshold) {
+      x = next();
+      m = static_cast<__uint128_t>(x) * bound;
+      low = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t Rng::between(std::int64_t lo, std::int64_t hi) {
+  RAPTEE_ASSERT_MSG(lo <= hi, "Rng::between requires lo <= hi");
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  return lo + static_cast<std::int64_t>(below(span));
+}
+
+double Rng::normal() {
+  if (have_spare_normal_) {
+    have_spare_normal_ = false;
+    return spare_normal_;
+  }
+  double u, v, s;
+  do {
+    u = 2.0 * uniform01() - 1.0;
+    v = 2.0 * uniform01() - 1.0;
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double factor = std::sqrt(-2.0 * std::log(s) / s);
+  spare_normal_ = v * factor;
+  have_spare_normal_ = true;
+  return u * factor;
+}
+
+std::vector<std::size_t> Rng::sample_indices(std::size_t n, std::size_t k) {
+  std::vector<std::size_t> out;
+  if (k >= n) {
+    out.resize(n);
+    for (std::size_t i = 0; i < n; ++i) out[i] = i;
+    shuffle(out);
+    return out;
+  }
+  out.reserve(k);
+  // Floyd's algorithm: iterate j over the top-k window; linear membership
+  // scan is faster than a hash set for the small k used by gossip fan-outs.
+  for (std::size_t j = n - k; j < n; ++j) {
+    std::size_t t = static_cast<std::size_t>(below(j + 1));
+    bool present = false;
+    for (auto e : out) {
+      if (e == t) { present = true; break; }
+    }
+    out.push_back(present ? j : t);
+  }
+  shuffle(out);
+  return out;
+}
+
+std::string to_string(NodeKind k) {
+  switch (k) {
+    case NodeKind::kHonest: return "honest";
+    case NodeKind::kTrusted: return "trusted";
+    case NodeKind::kByzantine: return "byzantine";
+    case NodeKind::kPoisonedTrusted: return "poisoned-trusted";
+  }
+  return "unknown";
+}
+
+}  // namespace raptee

@@ -1,0 +1,47 @@
+// Streaming and batch statistics used by the metrics subsystem and the
+// benchmark harness (means, deviations, percentiles, confidence intervals).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace raptee {
+
+/// Welford streaming accumulator: numerically stable mean/variance without
+/// retaining observations.
+class RunningStats {
+ public:
+  void add(double x);
+  void merge(const RunningStats& other);
+  void reset();
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] bool empty() const { return n_ == 0; }
+  [[nodiscard]] double mean() const { return n_ ? mean_ : 0.0; }
+  [[nodiscard]] double min() const { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return n_ ? max_ : 0.0; }
+  /// Population variance (σ², divides by n).
+  [[nodiscard]] double variance() const;
+  /// Sample variance (s², divides by n-1); 0 when n < 2.
+  [[nodiscard]] double sample_variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double sample_stddev() const;
+  /// Half-width of the ~95 % normal-approximation confidence interval.
+  [[nodiscard]] double ci95_halfwidth() const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Batch helpers (copy-and-sort; intended for end-of-run reporting).
+[[nodiscard]] double mean_of(const std::vector<double>& xs);
+[[nodiscard]] double stddev_of(const std::vector<double>& xs);
+/// Linear-interpolated percentile, p in [0, 100].
+[[nodiscard]] double percentile_of(std::vector<double> xs, double p);
+[[nodiscard]] double median_of(std::vector<double> xs);
+
+}  // namespace raptee

@@ -1,0 +1,76 @@
+// Fundamental value types shared by every RAPTEE subsystem.
+//
+// Node identifiers are opaque 32-bit handles. The simulation engine assigns
+// them densely from zero, which lets trackers use flat arrays and bitsets,
+// but nothing in the protocol code relies on density: protocol modules treat
+// NodeId as an opaque token exactly as a deployed implementation would treat
+// a (host, port, key-fingerprint) triple.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <string>
+
+namespace raptee {
+
+/// Opaque node identifier. Unique per node for the lifetime of a system run.
+struct NodeId {
+  std::uint32_t value = kInvalid;
+
+  static constexpr std::uint32_t kInvalid = std::numeric_limits<std::uint32_t>::max();
+
+  constexpr NodeId() = default;
+  constexpr explicit NodeId(std::uint32_t v) : value(v) {}
+
+  [[nodiscard]] constexpr bool valid() const { return value != kInvalid; }
+
+  friend constexpr bool operator==(NodeId a, NodeId b) { return a.value == b.value; }
+  friend constexpr bool operator!=(NodeId a, NodeId b) { return a.value != b.value; }
+  friend constexpr bool operator<(NodeId a, NodeId b) { return a.value < b.value; }
+  friend constexpr bool operator>(NodeId a, NodeId b) { return a.value > b.value; }
+  friend constexpr bool operator<=(NodeId a, NodeId b) { return a.value <= b.value; }
+  friend constexpr bool operator>=(NodeId a, NodeId b) { return a.value >= b.value; }
+};
+
+/// Sentinel constant for "no node".
+inline constexpr NodeId kNoNode{};
+
+/// Round counter of the synchronous gossip schedule (the paper uses
+/// 2.5-second rounds; the simulator is round-denominated).
+using Round = std::uint32_t;
+
+/// Virtual CPU cycles, used by the SGX overhead model (Table I).
+using Cycles = std::uint64_t;
+
+/// Ground-truth behavioural class of a node. Held by the simulation harness
+/// and the adversary's oracle; protocol code never reads it.
+enum class NodeKind : std::uint8_t {
+  kHonest,          ///< correct node running plain Brahms-side RAPTEE
+  kTrusted,         ///< SGX-capable node running the trusted RAPTEE logic
+  kByzantine,       ///< adversary-controlled node
+  kPoisonedTrusted, ///< genuine trusted node bootstrapped with a Byzantine-only view
+};
+
+[[nodiscard]] std::string to_string(NodeKind k);
+
+/// True for nodes that follow the protocol (trusted nodes can only crash-fault).
+[[nodiscard]] constexpr bool is_correct(NodeKind k) {
+  return k != NodeKind::kByzantine;
+}
+
+/// True for nodes that hold the attested group secret.
+[[nodiscard]] constexpr bool is_trusted(NodeKind k) {
+  return k == NodeKind::kTrusted || k == NodeKind::kPoisonedTrusted;
+}
+
+}  // namespace raptee
+
+template <>
+struct std::hash<raptee::NodeId> {
+  std::size_t operator()(raptee::NodeId id) const noexcept {
+    // Fibonacci hashing: dense simulator IDs would otherwise collide in
+    // power-of-two hash tables.
+    return static_cast<std::size_t>(id.value) * 0x9E3779B97F4A7C15ull >> 16;
+  }
+};

@@ -1,0 +1,33 @@
+// EnclaveAuthenticator: the trusted node's side of the mutual-auth
+// protocol. Identical wire behaviour to brahms::KeyedAuthenticator, except
+// every group-key operation is an ecall — the key material never exists
+// outside the sgx::Enclave.
+#pragma once
+
+#include "brahms/auth.hpp"
+#include "sgx/enclave.hpp"
+
+namespace raptee::core {
+
+class EnclaveAuthenticator final : public brahms::IAuthenticator {
+ public:
+  /// The enclave must already be provisioned (attested) — asserted.
+  EnclaveAuthenticator(brahms::AuthMode mode, sgx::Enclave& enclave, crypto::Drbg drbg);
+
+  [[nodiscard]] crypto::AuthChallenge make_challenge() override;
+  [[nodiscard]] crypto::AuthResponse make_response(
+      const crypto::AuthChallenge& challenge) override;
+  [[nodiscard]] bool verify_response(const crypto::AuthChallenge& challenge,
+                                     const crypto::AuthResponse& response,
+                                     crypto::AuthConfirm* confirm_out) override;
+  [[nodiscard]] bool verify_confirm(const crypto::AuthChallenge& challenge,
+                                    const crypto::AuthResponse& response,
+                                    const crypto::AuthConfirm& confirm) override;
+
+ private:
+  brahms::AuthMode mode_;
+  sgx::Enclave& enclave_;
+  crypto::Drbg drbg_;
+};
+
+}  // namespace raptee::core

@@ -1,0 +1,24 @@
+#include "core/eviction.hpp"
+
+#include <sstream>
+
+namespace raptee::core {
+
+std::string EvictionSpec::describe() const {
+  std::ostringstream oss;
+  switch (kind) {
+    case Kind::kNone:
+      oss << "none";
+      break;
+    case Kind::kFixed:
+      oss << "fixed(" << static_cast<int>(fixed_rate * 100.0 + 0.5) << "%)";
+      break;
+    case Kind::kAdaptive:
+      oss << "adaptive[" << static_cast<int>(lower * 100.0 + 0.5) << "%,"
+          << static_cast<int>(upper * 100.0 + 0.5) << "%]";
+      break;
+  }
+  return oss.str();
+}
+
+}  // namespace raptee::core

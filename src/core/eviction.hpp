@@ -1,0 +1,71 @@
+// Byzantine-eviction policies (paper §IV-C).
+//
+// At the end of every round a trusted node ignores a fraction of the IDs
+// pulled from *untrusted* peers: they reach neither the samplers nor the
+// β·l1 pulled slice of the view renewal. The fraction — the eviction rate —
+// is either fixed for the whole run, or adaptive per node per round:
+//
+//   ER(p) = clamp(1 - p, lower, upper),   p = trusted share of this
+//                                         round's completed pull exchanges
+//
+// with the paper's bounds lower = 20 %, upper = 80 % (ER pinned at 20 %
+// once p ≥ 80 %, at 80 % once p ≤ 20 %, linear in between). The bounds are
+// design decision D2; bench/ablation_adaptive_bounds sweeps alternatives.
+#pragma once
+
+#include <string>
+
+#include "common/assert.hpp"
+
+namespace raptee::core {
+
+struct EvictionSpec {
+  enum class Kind : std::uint8_t { kNone, kFixed, kAdaptive };
+
+  Kind kind = Kind::kNone;
+  double fixed_rate = 0.0;   ///< used when kind == kFixed, in [0, 1]
+  double lower = 0.2;        ///< adaptive lower bound
+  double upper = 0.8;        ///< adaptive upper bound
+
+  [[nodiscard]] static EvictionSpec none() { return {}; }
+  [[nodiscard]] static EvictionSpec fixed(double rate) {
+    EvictionSpec s;
+    s.kind = Kind::kFixed;
+    s.fixed_rate = rate;
+    return s;
+  }
+  [[nodiscard]] static EvictionSpec adaptive(double lower = 0.2, double upper = 0.8) {
+    EvictionSpec s;
+    s.kind = Kind::kAdaptive;
+    s.lower = lower;
+    s.upper = upper;
+    return s;
+  }
+
+  void validate() const {
+    RAPTEE_REQUIRE(fixed_rate >= 0.0 && fixed_rate <= 1.0,
+                   "fixed eviction rate out of [0,1]: " << fixed_rate);
+    RAPTEE_REQUIRE(lower >= 0.0 && upper <= 1.0 && lower <= upper,
+                   "adaptive bounds invalid: [" << lower << ", " << upper << "]");
+  }
+
+  /// The eviction rate for a round in which `trusted_ratio` of the node's
+  /// completed pull exchanges were with trusted peers.
+  [[nodiscard]] double rate_for(double trusted_ratio) const {
+    switch (kind) {
+      case Kind::kNone: return 0.0;
+      case Kind::kFixed: return fixed_rate;
+      case Kind::kAdaptive: {
+        const double raw = 1.0 - trusted_ratio;
+        if (raw < lower) return lower;
+        if (raw > upper) return upper;
+        return raw;
+      }
+    }
+    return 0.0;
+  }
+
+  [[nodiscard]] std::string describe() const;
+};
+
+}  // namespace raptee::core

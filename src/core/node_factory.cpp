@@ -1,0 +1,42 @@
+#include "core/node_factory.hpp"
+
+#include "common/assert.hpp"
+#include "core/enclave_auth.hpp"
+
+namespace raptee::core {
+
+NodeFactory::NodeFactory(std::uint64_t seed, brahms::AuthMode auth_mode,
+                         const sgx::CycleModel* cycle_model)
+    : auth_mode_(auth_mode),
+      cycle_model_(cycle_model),
+      attestation_(mix64(seed, 0x61747465ull)),
+      key_drbg_(mix64(seed, 0x6B657973ull), "raptee-node-keys"),
+      rng_(mix64(seed, 0x666163ull)) {
+  attestation_.allowlist(sgx::measure_code(sgx::raptee_enclave_identity()));
+}
+
+std::unique_ptr<brahms::BrahmsNode> NodeFactory::make_honest(
+    NodeId id, const brahms::BrahmsConfig& config,
+    std::function<bool(NodeId)> alive_probe) {
+  auto auth = std::make_unique<brahms::KeyedAuthenticator>(
+      auth_mode_, key_drbg_.generate_key(),
+      key_drbg_.fork("auth-" + std::to_string(id.value)));
+  return std::make_unique<brahms::BrahmsNode>(id, config, std::move(auth),
+                                              rng_.fork(id.value + 1),
+                                              std::move(alive_probe));
+}
+
+std::unique_ptr<RapteeNode> NodeFactory::make_trusted(
+    NodeId id, const RapteeConfig& config, std::function<bool(NodeId)> alive_probe) {
+  auto enclave = std::make_unique<sgx::Enclave>(
+      sgx::raptee_enclave_identity(), mix64(key_drbg_.next_u64(), id.value),
+      cycle_model_);
+  const bool provisioned = attestation_.provision(*enclave);
+  RAPTEE_ASSERT_MSG(provisioned, "genuine enclave failed attestation");
+  auto auth = std::make_unique<EnclaveAuthenticator>(
+      auth_mode_, *enclave, key_drbg_.fork("tauth-" + std::to_string(id.value)));
+  return std::make_unique<RapteeNode>(id, config, std::move(auth), std::move(enclave),
+                                      rng_.fork(id.value + 1), std::move(alive_probe));
+}
+
+}  // namespace raptee::core

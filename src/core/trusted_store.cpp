@@ -1,0 +1,59 @@
+#include "core/trusted_store.hpp"
+
+#include <algorithm>
+
+namespace raptee::core {
+
+void TrustedStore::note_trusted(NodeId peer) {
+  for (auto& e : peers_) {
+    if (e.id == peer) {
+      e.age = 0;  // freshly confirmed
+      return;
+    }
+  }
+  if (peers_.size() >= capacity_) {
+    // Replace the oldest entry.
+    auto victim = std::max_element(
+        peers_.begin(), peers_.end(),
+        [](const Entry& a, const Entry& b) { return a.age < b.age; });
+    *victim = {peer, 0};
+    return;
+  }
+  peers_.push_back({peer, 0});
+}
+
+bool TrustedStore::is_known_trusted(NodeId peer) const {
+  return std::any_of(peers_.begin(), peers_.end(),
+                     [peer](const Entry& e) { return e.id == peer; });
+}
+
+std::vector<NodeId> TrustedStore::peers() const {
+  std::vector<NodeId> out;
+  out.reserve(peers_.size());
+  for (const auto& e : peers_) out.push_back(e.id);
+  return out;
+}
+
+std::optional<NodeId> TrustedStore::oldest() const {
+  if (peers_.empty()) return std::nullopt;
+  return std::max_element(peers_.begin(), peers_.end(),
+                          [](const Entry& a, const Entry& b) { return a.age < b.age; })
+      ->id;
+}
+
+std::optional<NodeId> TrustedStore::random(Rng& rng) const {
+  if (peers_.empty()) return std::nullopt;
+  return peers_[static_cast<std::size_t>(rng.below(peers_.size()))].id;
+}
+
+void TrustedStore::next_round() {
+  for (auto& e : peers_) ++e.age;
+}
+
+void TrustedStore::forget(NodeId peer) {
+  peers_.erase(std::remove_if(peers_.begin(), peers_.end(),
+                              [peer](const Entry& e) { return e.id == peer; }),
+               peers_.end());
+}
+
+}  // namespace raptee::core

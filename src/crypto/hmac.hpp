@@ -1,0 +1,44 @@
+// HMAC-SHA-256 (RFC 2104 / FIPS 198-1) and an HKDF-style key derivation.
+// Used for message authentication on encrypted links, attestation quotes,
+// and deriving per-purpose subkeys from node master secrets.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "crypto/sha256.hpp"
+
+namespace raptee::crypto {
+
+/// Incremental HMAC-SHA-256.
+class HmacSha256 {
+ public:
+  HmacSha256(const std::uint8_t* key, std::size_t key_len);
+  explicit HmacSha256(const std::vector<std::uint8_t>& key)
+      : HmacSha256(key.data(), key.size()) {}
+
+  void update(const std::uint8_t* data, std::size_t len) { inner_.update(data, len); }
+  void update(std::string_view s) { inner_.update(s); }
+  void update(const std::vector<std::uint8_t>& v) { inner_.update(v); }
+
+  [[nodiscard]] Digest256 finish();
+
+ private:
+  Sha256 inner_;
+  std::array<std::uint8_t, 64> opad_key_{};
+};
+
+/// One-shot HMAC.
+[[nodiscard]] Digest256 hmac_sha256(const std::uint8_t* key, std::size_t key_len,
+                                    const std::uint8_t* data, std::size_t data_len);
+[[nodiscard]] Digest256 hmac_sha256(const std::vector<std::uint8_t>& key,
+                                    std::string_view data);
+
+/// HKDF-Extract-then-Expand (RFC 5869), SHA-256 based, producing `length`
+/// bytes of key material bound to `info`.
+[[nodiscard]] std::vector<std::uint8_t> hkdf_sha256(
+    const std::vector<std::uint8_t>& salt, const std::vector<std::uint8_t>& ikm,
+    std::string_view info, std::size_t length);
+
+}  // namespace raptee::crypto

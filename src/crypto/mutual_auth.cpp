@@ -1,0 +1,87 @@
+#include "crypto/mutual_auth.hpp"
+
+#include <cstring>
+
+namespace raptee::crypto {
+
+namespace {
+
+/// Nonce for the proof cipher: first 12 bytes of H(first · second · "nonce").
+/// Binding the CTR nonce to both challenges makes every handshake's
+/// keystream fresh, so tokens cannot be replayed across handshakes.
+Block proof_counter_block(const AuthNonce& first, const AuthNonce& second) {
+  Sha256 ctx;
+  ctx.update(first.data(), first.size());
+  ctx.update(second.data(), second.size());
+  ctx.update("raptee-auth-nonce");
+  const Digest256 d = ctx.finish();
+  std::array<std::uint8_t, 12> nonce{};
+  std::memcpy(nonce.data(), d.data(), nonce.size());
+  return make_counter_block(nonce);
+}
+
+Digest256 challenge_hash(const AuthNonce& first, const AuthNonce& second) {
+  Sha256 ctx;
+  ctx.update(first.data(), first.size());
+  ctx.update(second.data(), second.size());
+  return ctx.finish();
+}
+
+AuthNonce random_nonce(Drbg& rng) {
+  AuthNonce n{};
+  rng.fill(n.data(), n.size());
+  return n;
+}
+
+}  // namespace
+
+AuthToken make_proof(const SymmetricKey& key, const AuthNonce& first,
+                     const AuthNonce& second) {
+  const Digest256 h = challenge_hash(first, second);
+  AuthToken token{};
+  std::memcpy(token.data(), h.data(), h.size());
+  const Aes aes = Aes::aes256(key.bytes());
+  AesCtr ctr(aes, proof_counter_block(first, second));
+  ctr.process(token.data(), token.size());
+  return token;
+}
+
+bool check_proof(const SymmetricKey& key, const AuthNonce& first, const AuthNonce& second,
+                 const AuthToken& token) {
+  AuthToken plain = token;
+  const Aes aes = Aes::aes256(key.bytes());
+  AesCtr ctr(aes, proof_counter_block(first, second));
+  ctr.process(plain.data(), plain.size());
+  const Digest256 expected = challenge_hash(first, second);
+  std::uint8_t diff = 0;
+  for (std::size_t i = 0; i < plain.size(); ++i) diff |= plain[i] ^ expected[i];
+  return diff == 0;
+}
+
+AuthInitiator::AuthInitiator(const SymmetricKey& own_key, Drbg& rng)
+    : key_(own_key), r_a_(random_nonce(rng)) {}
+
+bool AuthInitiator::consume_response(const AuthResponse& response,
+                                     AuthConfirm& out_confirm) {
+  peer_trusted_ = check_proof(key_, r_a_, response.r_b, response.proof_b);
+  // Always emit a well-formed confirm so traffic is indistinguishable.
+  out_confirm.proof_a = make_proof(key_, response.r_b, r_a_);
+  return peer_trusted_;
+}
+
+AuthResponder::AuthResponder(const SymmetricKey& own_key, Drbg& rng)
+    : key_(own_key), r_b_(random_nonce(rng)) {}
+
+AuthResponse AuthResponder::respond(const AuthChallenge& challenge) {
+  r_a_ = challenge.r_a;
+  AuthResponse response;
+  response.r_b = r_b_;
+  response.proof_b = make_proof(key_, r_a_, r_b_);
+  return response;
+}
+
+void AuthResponder::consume_confirm(const AuthConfirm& confirm) {
+  peer_trusted_ = check_proof(key_, r_b_, r_a_, confirm.proof_a);
+}
+
+}  // namespace raptee::crypto

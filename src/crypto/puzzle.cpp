@@ -1,0 +1,75 @@
+#include "crypto/puzzle.hpp"
+
+#include <algorithm>
+
+namespace raptee::crypto {
+
+bool has_leading_zero_bits(const Digest256& digest, unsigned bits) {
+  unsigned checked = 0;
+  for (std::uint8_t byte : digest) {
+    if (checked + 8 <= bits) {
+      if (byte != 0) return false;
+      checked += 8;
+      continue;
+    }
+    const unsigned remaining = bits - checked;
+    if (remaining == 0) return true;
+    return (byte >> (8 - remaining)) == 0;
+  }
+  return checked >= bits;
+}
+
+Digest256 PushPuzzle::digest_for(std::uint64_t nonce) const {
+  Sha256 ctx;
+  std::uint8_t header[4 + 4 + 4 + 8];
+  std::size_t off = 0;
+  auto put32 = [&](std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) header[off++] = static_cast<std::uint8_t>(v >> (8 * i));
+  };
+  put32(sender_.value);
+  put32(advertised_.value);
+  put32(round_);
+  for (int i = 0; i < 8; ++i) header[off++] = static_cast<std::uint8_t>(nonce >> (8 * i));
+  ctx.update(header, sizeof header);
+  return ctx.finish();
+}
+
+std::optional<PuzzleSolution> PushPuzzle::solve(std::uint64_t start_nonce,
+                                                std::uint64_t max_attempts) const {
+  std::uint64_t nonce = start_nonce;
+  std::uint64_t attempts = 0;
+  for (;;) {
+    if (has_leading_zero_bits(digest_for(nonce), difficulty_)) {
+      return PuzzleSolution{nonce};
+    }
+    ++nonce;
+    ++attempts;
+    if (max_attempts != 0 && attempts >= max_attempts) return std::nullopt;
+  }
+}
+
+bool PushPuzzle::verify(const PuzzleSolution& solution) const {
+  return has_leading_zero_bits(digest_for(solution.nonce), difficulty_);
+}
+
+bool PuzzledPushGuard::admit(NodeId sender, NodeId advertised, Round round,
+                             const PuzzleSolution& solution) {
+  const PushPuzzle puzzle(sender, advertised, round, difficulty_);
+  if (!puzzle.verify(solution)) {
+    ++rejected_;
+    return false;
+  }
+  const auto key = std::make_pair(
+      (static_cast<std::uint64_t>(sender.value) << 32) | advertised.value,
+      solution.nonce);
+  if (std::find(seen_.begin(), seen_.end(), key) != seen_.end()) {
+    ++rejected_;  // replay within the round
+    return false;
+  }
+  seen_.push_back(key);
+  return true;
+}
+
+void PuzzledPushGuard::next_round() { seen_.clear(); }
+
+}  // namespace raptee::crypto

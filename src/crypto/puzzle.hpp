@@ -1,0 +1,94 @@
+// Hashcash-style computational puzzles — the concrete instantiation of the
+// rate-limiting mechanism Brahms *assumes* for its "limited pushes" defence
+// (§II: "a mechanism that limits the message sending rate of nodes, for
+// example, via computational challenges like Merkle's puzzles, virtual
+// currency, etc.").
+//
+// A push is accompanied by a PuzzleSolution binding (sender, advertised id,
+// round, nonce) whose SHA-256 must clear `difficulty` leading zero bits.
+// Solving costs ~2^difficulty hashes; verification costs one. A node with
+// bounded compute can therefore only afford a bounded number of pushes per
+// round — exactly the adversary budget cap the Brahms analysis needs.
+//
+// The simulator normally *models* the cap (the Coordinator's per-member
+// budget) instead of burning CPU; PuzzledPushGuard makes the mechanism
+// concrete for tests, examples and small deployments.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "common/types.hpp"
+#include "crypto/sha256.hpp"
+
+namespace raptee::crypto {
+
+struct PuzzleSolution {
+  std::uint64_t nonce = 0;
+
+  friend bool operator==(const PuzzleSolution&, const PuzzleSolution&) = default;
+};
+
+/// The puzzle statement: H(sender ‖ advertised ‖ round ‖ nonce) must have
+/// `difficulty` leading zero bits.
+class PushPuzzle {
+ public:
+  PushPuzzle(NodeId sender, NodeId advertised, Round round, unsigned difficulty)
+      : sender_(sender), advertised_(advertised), round_(round),
+        difficulty_(difficulty) {}
+
+  [[nodiscard]] unsigned difficulty() const { return difficulty_; }
+
+  /// Brute-forces a solution; `max_attempts` bounds the search (0 = until
+  /// found). Returns nullopt when the budget is exhausted — the caller's
+  /// push allowance for the round is spent.
+  [[nodiscard]] std::optional<PuzzleSolution> solve(std::uint64_t start_nonce = 0,
+                                                    std::uint64_t max_attempts = 0) const;
+
+  /// One-hash verification.
+  [[nodiscard]] bool verify(const PuzzleSolution& solution) const;
+
+  /// Expected number of hash evaluations to solve: 2^difficulty.
+  [[nodiscard]] double expected_work() const {
+    return static_cast<double>(1ull << difficulty_);
+  }
+
+ private:
+  [[nodiscard]] Digest256 digest_for(std::uint64_t nonce) const;
+
+  NodeId sender_;
+  NodeId advertised_;
+  Round round_;
+  unsigned difficulty_;
+};
+
+/// True iff `digest` has at least `bits` leading zero bits.
+[[nodiscard]] bool has_leading_zero_bits(const Digest256& digest, unsigned bits);
+
+/// Receiver-side guard implementing defence (i): accepts a push only with a
+/// valid, unused-this-round puzzle solution. Replays within a round are
+/// rejected; the per-round ledger resets on next_round().
+class PuzzledPushGuard {
+ public:
+  explicit PuzzledPushGuard(unsigned difficulty) : difficulty_(difficulty) {}
+
+  [[nodiscard]] unsigned difficulty() const { return difficulty_; }
+
+  /// Validates a push received in `round`.
+  [[nodiscard]] bool admit(NodeId sender, NodeId advertised, Round round,
+                           const PuzzleSolution& solution);
+
+  void next_round();
+
+  [[nodiscard]] std::size_t admitted_this_round() const { return seen_.size(); }
+  [[nodiscard]] std::uint64_t rejected_total() const { return rejected_; }
+
+ private:
+  unsigned difficulty_;
+  /// (sender‖advertised, nonce) pairs admitted this round — replay
+  /// suppression of the full puzzle statement.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> seen_;
+  std::uint64_t rejected_ = 0;
+};
+
+}  // namespace raptee::crypto

@@ -1,0 +1,53 @@
+// SHA-256 (FIPS 180-4), implemented from scratch for this offline
+// reproduction. Used by the mutual-authentication protocol (H(rA·rB)),
+// HMAC, enclave measurements and the deterministic DRBG.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace raptee::crypto {
+
+using Digest256 = std::array<std::uint8_t, 32>;
+
+/// Incremental SHA-256 context.
+class Sha256 {
+ public:
+  Sha256() { reset(); }
+
+  void reset();
+  void update(const std::uint8_t* data, std::size_t len);
+  void update(std::string_view s) {
+    update(reinterpret_cast<const std::uint8_t*>(s.data()), s.size());
+  }
+  void update(const std::vector<std::uint8_t>& v) { update(v.data(), v.size()); }
+
+  /// Finalizes and returns the digest. The context must be reset() before reuse.
+  [[nodiscard]] Digest256 finish();
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> h_{};
+  std::array<std::uint8_t, 64> buffer_{};
+  std::size_t buffer_len_ = 0;
+  std::uint64_t total_bits_ = 0;
+};
+
+/// One-shot convenience.
+[[nodiscard]] Digest256 sha256(const std::uint8_t* data, std::size_t len);
+[[nodiscard]] Digest256 sha256(std::string_view s);
+[[nodiscard]] Digest256 sha256(const std::vector<std::uint8_t>& v);
+
+/// Lowercase hex encoding of a digest.
+[[nodiscard]] std::string to_hex(const Digest256& d);
+
+/// Constant-time digest comparison (timing-safe even though the simulator
+/// adversary cannot time us; done for fidelity).
+[[nodiscard]] bool digest_equal(const Digest256& a, const Digest256& b);
+
+}  // namespace raptee::crypto

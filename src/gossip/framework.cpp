@@ -1,0 +1,185 @@
+#include "gossip/framework.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/assert.hpp"
+
+namespace raptee::gossip {
+
+FrameworkParams newscast_params(std::size_t view_size) {
+  FrameworkParams p;
+  p.view_size = view_size;
+  p.buffer_size = view_size / 2 + 1;
+  p.peer_selection = PeerSelection::kRandom;
+  p.propagation = ViewPropagation::kPushPull;
+  p.heal = view_size;  // maximal healing: always prefer freshest descriptors
+  p.swap = 0;
+  return p;
+}
+
+FrameworkParams cyclon_params(std::size_t view_size, std::size_t shuffle_length) {
+  if (shuffle_length == 0) shuffle_length = view_size / 2;
+  FrameworkParams p;
+  p.view_size = view_size;
+  p.buffer_size = shuffle_length + 1;
+  p.peer_selection = PeerSelection::kTail;
+  p.propagation = ViewPropagation::kPushPull;
+  p.heal = 0;
+  p.swap = shuffle_length + 1;  // pure shuffle: drop what was sent
+  return p;
+}
+
+FrameworkNode::FrameworkNode(NodeId self, FrameworkParams params, Rng rng)
+    : self_(self), params_(params), rng_(rng), view_(params.view_size) {
+  RAPTEE_REQUIRE(params.view_size >= 2, "view size must be at least 2");
+  RAPTEE_REQUIRE(params.buffer_size >= 1, "buffer size must be at least 1");
+}
+
+void FrameworkNode::bootstrap(const std::vector<NodeId>& peers) {
+  view_.clear();
+  for (NodeId p : peers) {
+    if (p == self_) continue;
+    if (view_.full()) break;
+    view_.insert(p, 0);
+  }
+}
+
+std::optional<NodeId> FrameworkNode::select_partner() {
+  if (view_.empty()) return std::nullopt;
+  if (params_.peer_selection == PeerSelection::kTail) {
+    return view_.oldest()->id;
+  }
+  return view_.random(rng_)->id;
+}
+
+std::vector<ViewEntry> FrameworkNode::make_buffer(NodeId partner) {
+  std::vector<ViewEntry> buffer;
+  buffer.push_back({self_, 0});
+  const std::size_t extra = params_.buffer_size > 0 ? params_.buffer_size - 1 : 0;
+  for (const ViewEntry& e : view_.select_to_send(rng_, extra, partner)) {
+    buffer.push_back(e);
+  }
+  last_sent_.clear();
+  for (const auto& e : buffer) last_sent_.push_back(e.id);
+  return buffer;
+}
+
+void FrameworkNode::on_exchange(NodeId from, const std::vector<ViewEntry>& buffer,
+                                std::vector<ViewEntry>* reply) {
+  std::vector<NodeId> sent;
+  if (reply != nullptr && params_.propagation == ViewPropagation::kPushPull) {
+    // Build the reply *before* merging, per the framework's passive thread.
+    reply->clear();
+    reply->push_back({self_, 0});
+    const std::size_t extra = params_.buffer_size > 0 ? params_.buffer_size - 1 : 0;
+    for (const ViewEntry& e : view_.select_to_send(rng_, extra, from)) {
+      reply->push_back(e);
+    }
+    for (const auto& e : *reply) sent.push_back(e.id);
+  }
+  merge(buffer, sent);
+}
+
+void FrameworkNode::on_reply(NodeId /*from*/, const std::vector<ViewEntry>& buffer) {
+  merge(buffer, last_sent_);
+}
+
+void FrameworkNode::on_partner_timeout(NodeId partner) { view_.remove(partner); }
+
+void FrameworkNode::next_round() { view_.age_all(); }
+
+void FrameworkNode::merge(const std::vector<ViewEntry>& received,
+                          const std::vector<NodeId>& sent) {
+  view_.framework_merge(received, self_, params_.heal, params_.swap, sent, rng_);
+}
+
+FrameworkDriver::FrameworkDriver(FrameworkParams params, std::size_t n,
+                                 std::uint64_t seed)
+    : params_(params), rng_(seed) {
+  nodes_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    nodes_.emplace_back(NodeId{static_cast<std::uint32_t>(i)}, params_,
+                        rng_.fork(i + 1));
+  }
+}
+
+void FrameworkDriver::bootstrap_uniform() {
+  std::vector<NodeId> everyone;
+  everyone.reserve(nodes_.size());
+  for (const auto& n : nodes_) everyone.push_back(n.id());
+  for (auto& n : nodes_) {
+    std::vector<NodeId> candidates;
+    candidates.reserve(everyone.size() - 1);
+    for (NodeId id : everyone) {
+      if (id != n.id()) candidates.push_back(id);
+    }
+    n.bootstrap(rng_.sample(candidates, params_.view_size));
+  }
+}
+
+void FrameworkDriver::run_round() {
+  std::vector<std::size_t> order(nodes_.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  rng_.shuffle(order);
+  for (std::size_t i : order) {
+    FrameworkNode& active = nodes_[i];
+    const auto partner_id = active.select_partner();
+    if (!partner_id) continue;
+    RAPTEE_ASSERT_MSG(partner_id->value < nodes_.size(), "partner out of range");
+    FrameworkNode& passive = nodes_[partner_id->value];
+    const auto buffer = active.make_buffer(*partner_id);
+    std::vector<ViewEntry> reply;
+    passive.on_exchange(active.id(), buffer, &reply);
+    if (active.params().propagation == ViewPropagation::kPushPull) {
+      active.on_reply(*partner_id, reply);
+    }
+  }
+  for (auto& n : nodes_) n.next_round();
+}
+
+void FrameworkDriver::run(std::size_t rounds) {
+  for (std::size_t i = 0; i < rounds; ++i) run_round();
+}
+
+std::vector<std::size_t> FrameworkDriver::indegrees() const {
+  std::vector<std::size_t> in(nodes_.size(), 0);
+  for (const auto& n : nodes_) {
+    for (const auto& e : n.view().entries()) {
+      RAPTEE_ASSERT(e.id.value < in.size());
+      ++in[e.id.value];
+    }
+  }
+  return in;
+}
+
+double FrameworkDriver::clustering_coefficient() const {
+  // Local clustering per node over the undirected-ized view graph,
+  // averaged. Views are small, so the O(c^2) neighbour check is fine.
+  double total = 0.0;
+  std::size_t counted = 0;
+  std::vector<std::unordered_set<std::uint32_t>> adj(nodes_.size());
+  for (const auto& n : nodes_) {
+    for (const auto& e : n.view().entries()) {
+      adj[n.id().value].insert(e.id.value);
+      adj[e.id.value].insert(n.id().value);
+    }
+  }
+  for (std::size_t i = 0; i < adj.size(); ++i) {
+    const auto& nbrs = adj[i];
+    if (nbrs.size() < 2) continue;
+    std::size_t links = 0;
+    for (auto a : nbrs) {
+      for (auto b : nbrs) {
+        if (a < b && adj[a].count(b)) ++links;
+      }
+    }
+    const double possible =
+        static_cast<double>(nbrs.size()) * (static_cast<double>(nbrs.size()) - 1) / 2.0;
+    total += static_cast<double>(links) / possible;
+    ++counted;
+  }
+  return counted ? total / static_cast<double>(counted) : 0.0;
+}
+
+}  // namespace raptee::gossip

@@ -1,0 +1,124 @@
+// Generic gossip-based peer-sampling framework (Jelasity, Voulgaris,
+// Guerraoui, Kermarrec, van Steen — ACM TOCS 2007).
+//
+// The framework is parameterized by:
+//   * peer selection      — rand (uniform from view) or tail (oldest entry)
+//   * view propagation    — push or push-pull
+//   * view size c and exchange buffer size (self link + up to buffer-1
+//     entries)
+//   * H (heal)            — after a merge, drop up to H oldest surplus items
+//   * S (swap)            — then drop up to S of the items just sent
+//
+// Known protocols are corner points: Newscast ≈ (rand, pushpull, H=c, S=0);
+// Cyclon ≈ (tail, pushpull, H=0, S=c/2). RAPTEE's trusted communication
+// (§II criteria 1–3) instantiates (tail/pull-partner, pushpull, swap-heavy)
+// with "exchange half the view, initiator adds a self link".
+//
+// FrameworkNode is transport-agnostic: the caller (FrameworkDriver for
+// standalone runs; RapteeNode for trusted exchanges) moves buffers between
+// nodes. next_round()/age semantics follow the paper: descriptors age one
+// unit per round; a node's own descriptor is sent with age 0.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "gossip/view.hpp"
+
+namespace raptee::gossip {
+
+enum class PeerSelection : std::uint8_t { kRandom, kTail };
+enum class ViewPropagation : std::uint8_t { kPush, kPushPull };
+
+struct FrameworkParams {
+  std::size_t view_size = 20;       ///< c
+  std::size_t buffer_size = 11;     ///< entries per exchange buffer (incl. self link)
+  PeerSelection peer_selection = PeerSelection::kTail;
+  ViewPropagation propagation = ViewPropagation::kPushPull;
+  std::size_t heal = 0;             ///< H
+  std::size_t swap = 0;             ///< S
+};
+
+/// Newscast instantiation: uniform partner, push-pull, maximal healing.
+[[nodiscard]] FrameworkParams newscast_params(std::size_t view_size);
+
+/// Cyclon instantiation: oldest partner, push-pull, pure shuffling.
+/// `shuffle_length` is the classic Cyclon ℓ (defaults to c/2).
+[[nodiscard]] FrameworkParams cyclon_params(std::size_t view_size,
+                                            std::size_t shuffle_length = 0);
+
+class FrameworkNode {
+ public:
+  FrameworkNode(NodeId self, FrameworkParams params, Rng rng);
+
+  [[nodiscard]] NodeId id() const { return self_; }
+  [[nodiscard]] const PartialView& view() const { return view_; }
+  [[nodiscard]] const FrameworkParams& params() const { return params_; }
+
+  void bootstrap(const std::vector<NodeId>& peers);
+
+  /// Active thread, step 1: pick the exchange partner for this round.
+  [[nodiscard]] std::optional<NodeId> select_partner();
+
+  /// Active thread, step 2: build the buffer to send (self link age 0 plus
+  /// up to buffer_size-1 entries, excluding the partner's own descriptor).
+  /// Records what was sent for the later S-rule.
+  [[nodiscard]] std::vector<ViewEntry> make_buffer(NodeId partner);
+
+  /// Passive thread: integrate a received buffer; when push-pull, fills
+  /// `reply` with this node's own buffer (built before the merge, per the
+  /// framework pseudo-code).
+  void on_exchange(NodeId from, const std::vector<ViewEntry>& buffer,
+                   std::vector<ViewEntry>* reply);
+
+  /// Active thread, step 3 (push-pull only): integrate the partner's reply.
+  void on_reply(NodeId from, const std::vector<ViewEntry>& buffer);
+
+  /// The partner did not answer: Cyclon-style, its descriptor is removed
+  /// (it was the oldest — likely dead).
+  void on_partner_timeout(NodeId partner);
+
+  /// End of round: ages every descriptor.
+  void next_round();
+
+ private:
+  void merge(const std::vector<ViewEntry>& received, const std::vector<NodeId>& sent);
+
+  NodeId self_;
+  FrameworkParams params_;
+  Rng rng_;
+  PartialView view_;
+  std::vector<NodeId> last_sent_;
+};
+
+/// Drives a standalone population of FrameworkNodes round by round
+/// (used by Cyclon/Newscast tests, the overlay example and micro-benches).
+class FrameworkDriver {
+ public:
+  FrameworkDriver(FrameworkParams params, std::size_t n, std::uint64_t seed);
+
+  /// Bootstraps every node with `view_size` uniform random peers.
+  void bootstrap_uniform();
+  void run_round();
+  void run(std::size_t rounds);
+
+  [[nodiscard]] std::size_t size() const { return nodes_.size(); }
+  [[nodiscard]] FrameworkNode& node(std::size_t i) { return nodes_[i]; }
+  [[nodiscard]] const FrameworkNode& node(std::size_t i) const { return nodes_[i]; }
+
+  /// In-degree of every node (how many views contain it) — the framework
+  /// paper's primary balance metric.
+  [[nodiscard]] std::vector<std::size_t> indegrees() const;
+  /// Global clustering coefficient of the directed view graph, treating
+  /// views as out-neighbour sets.
+  [[nodiscard]] double clustering_coefficient() const;
+
+ private:
+  FrameworkParams params_;
+  Rng rng_;
+  std::vector<FrameworkNode> nodes_;
+};
+
+}  // namespace raptee::gossip

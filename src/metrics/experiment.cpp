@@ -1,0 +1,289 @@
+#include "metrics/experiment.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <thread>
+
+#include "adversary/byzantine.hpp"
+#include "adversary/injection.hpp"
+#include "common/assert.hpp"
+#include "core/node_factory.hpp"
+#include "core/raptee_node.hpp"
+#include "metrics/trackers.hpp"
+#include "sim/engine.hpp"
+
+namespace raptee::metrics {
+
+std::size_t ExperimentConfig::byzantine_count() const {
+  return static_cast<std::size_t>(std::lround(byzantine_fraction * static_cast<double>(n)));
+}
+std::size_t ExperimentConfig::trusted_count() const {
+  return static_cast<std::size_t>(std::lround(trusted_fraction * static_cast<double>(n)));
+}
+std::size_t ExperimentConfig::poisoned_count() const {
+  return static_cast<std::size_t>(
+      std::lround(poisoned_extra_fraction * static_cast<double>(n)));
+}
+
+void ExperimentConfig::validate() const {
+  RAPTEE_REQUIRE(n >= 8, "population too small: " << n);
+  RAPTEE_REQUIRE(byzantine_fraction >= 0.0 && byzantine_fraction < 1.0,
+                 "byzantine fraction out of range");
+  RAPTEE_REQUIRE(trusted_fraction >= 0.0 && trusted_fraction <= 1.0,
+                 "trusted fraction out of range");
+  RAPTEE_REQUIRE(byzantine_fraction + trusted_fraction <= 1.0,
+                 "f + t exceeds the population");
+  RAPTEE_REQUIRE(rounds >= 1, "need at least one round");
+  brahms.validate();
+  eviction.validate();
+}
+
+ExperimentResult run_experiment(const ExperimentConfig& config) {
+  config.validate();
+
+  const std::size_t n_byz = config.byzantine_count();
+  const std::size_t n_trusted = config.trusted_count();
+  const std::size_t n_poisoned = config.poisoned_count();
+  const std::size_t n_honest = config.n - n_byz - n_trusted;
+  const std::size_t total = config.n + n_poisoned;
+
+  // --- kind assignment, shuffled over the id space ---
+  std::vector<NodeKind> kinds;
+  kinds.reserve(total);
+  kinds.insert(kinds.end(), n_honest, NodeKind::kHonest);
+  kinds.insert(kinds.end(), n_trusted, NodeKind::kTrusted);
+  kinds.insert(kinds.end(), n_byz, NodeKind::kByzantine);
+  kinds.insert(kinds.end(), n_poisoned, NodeKind::kPoisonedTrusted);
+  Rng layout_rng(mix64(config.seed, 0x6C61796Full));
+  layout_rng.shuffle(kinds);
+
+  std::vector<NodeId> byz_ids, correct_ids, trusted_ids;
+  for (std::uint32_t i = 0; i < total; ++i) {
+    const NodeId id{i};
+    if (kinds[i] == NodeKind::kByzantine) {
+      byz_ids.push_back(id);
+    } else {
+      correct_ids.push_back(id);
+      if (is_trusted(kinds[i])) trusted_ids.push_back(id);
+    }
+  }
+
+  // --- engine, adversary, factory ---
+  sim::EngineConfig engine_config;
+  engine_config.seed = config.seed;
+  engine_config.wire_roundtrip = config.wire_roundtrip;
+  engine_config.encrypt_links = config.encrypt_links;
+  engine_config.message_loss = config.message_loss;
+  sim::Engine engine(engine_config);
+
+  std::shared_ptr<adversary::Coordinator> coordinator;
+  if (!byz_ids.empty()) {
+    adversary::AttackConfig attack;
+    attack.push_budget_per_member = config.brahms.push_slice();
+    attack.pull_fanout = config.brahms.pull_slice();
+    attack.advertised_view_size = config.brahms.l1;
+    coordinator = std::make_shared<adversary::Coordinator>(
+        byz_ids, correct_ids, attack, mix64(config.seed, 0x636F6F72ull));
+  }
+
+  const sgx::CycleModel cycle_model = sgx::CycleModel::paper_table1();
+  core::NodeFactory factory(config.seed, config.auth_mode,
+                            config.use_cycle_model ? &cycle_model : nullptr);
+
+  brahms::BrahmsConfig brahms_config;
+  brahms_config.params = config.brahms;
+  core::RapteeConfig raptee_config;
+  raptee_config.brahms = brahms_config;
+  raptee_config.eviction = config.eviction;
+  raptee_config.trusted_overlay = config.trusted_overlay;
+
+  const auto probe = engine.aliveness_probe();
+  for (std::uint32_t i = 0; i < total; ++i) {
+    const NodeId id{i};
+    switch (kinds[i]) {
+      case NodeKind::kHonest:
+        engine.add_node(factory.make_honest(id, brahms_config, probe), kinds[i]);
+        break;
+      case NodeKind::kTrusted:
+      case NodeKind::kPoisonedTrusted:
+        engine.add_node(factory.make_trusted(id, raptee_config, probe), kinds[i]);
+        break;
+      case NodeKind::kByzantine:
+        engine.add_node(std::make_unique<adversary::ByzantineNode>(
+                            id, coordinator, mix64(config.seed, 0xB00Bull + i)),
+                        kinds[i]);
+        break;
+    }
+  }
+
+  // --- bootstrap: uniform global sample; poisoned nodes get faulty views ---
+  std::vector<NodeId> everyone;
+  everyone.reserve(total);
+  for (std::uint32_t i = 0; i < total; ++i) everyone.emplace_back(i);
+  Rng bootstrap_rng(mix64(config.seed, 0x626F6F74ull));
+  engine.bootstrap_with([&](NodeId self, NodeKind kind) -> std::vector<NodeId> {
+    if (kind == NodeKind::kByzantine) return {};
+    if (kind == NodeKind::kPoisonedTrusted && coordinator) {
+      return adversary::poisoned_bootstrap(*coordinator, config.brahms.l1);
+    }
+    std::vector<NodeId> candidates;
+    candidates.reserve(total - 1);
+    for (NodeId peer : everyone) {
+      if (peer != self) candidates.push_back(peer);
+    }
+    return bootstrap_rng.sample(candidates, config.brahms.l1);
+  });
+
+  // --- trackers ---
+  auto is_byz = [&kinds](NodeId id) {
+    return id.value < kinds.size() && kinds[id.value] == NodeKind::kByzantine;
+  };
+  PollutionTracker pollution(is_byz, config.brahms.l1, 0.10, config.stability_window);
+  DiscoveryTracker discovery(correct_ids);
+  TrustedTelemetryTracker trusted_telemetry(trusted_ids);
+  discovery.prime(engine);
+  engine.add_listener(&pollution);
+  engine.add_listener(&discovery);
+  engine.add_listener(&trusted_telemetry);
+
+  std::unique_ptr<adversary::IdentificationAttack> ident;
+  if (config.run_identification && !byz_ids.empty()) {
+    // Only genuinely honest trusted nodes are "trusted" ground truth: the
+    // attack targets the nodes whose camouflage matters.
+    auto is_trusted_truth = [&kinds](NodeId id) {
+      return id.value < kinds.size() && is_trusted(kinds[id.value]);
+    };
+    ident = std::make_unique<adversary::IdentificationAttack>(is_byz, is_trusted_truth);
+    engine.add_listener(ident.get());
+  }
+
+  // --- run ---
+  ExperimentResult result;
+  adversary::IdentificationResult best{};
+  for (Round r = 0; r < config.rounds; ++r) {
+    engine.step();
+    if (ident) {
+      const auto eval = ident->evaluate(engine.now(), config.identification_threshold);
+      if (eval.f1 > best.f1) best = eval;
+    }
+  }
+
+  // --- collect ---
+  result.steady_pollution = pollution.steady_state_pollution();
+  result.steady_pollution_honest = pollution.steady_state_honest();
+  result.steady_pollution_trusted = pollution.steady_state_trusted();
+  result.discovery_round = discovery.discovery_round();
+  result.stability_round = pollution.stability_round();
+  result.pollution_series = pollution.pollution_series();
+  result.pollution_series_trusted = pollution.trusted_series();
+  result.min_knowledge_series = discovery.min_knowledge_series();
+  result.mean_eviction_rate = trusted_telemetry.mean_eviction_rate();
+  result.mean_trusted_ratio = trusted_telemetry.mean_trusted_ratio();
+  if (ident) {
+    result.ident_best = best;
+    result.ident_final = ident->evaluate(engine.now(), config.identification_threshold);
+  }
+  for (NodeId id : trusted_ids) {
+    if (const auto* node = dynamic_cast<const core::RapteeNode*>(&engine.node(id))) {
+      result.enclave_cycles_total += node->enclave().ledger().total_cycles();
+    }
+  }
+  result.swaps_completed = engine.counters().swaps_completed;
+  result.pulls_completed = engine.counters().pulls_completed;
+  return result;
+}
+
+std::vector<ExperimentResult> run_batch(const std::vector<ExperimentConfig>& configs,
+                                        std::size_t threads) {
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  threads = std::min(threads, configs.empty() ? std::size_t{1} : configs.size());
+  std::vector<ExperimentResult> results(configs.size());
+  std::atomic<std::size_t> next{0};
+  auto worker = [&]() {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1);
+      if (i >= configs.size()) return;
+      results[i] = run_experiment(configs[i]);
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (std::size_t t = 0; t < threads; ++t) pool.emplace_back(worker);
+  for (auto& t : pool) t.join();
+  return results;
+}
+
+RepeatedResult run_repeated(ExperimentConfig config, std::size_t reps,
+                            std::size_t threads) {
+  std::vector<ExperimentConfig> configs;
+  configs.reserve(reps);
+  for (std::size_t r = 0; r < reps; ++r) {
+    ExperimentConfig c = config;
+    c.seed = mix64(config.seed, 0x5265705Aull + r);
+    configs.push_back(c);
+  }
+  const auto results = run_batch(configs, threads);
+
+  RepeatedResult agg;
+  agg.runs = results.size();
+  for (const auto& r : results) {
+    agg.pollution.add(r.steady_pollution);
+    agg.pollution_honest.add(r.steady_pollution_honest);
+    agg.pollution_trusted.add(r.steady_pollution_trusted);
+    if (r.discovery_round) {
+      agg.discovery.add(static_cast<double>(*r.discovery_round));
+      ++agg.discovery_reached;
+    }
+    if (r.stability_round) {
+      agg.stability.add(static_cast<double>(*r.stability_round));
+      ++agg.stability_reached;
+    }
+    agg.eviction_rate.add(r.mean_eviction_rate);
+    agg.trusted_ratio.add(r.mean_trusted_ratio);
+    agg.ident_best_precision.add(r.ident_best.precision);
+    agg.ident_best_recall.add(r.ident_best.recall);
+    agg.ident_best_f1.add(r.ident_best.f1);
+  }
+  return agg;
+}
+
+ComparisonResult run_comparison(const ExperimentConfig& raptee_config, std::size_t reps,
+                                std::size_t threads) {
+  ExperimentConfig baseline = raptee_config;
+  baseline.trusted_fraction = 0.0;
+  baseline.poisoned_extra_fraction = 0.0;
+  baseline.eviction = core::EvictionSpec::none();
+  baseline.trusted_overlay = false;
+  baseline.run_identification = false;
+
+  ComparisonResult cmp;
+  cmp.raptee = run_repeated(raptee_config, reps, threads);
+  cmp.baseline = run_repeated(baseline, reps, threads);
+
+  const double base_all = cmp.baseline.pollution.mean();
+  if (base_all > 0.0) {
+    cmp.resilience_improvement_pct =
+        100.0 * (base_all - cmp.raptee.pollution.mean()) / base_all;
+  }
+  const double base_honest = cmp.baseline.pollution_honest.mean();
+  if (base_honest > 0.0) {
+    cmp.resilience_improvement_honest_pct =
+        100.0 * (base_honest - cmp.raptee.pollution_honest.mean()) / base_honest;
+  }
+  if (cmp.raptee.discovery_reached > 0 && cmp.baseline.discovery_reached > 0 &&
+      cmp.baseline.discovery.mean() > 0.0) {
+    cmp.discovery_overhead_pct =
+        100.0 * (cmp.raptee.discovery.mean() / cmp.baseline.discovery.mean() - 1.0);
+  }
+  if (cmp.raptee.stability_reached > 0 && cmp.baseline.stability_reached > 0 &&
+      cmp.baseline.stability.mean() > 0.0) {
+    cmp.stability_overhead_pct =
+        100.0 * (cmp.raptee.stability.mean() / cmp.baseline.stability.mean() - 1.0);
+  }
+  return cmp;
+}
+
+}  // namespace raptee::metrics

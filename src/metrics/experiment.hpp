@@ -1,0 +1,122 @@
+// Experiment harness: one function from configuration to the paper's
+// metrics, plus repetition/aggregation and baseline comparison — the
+// machinery every bench binary (Figs. 3, 5–13) is built on.
+//
+// A single experiment:
+//   1. builds the population — h honest, t trusted, f Byzantine (optionally
+//      + injected poisoned-trusted) with attested enclaves and wired keys;
+//   2. bootstraps every correct node with a uniform sample of the global
+//      membership (poisoned-trusted nodes get all-Byzantine views);
+//   3. runs `rounds` synchronous rounds under the balanced attack;
+//   4. reports steady-state pollution, discovery round, stability round,
+//      adaptive-eviction telemetry, identification-attack scores and
+//      enclave cycle totals.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "adversary/identification.hpp"
+#include "brahms/auth.hpp"
+#include "brahms/params.hpp"
+#include "core/eviction.hpp"
+#include "common/stats.hpp"
+#include "common/types.hpp"
+
+namespace raptee::metrics {
+
+struct ExperimentConfig {
+  std::size_t n = 600;               ///< base population (excludes injected nodes)
+  double byzantine_fraction = 0.10;  ///< f
+  double trusted_fraction = 0.0;     ///< t
+  double poisoned_extra_fraction = 0.0;  ///< injected poisoned-trusted, as fraction of n
+
+  brahms::Params brahms{};                      ///< l1/l2/α/β/γ
+  core::EvictionSpec eviction = core::EvictionSpec::none();
+  bool trusted_overlay = false;                 ///< D1 extension
+  brahms::AuthMode auth_mode = brahms::AuthMode::kFingerprint;
+
+  Round rounds = 100;
+  std::uint64_t seed = 42;
+
+  bool run_identification = false;  ///< attach the §VI-A attack
+  double identification_threshold = 0.10;
+
+  /// D4 stability estimator: per-node pollution smoothing window (rounds).
+  std::size_t stability_window = 10;
+
+  bool use_cycle_model = true;   ///< charge Table-I overheads to enclaves
+  bool wire_roundtrip = false;   ///< encode/decode every leg
+  bool encrypt_links = false;    ///< AES-CTR+HMAC every leg
+  double message_loss = 0.0;
+
+  [[nodiscard]] std::size_t byzantine_count() const;
+  [[nodiscard]] std::size_t trusted_count() const;
+  [[nodiscard]] std::size_t poisoned_count() const;
+  void validate() const;
+};
+
+struct ExperimentResult {
+  double steady_pollution = 0.0;  ///< fraction of Byzantine IDs, steady state
+  double steady_pollution_honest = 0.0;   ///< honest untrusted nodes only
+  double steady_pollution_trusted = 0.0;  ///< trusted nodes only
+  std::optional<Round> discovery_round;
+  std::optional<Round> stability_round;
+  std::vector<double> pollution_series;
+  std::vector<double> pollution_series_trusted;  ///< trusted (incl. poisoned) only
+  std::vector<double> min_knowledge_series;
+  double mean_eviction_rate = 0.0;
+  double mean_trusted_ratio = 0.0;
+  adversary::IdentificationResult ident_best;   ///< best F1 over all rounds
+  adversary::IdentificationResult ident_final;  ///< at the last round
+  Cycles enclave_cycles_total = 0;              ///< summed over trusted nodes
+  std::uint64_t swaps_completed = 0;
+  std::uint64_t pulls_completed = 0;
+};
+
+[[nodiscard]] ExperimentResult run_experiment(const ExperimentConfig& config);
+
+/// Mean/σ aggregation over `reps` runs with decorrelated seeds, executed on
+/// up to `threads` worker threads (0 = hardware concurrency).
+struct RepeatedResult {
+  RunningStats pollution;        // fractions, all non-Byzantine nodes
+  RunningStats pollution_honest; // fractions, honest untrusted nodes only
+  RunningStats pollution_trusted;
+  RunningStats discovery;       // rounds (only runs that reached it)
+  RunningStats stability;       // rounds (only runs that reached it)
+  RunningStats eviction_rate;
+  RunningStats trusted_ratio;
+  RunningStats ident_best_precision;
+  RunningStats ident_best_recall;
+  RunningStats ident_best_f1;
+  std::size_t runs = 0;
+  std::size_t discovery_reached = 0;
+  std::size_t stability_reached = 0;
+};
+
+[[nodiscard]] RepeatedResult run_repeated(ExperimentConfig config, std::size_t reps,
+                                          std::size_t threads = 0);
+
+/// RAPTEE-vs-Brahms comparison at matched f: the paper's "resilience
+/// improvement" (relative drop in the Byzantine share of *honest* nodes'
+/// views, §V-B) and round-overhead percentages for discovery and stability.
+struct ComparisonResult {
+  RepeatedResult raptee;
+  RepeatedResult baseline;
+  /// Relative pollution drop over all correct (non-Byzantine) nodes — the
+  /// figures' "views of correct nodes" metric.
+  double resilience_improvement_pct = 0.0;
+  /// Same, restricted to honest untrusted nodes (§V-C prose metric).
+  double resilience_improvement_honest_pct = 0.0;
+  std::optional<double> discovery_overhead_pct;
+  std::optional<double> stability_overhead_pct;
+};
+
+[[nodiscard]] ComparisonResult run_comparison(const ExperimentConfig& raptee_config,
+                                              std::size_t reps, std::size_t threads = 0);
+
+/// Runs a batch of experiments across a worker pool, preserving order.
+[[nodiscard]] std::vector<ExperimentResult> run_batch(
+    const std::vector<ExperimentConfig>& configs, std::size_t threads = 0);
+
+}  // namespace raptee::metrics

@@ -1,0 +1,42 @@
+// Reporting helpers: aligned text tables (the bench binaries print the
+// paper's rows/series) and CSV export (bench_out/*.csv for re-plotting).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace raptee::metrics {
+
+/// Column-aligned text table with a header row.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+  /// Renders with 2-space column padding.
+  [[nodiscard]] std::string render() const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision.
+[[nodiscard]] std::string fmt(double value, int precision = 1);
+
+/// Minimal CSV writer; creates parent directories.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::vector<std::string> headers);
+  void add_row(std::vector<std::string> cells);
+  /// Writes to `path`; returns false on I/O failure.
+  bool write(const std::string& path) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace raptee::metrics

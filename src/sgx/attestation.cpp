@@ -1,0 +1,50 @@
+#include "sgx/attestation.hpp"
+
+#include <algorithm>
+
+namespace raptee::sgx {
+
+AttestationService::AttestationService(std::uint64_t seed) {
+  crypto::Drbg rng(seed, "raptee-attestation-service");
+  quoting_key_ = rng.generate_key();
+  group_key_ = rng.generate_key();
+}
+
+void AttestationService::allowlist(const Measurement& m) {
+  if (!is_allowlisted(m)) allowlist_.push_back(m);
+}
+
+bool AttestationService::is_allowlisted(const Measurement& m) const {
+  return std::find(allowlist_.begin(), allowlist_.end(), m) != allowlist_.end();
+}
+
+crypto::Digest256 AttestationService::sign(const Measurement& m,
+                                           const std::array<std::uint8_t, 32>& rd) const {
+  crypto::HmacSha256 mac(quoting_key_.bytes().data(), quoting_key_.bytes().size());
+  mac.update(m.value.data(), m.value.size());
+  mac.update(rd.data(), rd.size());
+  return mac.finish();
+}
+
+Quote AttestationService::issue_quote(Enclave& enclave) {
+  Quote q;
+  q.measurement = enclave.measurement();
+  q.report_data = enclave.make_report_data();
+  q.signature = sign(q.measurement, q.report_data);
+  return q;
+}
+
+bool AttestationService::verify_quote(const Quote& quote) const {
+  if (!is_allowlisted(quote.measurement)) return false;
+  return crypto::digest_equal(quote.signature, sign(quote.measurement, quote.report_data));
+}
+
+bool AttestationService::provision(Enclave& enclave) {
+  const Quote quote = issue_quote(enclave);
+  if (!verify_quote(quote)) return false;
+  enclave.install_group_key(group_key_);
+  ++provisioned_;
+  return true;
+}
+
+}  // namespace raptee::sgx

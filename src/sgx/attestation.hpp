@@ -1,0 +1,67 @@
+// Remote attestation emulation.
+//
+// Real flow (Intel SGX): an enclave produces a REPORT, the platform's
+// quoting enclave signs it into a QUOTE, the attestation service verifies
+// the signature and the measurement, and the verifier provisions secrets
+// over a channel bound to the quote's report data.
+//
+// Emulated flow: AttestationService issues quotes only for a concrete
+// Enclave instance (reading the measurement itself — modeling the hardware
+// guarantee that a quote's measurement cannot be forged), verifies them
+// with an HMAC under its private quoting key, and installs the group key
+// directly into verified enclaves through a friend-only entry point
+// (modeling the attestation-derived secure channel). A node WITHOUT an
+// allowlisted enclave can never obtain the key; a node WITH one gets honest
+// enclave behaviour — both exactly the paper's trust model.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "crypto/hmac.hpp"
+#include "crypto/key.hpp"
+#include "sgx/enclave.hpp"
+
+namespace raptee::sgx {
+
+struct Quote {
+  Measurement measurement;
+  std::array<std::uint8_t, 32> report_data{};
+  crypto::Digest256 signature{};  // HMAC under the service's quoting key
+};
+
+class AttestationService {
+ public:
+  explicit AttestationService(std::uint64_t seed);
+
+  /// Adds a measurement to the allowlist of genuine trusted-node builds.
+  void allowlist(const Measurement& m);
+  [[nodiscard]] bool is_allowlisted(const Measurement& m) const;
+
+  /// Issues a quote for a live enclave (the measurement is read from the
+  /// enclave itself; callers cannot claim an arbitrary one).
+  [[nodiscard]] Quote issue_quote(Enclave& enclave);
+
+  /// Verifies signature + allowlist.
+  [[nodiscard]] bool verify_quote(const Quote& quote) const;
+
+  /// Full provisioning round: quote -> verify -> install the group key into
+  /// the enclave. Returns false (and installs nothing) for enclaves whose
+  /// measurement is not allowlisted.
+  bool provision(Enclave& enclave);
+
+  /// Number of successful provisionings (diagnostics).
+  [[nodiscard]] std::size_t provisioned_count() const { return provisioned_; }
+
+ private:
+  [[nodiscard]] crypto::Digest256 sign(const Measurement& m,
+                                       const std::array<std::uint8_t, 32>& rd) const;
+
+  crypto::SymmetricKey quoting_key_;
+  crypto::SymmetricKey group_key_;
+  std::vector<Measurement> allowlist_;
+  std::size_t provisioned_ = 0;
+};
+
+}  // namespace raptee::sgx

@@ -1,0 +1,93 @@
+// SGX cycle-overhead model — the emulation calibrated by the paper's
+// Table I methodology (§V-A/V-B).
+//
+// The paper measures, on real SGX NUCs, the CPU-cycle cost of five peer-
+// sampling functions inside and outside enclaves, then emulates SGX at
+// 10,000-node scale by "adding a random delay that depends on the mean
+// CPU-cycle overhead and follows its standard deviation". CycleModel is
+// exactly that: per-function Gaussian overhead draws, defaulting to the
+// published Table I calibration and re-calibratable from our own
+// micro-benchmark (bench/table1_sgx_overhead).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace raptee::sgx {
+
+/// The five instrumented peer-sampling functions of Table I, plus buckets
+/// for attestation-time and other enclave work.
+enum class FunctionClass : std::uint8_t {
+  kPullRequest = 0,
+  kPushMessage,
+  kTrustedComms,
+  kSampleListComputation,
+  kDynamicViewComputation,
+  kAttestation,
+  kOther,
+  kCount_,
+};
+
+inline constexpr std::size_t kFunctionClassCount =
+    static_cast<std::size_t>(FunctionClass::kCount_);
+
+[[nodiscard]] const char* to_string(FunctionClass fc);
+
+struct OverheadEntry {
+  double standard_cycles = 0.0;  ///< cost outside the enclave (Table I col 1)
+  double sgx_cycles = 0.0;       ///< cost inside (Table I col 2)
+  double stddev_fraction = 0.0;  ///< σ of the overhead, as fraction of mean
+
+  [[nodiscard]] double mean_overhead() const { return sgx_cycles - standard_cycles; }
+};
+
+class CycleModel {
+ public:
+  /// All-zero model (no SGX cost).
+  CycleModel() = default;
+
+  /// The calibration published in the paper's Table I.
+  [[nodiscard]] static CycleModel paper_table1();
+
+  void set(FunctionClass fc, OverheadEntry entry);
+  [[nodiscard]] const OverheadEntry& entry(FunctionClass fc) const;
+
+  /// One Gaussian draw of the enclave-transition overhead for `fc`,
+  /// clamped at zero (an enclave call is never faster).
+  [[nodiscard]] Cycles sample_overhead(FunctionClass fc, Rng& rng) const;
+
+ private:
+  std::array<OverheadEntry, kFunctionClassCount> entries_{};
+};
+
+/// Per-node ledger of virtual cycles spent inside the enclave, by function
+/// class — the simulator's accounting of SGX cost (reported by the metrics
+/// subsystem and checked by tests).
+class CycleLedger {
+ public:
+  void charge(FunctionClass fc, Cycles amount) {
+    cycles_[static_cast<std::size_t>(fc)] += amount;
+    ++calls_[static_cast<std::size_t>(fc)];
+  }
+  [[nodiscard]] Cycles cycles(FunctionClass fc) const {
+    return cycles_[static_cast<std::size_t>(fc)];
+  }
+  [[nodiscard]] std::uint64_t calls(FunctionClass fc) const {
+    return calls_[static_cast<std::size_t>(fc)];
+  }
+  [[nodiscard]] Cycles total_cycles() const;
+  void reset();
+
+ private:
+  std::array<Cycles, kFunctionClassCount> cycles_{};
+  std::array<std::uint64_t, kFunctionClassCount> calls_{};
+};
+
+/// Reads the CPU timestamp counter (rdtsc on x86-64; a steady-clock-derived
+/// approximation elsewhere). Used by the Table-I micro-benchmark.
+[[nodiscard]] Cycles read_cycle_counter();
+
+}  // namespace raptee::sgx

@@ -1,0 +1,55 @@
+#include "sim/churn.hpp"
+
+#include <algorithm>
+
+#include "sim/engine.hpp"
+
+namespace raptee::sim {
+
+ChurnSchedule ChurnSchedule::random_churn(const std::vector<NodeId>& population,
+                                          Round from, Round to, double rate_per_round,
+                                          Round downtime, bool rejoin, Rng& rng) {
+  ChurnSchedule schedule;
+  std::vector<NodeId> pool = population;
+  rng.shuffle(pool);
+  std::size_t cursor = 0;
+  const auto per_round = static_cast<std::size_t>(
+      rate_per_round * static_cast<double>(population.size()));
+  for (Round r = from; r < to; ++r) {
+    for (std::size_t i = 0; i < per_round && cursor < pool.size(); ++i, ++cursor) {
+      const NodeId victim = pool[cursor];
+      schedule.add({r, ChurnEvent::Kind::kLeave, victim});
+      if (rejoin) schedule.add({r + downtime, ChurnEvent::Kind::kRejoin, victim});
+    }
+  }
+  std::stable_sort(schedule.events_.begin(), schedule.events_.end(),
+                   [](const ChurnEvent& a, const ChurnEvent& b) {
+                     return a.at_round < b.at_round;
+                   });
+  return schedule;
+}
+
+void ChurnSchedule::apply(Engine& engine, std::size_t bootstrap_view_size) {
+  const Round now = engine.now();
+  while (cursor_ < events_.size() && events_[cursor_].at_round <= now) {
+    const ChurnEvent& event = events_[cursor_++];
+    if (event.at_round < now) continue;  // missed (engine stepped past); skip
+    switch (event.kind) {
+      case ChurnEvent::Kind::kLeave:
+        engine.set_alive(event.node, false);
+        break;
+      case ChurnEvent::Kind::kRejoin: {
+        engine.set_alive(event.node, true);
+        // Fresh bootstrap handout, as a rejoining node would receive.
+        std::vector<NodeId> candidates = engine.alive_ids();
+        candidates.erase(std::remove(candidates.begin(), candidates.end(), event.node),
+                         candidates.end());
+        engine.node(event.node).bootstrap(
+            engine.rng().sample(candidates, bootstrap_view_size));
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace raptee::sim

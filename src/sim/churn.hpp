@@ -1,0 +1,45 @@
+// Churn schedules: declarative join/leave/crash events applied to the
+// engine between rounds. Used by the churn example, the churn integration
+// tests and the sampler-validation tests.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace raptee::sim {
+
+class Engine;
+
+struct ChurnEvent {
+  Round at_round = 0;
+  enum class Kind { kLeave, kRejoin } kind = Kind::kLeave;
+  NodeId node;
+};
+
+/// A precomputed list of churn events; apply() fires those scheduled for the
+/// engine's current round. Rejoining nodes get a fresh bootstrap view.
+class ChurnSchedule {
+ public:
+  void add(ChurnEvent event) { events_.push_back(event); }
+
+  /// Builds a schedule where each round in [from, to) removes
+  /// `rate` fraction of `population` (chosen uniformly, no repeats) and
+  /// optionally rejoins them `downtime` rounds later.
+  static ChurnSchedule random_churn(const std::vector<NodeId>& population, Round from,
+                                    Round to, double rate_per_round, Round downtime,
+                                    bool rejoin, Rng& rng);
+
+  /// Fires all events scheduled at the engine's current round.
+  /// `bootstrap_view_size` controls the view handed to rejoining nodes.
+  void apply(Engine& engine, std::size_t bootstrap_view_size);
+
+  [[nodiscard]] const std::vector<ChurnEvent>& events() const { return events_; }
+
+ private:
+  std::vector<ChurnEvent> events_;
+  std::size_t cursor_ = 0;
+};
+
+}  // namespace raptee::sim

@@ -1,0 +1,274 @@
+#include "sim/engine.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "wire/link_cipher.hpp"
+
+namespace raptee::sim {
+
+namespace {
+
+/// Per-exchange transport state: optional duplex cipher pair covering the
+/// five legs of one pull exchange.
+struct ExchangeTransport {
+  ExchangeTransport(const EngineConfig& config, const crypto::SymmetricKey& master,
+                    NodeId initiator, NodeId responder)
+      : roundtrip(config.wire_roundtrip || config.encrypt_links) {
+    if (config.encrypt_links) {
+      // Both endpoints of a deployed link would run a key agreement; the
+      // simulator models the result: a per-exchange link secret known to
+      // both (and only both) endpoints.
+      auto label = "link-" + std::to_string(initiator.value) + "-" +
+                   std::to_string(responder.value);
+      const crypto::SymmetricKey secret = master.derive(label);
+      initiator_side.emplace(secret, /*initiator=*/true);
+      responder_side.emplace(secret, /*initiator=*/false);
+    }
+  }
+
+  bool roundtrip;
+  std::optional<wire::DuplexLink> initiator_side;
+  std::optional<wire::DuplexLink> responder_side;
+};
+
+}  // namespace
+
+Engine::Engine(EngineConfig config)
+    : config_(config), rng_(mix64(config.seed, 0x656E67696E65ull)) {
+  crypto::Drbg key_rng(mix64(config.seed, 0x6C696E6B6Dull));
+  link_master_ = key_rng.generate_key();
+}
+
+void Engine::add_node(std::unique_ptr<INode> node, NodeKind node_kind) {
+  RAPTEE_REQUIRE(node != nullptr, "null node");
+  RAPTEE_REQUIRE(node->id().value == nodes_.size(),
+                 "node ids must be dense: expected " << nodes_.size() << ", got "
+                                                     << node->id().value);
+  nodes_.push_back(std::move(node));
+  kinds_.push_back(node_kind);
+  alive_.push_back(1);
+}
+
+INode& Engine::node(NodeId id) {
+  RAPTEE_REQUIRE(id.value < nodes_.size(), "unknown node " << id.value);
+  return *nodes_[id.value];
+}
+
+const INode& Engine::node(NodeId id) const {
+  RAPTEE_REQUIRE(id.value < nodes_.size(), "unknown node " << id.value);
+  return *nodes_[id.value];
+}
+
+NodeKind Engine::kind(NodeId id) const {
+  RAPTEE_REQUIRE(id.value < kinds_.size(), "unknown node " << id.value);
+  return kinds_[id.value];
+}
+
+bool Engine::is_alive(NodeId id) const {
+  return id.value < alive_.size() && alive_[id.value] != 0;
+}
+
+void Engine::set_alive(NodeId id, bool alive) {
+  RAPTEE_REQUIRE(id.value < alive_.size(), "unknown node " << id.value);
+  alive_[id.value] = alive ? 1 : 0;
+}
+
+std::vector<NodeId> Engine::alive_ids(const std::function<bool(NodeKind)>& pred) const {
+  std::vector<NodeId> out;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (!alive_[i]) continue;
+    if (pred && !pred(kinds_[i])) continue;
+    out.push_back(NodeId{static_cast<std::uint32_t>(i)});
+  }
+  return out;
+}
+
+void Engine::bootstrap_uniform(std::size_t view_size) {
+  const std::vector<NodeId> everyone = alive_ids();
+  bootstrap_with([&](NodeId self, NodeKind) {
+    std::vector<NodeId> candidates;
+    candidates.reserve(everyone.size() - 1);
+    for (NodeId peer : everyone) {
+      if (peer != self) candidates.push_back(peer);
+    }
+    return rng_.sample(candidates, view_size);
+  });
+}
+
+void Engine::bootstrap_with(
+    const std::function<std::vector<NodeId>(NodeId, NodeKind)>& provider) {
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (!alive_[i]) continue;
+    const NodeId id{static_cast<std::uint32_t>(i)};
+    nodes_[i]->bootstrap(provider(id, kinds_[i]));
+  }
+}
+
+void Engine::add_listener(ITrafficListener* listener) {
+  RAPTEE_REQUIRE(listener != nullptr, "null listener");
+  listeners_.push_back(listener);
+}
+
+void Engine::remove_listener(ITrafficListener* listener) {
+  listeners_.erase(std::remove(listeners_.begin(), listeners_.end(), listener),
+                   listeners_.end());
+}
+
+void Engine::deliver_pushes() {
+  // Collect (target, payload) pairs from all alive nodes, then deliver in a
+  // shuffled order so no node systematically observes pushes first.
+  struct Delivery {
+    NodeId to;
+    NodeId from;
+    wire::PushMessage payload;
+  };
+  std::vector<Delivery> deliveries;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (!alive_[i]) continue;
+    INode& sender = *nodes_[i];
+    for (NodeId target : sender.push_targets()) {
+      ++counters_.pushes_sent;
+      if (config_.message_loss > 0.0 && rng_.chance(config_.message_loss)) {
+        ++counters_.legs_dropped;
+        continue;
+      }
+      if (!is_alive(target)) continue;
+      deliveries.push_back({target, sender.id(), sender.make_push()});
+    }
+  }
+  rng_.shuffle(deliveries);
+  for (const Delivery& d : deliveries) {
+    nodes_[d.to.value]->on_push(d.payload);
+    ++counters_.pushes_delivered;
+    for (auto* l : listeners_) l->on_push_delivered(round_, d.from, d.payload.sender, d.to);
+  }
+}
+
+bool Engine::run_exchange(INode& initiator, INode& responder) {
+  ExchangeTransport transport(config_, link_master_, initiator.id(), responder.id());
+
+  auto transfer = [&](wire::Message& message, bool forward) -> bool {
+    if (config_.message_loss > 0.0 && rng_.chance(config_.message_loss)) {
+      ++counters_.legs_dropped;
+      return false;
+    }
+    if (!transport.roundtrip) return true;
+    std::vector<std::uint8_t> bytes = wire::encode(message);
+    if (transport.initiator_side) {
+      wire::LinkCipher& tx = forward ? transport.initiator_side->tx
+                                     : transport.responder_side->tx;
+      wire::LinkCipher& rx = forward ? transport.responder_side->rx
+                                     : transport.initiator_side->rx;
+      bytes = tx.seal(bytes);
+      counters_.wire_bytes += bytes.size();
+      auto opened = rx.open(bytes);
+      if (!opened) {
+        ++counters_.legs_dropped;
+        return false;
+      }
+      bytes = std::move(*opened);
+    } else {
+      counters_.wire_bytes += bytes.size();
+    }
+    try {
+      message = wire::decode(bytes);
+    } catch (const wire::WireError&) {
+      ++counters_.legs_dropped;
+      return false;
+    }
+    return true;
+  };
+
+  // Leg 1: pull request (auth challenge).
+  wire::Message leg = initiator.open_pull(responder.id());
+  if (!transfer(leg, /*forward=*/true)) return false;
+
+  // Leg 2: pull reply (auth response + full view).
+  leg = responder.answer_pull(std::get<wire::PullRequest>(leg));
+  if (!transfer(leg, /*forward=*/false)) return false;
+  const wire::PullReply reply = std::get<wire::PullReply>(leg);
+
+  // Leg 3: auth confirm (+ possible swap offer).
+  leg = initiator.process_pull_reply(reply);
+  for (auto* l : listeners_)
+    l->on_pull_reply_delivered(round_, responder.id(), initiator.id(), reply.view);
+  if (!transfer(leg, /*forward=*/true)) return true;  // pull itself completed
+
+  // Leg 4: swap reply, only for a mutually-trusted exchange.
+  const wire::AuthConfirm confirm = std::get<wire::AuthConfirm>(leg);
+  std::optional<wire::SwapReply> swap = responder.process_confirm(confirm);
+  if (!swap) return true;
+
+  // Leg 5: close the trusted exchange.
+  leg = *swap;
+  if (!transfer(leg, /*forward=*/false)) return true;
+  const wire::SwapReply swap_reply = std::get<wire::SwapReply>(leg);
+  initiator.process_swap_reply(swap_reply);
+  ++counters_.swaps_completed;
+  for (auto* l : listeners_) {
+    l->on_swap_completed(round_, initiator.id(), responder.id(),
+                         confirm.swap_offer ? *confirm.swap_offer
+                                            : std::vector<NodeId>{},
+                         swap_reply.swap_half);
+  }
+  return true;
+}
+
+void Engine::run_pull_exchanges() {
+  struct PendingPull {
+    NodeId initiator;
+    NodeId target;
+  };
+  std::vector<PendingPull> pulls;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (!alive_[i]) continue;
+    for (NodeId target : nodes_[i]->pull_targets()) {
+      pulls.push_back({NodeId{static_cast<std::uint32_t>(i)}, target});
+    }
+  }
+  // Randomized global order: exchanges within a round interleave across
+  // nodes, as they would in a real deployment.
+  rng_.shuffle(pulls);
+  for (const PendingPull& p : pulls) {
+    ++counters_.pulls_started;
+    INode& initiator = *nodes_[p.initiator.value];
+    if (!is_alive(p.target) || p.target == p.initiator) {
+      ++counters_.pulls_timed_out;
+      initiator.on_pull_timeout(p.target);
+      continue;
+    }
+    if (run_exchange(initiator, *nodes_[p.target.value])) {
+      ++counters_.pulls_completed;
+    } else {
+      ++counters_.pulls_timed_out;
+      initiator.on_pull_timeout(p.target);
+    }
+  }
+}
+
+void Engine::step() {
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (alive_[i]) nodes_[i]->begin_round(round_);
+  }
+  deliver_pushes();
+  run_pull_exchanges();
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (alive_[i]) nodes_[i]->end_round(round_);
+  }
+  for (auto* l : listeners_) l->on_round_end(round_, *this);
+  ++round_;
+}
+
+void Engine::run(Round count, const std::function<bool(Round)>& stop) {
+  for (Round i = 0; i < count; ++i) {
+    step();
+    if (stop && stop(round_)) return;
+  }
+}
+
+std::function<bool(NodeId)> Engine::aliveness_probe() const {
+  return [this](NodeId id) { return is_alive(id); };
+}
+
+}  // namespace raptee::sim

@@ -1,0 +1,75 @@
+// INode: the behavioural contract between the round engine and a protocol
+// implementation (honest Brahms/RAPTEE node, trusted node, Byzantine node).
+//
+// The engine drives one synchronous gossip round as:
+//
+//   1. begin_round()                 on every alive node
+//   2. push fan-out                  push_targets() + make_push(), delivered
+//                                    to on_push() mailboxes
+//   3. pull exchanges                for each target of pull_targets(), the
+//                                    five-leg exchange below, legs optionally
+//                                    serialized + encrypted (EngineConfig)
+//   4. end_round()                   view/sampler updates
+//
+// Pull exchange legs (initiator I, responder R):
+//   I.open_pull(target)         -> PullRequest    (auth challenge, msg 1)
+//   R.answer_pull(request)      -> PullReply      (full view + auth msg 2)
+//   I.process_pull_reply(reply) -> AuthConfirm    (auth msg 3, may carry a
+//                                                  trusted swap offer)
+//   R.process_confirm(confirm)  -> optional<SwapReply>
+//   I.process_swap_reply(reply)                   (closes trusted exchange)
+//
+// Implementations must tolerate any leg being dropped (message loss /
+// crashed peer): the engine then calls on_pull_timeout() on the initiator.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "common/types.hpp"
+#include "wire/message.hpp"
+
+namespace raptee::sim {
+
+class INode {
+ public:
+  virtual ~INode() = default;
+
+  [[nodiscard]] virtual NodeId id() const = 0;
+
+  /// Installs the initial view (bootstrap-node handout). Called once before
+  /// the first round; may be called again to model a rejoin.
+  virtual void bootstrap(const std::vector<NodeId>& initial_peers) = 0;
+
+  /// Phase 1: start of round r. Buffers from the previous round are gone.
+  virtual void begin_round(Round r) = 0;
+
+  /// Phase 2a: recipients of this round's push messages (duplicates allowed;
+  /// Brahms samples targets with replacement).
+  [[nodiscard]] virtual std::vector<NodeId> push_targets() = 0;
+  /// Phase 2b: the push payload (a node advertises an ID; honest nodes
+  /// advertise their own, Byzantine nodes advertise any faulty ID).
+  [[nodiscard]] virtual wire::PushMessage make_push() = 0;
+  /// Phase 2c: push delivery.
+  virtual void on_push(const wire::PushMessage& push) = 0;
+
+  /// Phase 3: pull exchange, in the leg order documented above.
+  [[nodiscard]] virtual std::vector<NodeId> pull_targets() = 0;
+  [[nodiscard]] virtual wire::PullRequest open_pull(NodeId target) = 0;
+  [[nodiscard]] virtual wire::PullReply answer_pull(const wire::PullRequest& request) = 0;
+  [[nodiscard]] virtual wire::AuthConfirm process_pull_reply(const wire::PullReply& reply) = 0;
+  [[nodiscard]] virtual std::optional<wire::SwapReply> process_confirm(
+      const wire::AuthConfirm& confirm) = 0;
+  virtual void process_swap_reply(const wire::SwapReply& reply) = 0;
+  /// The exchange with `target` did not complete (loss or dead peer).
+  virtual void on_pull_timeout(NodeId target) { (void)target; }
+
+  /// Phase 4: end of round; protocol state updates happen here.
+  virtual void end_round(Round r) = 0;
+
+  /// Current dynamic view content (the peer-sampling service's product;
+  /// every RPS implementation exposes this to its client application).
+  [[nodiscard]] virtual std::vector<NodeId> current_view() const = 0;
+};
+
+}  // namespace raptee::sim

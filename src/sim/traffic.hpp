@@ -1,0 +1,34 @@
+// Traffic listeners observe engine-level events without coupling metrics or
+// attack code to node internals. The discovery tracker counts IDs crossing
+// links; the identification attack watches pull replies received by
+// Byzantine nodes; the pollution tracker scans views at round end.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace raptee::sim {
+
+class Engine;
+
+class ITrafficListener {
+ public:
+  virtual ~ITrafficListener() = default;
+
+  virtual void on_push_delivered(Round round, NodeId from, NodeId advertised, NodeId to) {
+    (void)round; (void)from; (void)advertised; (void)to;
+  }
+  virtual void on_pull_reply_delivered(Round round, NodeId from, NodeId to,
+                                       const std::vector<NodeId>& view) {
+    (void)round; (void)from; (void)to; (void)view;
+  }
+  virtual void on_swap_completed(Round round, NodeId initiator, NodeId responder,
+                                 const std::vector<NodeId>& offered,
+                                 const std::vector<NodeId>& returned) {
+    (void)round; (void)initiator; (void)responder; (void)offered; (void)returned;
+  }
+  virtual void on_round_end(Round round, Engine& engine) { (void)round; (void)engine; }
+};
+
+}  // namespace raptee::sim

@@ -1,0 +1,98 @@
+// Bounds-checked binary serialization primitives.
+//
+// Writer appends to a growable byte vector; Reader consumes a non-owning
+// span and *never* reads past the end — malformed input surfaces as
+// WireError, which the network layer treats as a dropped message (a
+// Byzantine peer may send arbitrary bytes).
+//
+// Encoding conventions: little-endian fixed-width integers, LEB128 varints
+// for counts, length-prefixed byte strings.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace raptee::wire {
+
+/// Thrown on malformed or truncated input.
+class WireError : public std::runtime_error {
+ public:
+  explicit WireError(const std::string& what) : std::runtime_error(what) {}
+};
+
+class Writer {
+ public:
+  [[nodiscard]] const std::vector<std::uint8_t>& bytes() const { return buf_; }
+  [[nodiscard]] std::vector<std::uint8_t> take() { return std::move(buf_); }
+  [[nodiscard]] std::size_t size() const { return buf_.size(); }
+
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  /// Unsigned LEB128.
+  void varint(std::uint64_t v);
+  void raw(const std::uint8_t* data, std::size_t len);
+  /// varint length prefix + raw bytes.
+  void bytes_field(const std::vector<std::uint8_t>& v);
+  void node_id(NodeId id) { u32(id.value); }
+
+  template <std::size_t N>
+  void fixed(const std::array<std::uint8_t, N>& a) {
+    raw(a.data(), N);
+  }
+
+  void node_ids(const std::vector<NodeId>& ids) {
+    varint(ids.size());
+    for (NodeId id : ids) node_id(id);
+  }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+class Reader {
+ public:
+  Reader(const std::uint8_t* data, std::size_t len) : data_(data), len_(len) {}
+  explicit Reader(const std::vector<std::uint8_t>& v) : Reader(v.data(), v.size()) {}
+
+  [[nodiscard]] std::size_t remaining() const { return len_ - pos_; }
+  [[nodiscard]] bool done() const { return pos_ == len_; }
+
+  std::uint8_t u8();
+  std::uint16_t u16();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  std::uint64_t varint();
+  void raw(std::uint8_t* out, std::size_t len);
+  std::vector<std::uint8_t> bytes_field();
+  NodeId node_id() { return NodeId{u32()}; }
+
+  template <std::size_t N>
+  std::array<std::uint8_t, N> fixed() {
+    std::array<std::uint8_t, N> a{};
+    raw(a.data(), N);
+    return a;
+  }
+
+  /// Reads a count-prefixed NodeId list; `max_count` guards against a
+  /// Byzantine length bomb.
+  std::vector<NodeId> node_ids(std::size_t max_count = 1 << 20);
+
+  /// Throws unless the whole input has been consumed (trailing garbage is
+  /// treated as malformed).
+  void expect_done() const;
+
+ private:
+  void need(std::size_t n) const;
+
+  const std::uint8_t* data_;
+  std::size_t len_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace raptee::wire

@@ -1,0 +1,74 @@
+#include "wire/link_cipher.hpp"
+
+#include <cstring>
+
+namespace raptee::wire {
+
+namespace {
+
+crypto::SymmetricKey enc_subkey(const crypto::SymmetricKey& secret, std::uint8_t dir) {
+  return secret.derive(dir == 0 ? "raptee-link-enc-0" : "raptee-link-enc-1");
+}
+
+crypto::SymmetricKey mac_subkey(const crypto::SymmetricKey& secret, std::uint8_t dir) {
+  return secret.derive(dir == 0 ? "raptee-link-mac-0" : "raptee-link-mac-1");
+}
+
+}  // namespace
+
+LinkCipher::LinkCipher(const crypto::SymmetricKey& secret, std::uint8_t direction)
+    : aes_(crypto::Aes::aes256(enc_subkey(secret, direction).bytes())),
+      mac_key_(mac_subkey(secret, direction).to_vector()),
+      direction_(direction) {}
+
+crypto::Block LinkCipher::counter_block_for(std::uint64_t seq) const {
+  // nonce = direction(1) || zeros(3) || seq(8, LE); counter portion = 0.
+  std::array<std::uint8_t, 12> nonce{};
+  nonce[0] = direction_;
+  for (int i = 0; i < 8; ++i) nonce[4 + i] = static_cast<std::uint8_t>(seq >> (8 * i));
+  return crypto::make_counter_block(nonce);
+}
+
+std::vector<std::uint8_t> LinkCipher::seal(const std::vector<std::uint8_t>& plaintext) {
+  const std::uint64_t seq = send_seq_++;
+  std::vector<std::uint8_t> frame;
+  frame.reserve(8 + plaintext.size() + 32);
+  for (int i = 0; i < 8; ++i) frame.push_back(static_cast<std::uint8_t>(seq >> (8 * i)));
+
+  std::vector<std::uint8_t> ct = plaintext;
+  crypto::AesCtr ctr(aes_, counter_block_for(seq));
+  ctr.process(ct);
+  frame.insert(frame.end(), ct.begin(), ct.end());
+
+  crypto::HmacSha256 mac(mac_key_);
+  mac.update(frame.data(), frame.size());
+  const crypto::Digest256 tag = mac.finish();
+  frame.insert(frame.end(), tag.begin(), tag.end());
+  return frame;
+}
+
+std::optional<std::vector<std::uint8_t>> LinkCipher::open(
+    const std::vector<std::uint8_t>& frame) {
+  if (frame.size() < 8 + 32) return std::nullopt;
+  const std::size_t body_len = frame.size() - 32;
+
+  crypto::HmacSha256 mac(mac_key_);
+  mac.update(frame.data(), body_len);
+  const crypto::Digest256 expected = mac.finish();
+  std::uint8_t diff = 0;
+  for (std::size_t i = 0; i < 32; ++i) diff |= frame[body_len + i] ^ expected[i];
+  if (diff != 0) return std::nullopt;
+
+  std::uint64_t seq = 0;
+  for (int i = 0; i < 8; ++i) seq |= static_cast<std::uint64_t>(frame[i]) << (8 * i);
+  // Strictly in-order delivery: anything else is a replay or reorder.
+  if (seq != recv_seq_) return std::nullopt;
+  ++recv_seq_;
+
+  std::vector<std::uint8_t> pt(frame.begin() + 8, frame.begin() + static_cast<std::ptrdiff_t>(body_len));
+  crypto::AesCtr ctr(aes_, counter_block_for(seq));
+  ctr.process(pt);
+  return pt;
+}
+
+}  // namespace raptee::wire

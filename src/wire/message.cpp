@@ -1,0 +1,125 @@
+#include "wire/message.hpp"
+
+namespace raptee::wire {
+
+namespace {
+
+// Defensive bound on view sizes accepted from the network; a Byzantine node
+// cannot make us allocate unbounded memory.
+constexpr std::size_t kMaxViewEntries = 1 << 16;
+
+void put_push(Writer& w, const PushMessage& m) { w.node_id(m.sender); }
+
+PushMessage get_push(Reader& r) {
+  PushMessage m;
+  m.sender = r.node_id();
+  return m;
+}
+
+void put_pull_request(Writer& w, const PullRequest& m) {
+  w.node_id(m.sender);
+  w.fixed(m.challenge.r_a);
+}
+
+PullRequest get_pull_request(Reader& r) {
+  PullRequest m;
+  m.sender = r.node_id();
+  m.challenge.r_a = r.fixed<16>();
+  return m;
+}
+
+void put_pull_reply(Writer& w, const PullReply& m) {
+  w.node_id(m.sender);
+  w.fixed(m.auth.r_b);
+  w.fixed(m.auth.proof_b);
+  w.node_ids(m.view);
+}
+
+PullReply get_pull_reply(Reader& r) {
+  PullReply m;
+  m.sender = r.node_id();
+  m.auth.r_b = r.fixed<16>();
+  m.auth.proof_b = r.fixed<32>();
+  m.view = r.node_ids(kMaxViewEntries);
+  return m;
+}
+
+void put_auth_confirm(Writer& w, const AuthConfirm& m) {
+  w.node_id(m.sender);
+  w.fixed(m.confirm.proof_a);
+  w.u8(m.swap_offer.has_value() ? 1 : 0);
+  if (m.swap_offer) w.node_ids(*m.swap_offer);
+}
+
+AuthConfirm get_auth_confirm(Reader& r) {
+  AuthConfirm m;
+  m.sender = r.node_id();
+  m.confirm.proof_a = r.fixed<32>();
+  const std::uint8_t has_offer = r.u8();
+  if (has_offer > 1) throw WireError("invalid swap_offer flag");
+  if (has_offer) m.swap_offer = r.node_ids(kMaxViewEntries);
+  return m;
+}
+
+void put_swap_reply(Writer& w, const SwapReply& m) {
+  w.node_id(m.sender);
+  w.node_ids(m.swap_half);
+}
+
+SwapReply get_swap_reply(Reader& r) {
+  SwapReply m;
+  m.sender = r.node_id();
+  m.swap_half = r.node_ids(kMaxViewEntries);
+  return m;
+}
+
+}  // namespace
+
+MsgType type_of(const Message& m) {
+  struct Visitor {
+    MsgType operator()(const PushMessage&) const { return MsgType::kPush; }
+    MsgType operator()(const PullRequest&) const { return MsgType::kPullRequest; }
+    MsgType operator()(const PullReply&) const { return MsgType::kPullReply; }
+    MsgType operator()(const AuthConfirm&) const { return MsgType::kAuthConfirm; }
+    MsgType operator()(const SwapReply&) const { return MsgType::kSwapReply; }
+  };
+  return std::visit(Visitor{}, m);
+}
+
+std::vector<std::uint8_t> encode(const Message& m) {
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(type_of(m)));
+  std::visit(
+      [&w](const auto& msg) {
+        using T = std::decay_t<decltype(msg)>;
+        if constexpr (std::is_same_v<T, PushMessage>) put_push(w, msg);
+        else if constexpr (std::is_same_v<T, PullRequest>) put_pull_request(w, msg);
+        else if constexpr (std::is_same_v<T, PullReply>) put_pull_reply(w, msg);
+        else if constexpr (std::is_same_v<T, AuthConfirm>) put_auth_confirm(w, msg);
+        else if constexpr (std::is_same_v<T, SwapReply>) put_swap_reply(w, msg);
+      },
+      m);
+  return w.take();
+}
+
+Message decode(const std::uint8_t* data, std::size_t len) {
+  Reader r(data, len);
+  const auto type = static_cast<MsgType>(r.u8());
+  Message m;
+  switch (type) {
+    case MsgType::kPush: m = get_push(r); break;
+    case MsgType::kPullRequest: m = get_pull_request(r); break;
+    case MsgType::kPullReply: m = get_pull_reply(r); break;
+    case MsgType::kAuthConfirm: m = get_auth_confirm(r); break;
+    case MsgType::kSwapReply: m = get_swap_reply(r); break;
+    default: throw WireError("unknown message type " + std::to_string(static_cast<int>(type)));
+  }
+  r.expect_done();
+  return m;
+}
+
+Message decode(const std::vector<std::uint8_t>& bytes) {
+  return decode(bytes.data(), bytes.size());
+}
+
+}  // namespace raptee::wire

@@ -1,0 +1,95 @@
+// Protocol message definitions and their wire codecs.
+//
+// RAPTEE's gossip round uses five message legs:
+//
+//   Push                 one-way; carries only the sender's ID (paper §III-A)
+//   PullRequest          opens a pull exchange; piggybacks auth message 1
+//   PullReply            full view of the responder; piggybacks auth message 2
+//   AuthConfirm          auth message 3; when the initiator has established
+//                        mutual trust it piggybacks its half-view swap offer
+//   SwapReply            responder's half view, closing a trusted exchange
+//
+// Piggybacking the three-message authentication onto the pull exchange is a
+// transport optimisation only: the byte content of each auth field is exactly
+// the protocol of §IV-A, and the observable sequence (every pull preceded by
+// a challenge–response) matches the paper. Every codec round-trips through
+// the bounds-checked Reader, so arbitrary Byzantine bytes decode or fail
+// cleanly (WireError), never crash.
+#pragma once
+
+#include <optional>
+#include <variant>
+#include <vector>
+
+#include "common/types.hpp"
+#include "crypto/mutual_auth.hpp"
+#include "wire/buffer.hpp"
+
+namespace raptee::wire {
+
+enum class MsgType : std::uint8_t {
+  kPush = 1,
+  kPullRequest = 2,
+  kPullReply = 3,
+  kAuthConfirm = 4,
+  kSwapReply = 5,
+};
+
+struct PushMessage {
+  NodeId sender;
+
+  friend bool operator==(const PushMessage&, const PushMessage&) = default;
+};
+
+struct PullRequest {
+  NodeId sender;
+  crypto::AuthChallenge challenge;
+
+  friend bool operator==(const PullRequest& a, const PullRequest& b) {
+    return a.sender == b.sender && a.challenge.r_a == b.challenge.r_a;
+  }
+};
+
+struct PullReply {
+  NodeId sender;
+  crypto::AuthResponse auth;
+  std::vector<NodeId> view;
+
+  friend bool operator==(const PullReply& a, const PullReply& b) {
+    return a.sender == b.sender && a.auth.r_b == b.auth.r_b &&
+           a.auth.proof_b == b.auth.proof_b && a.view == b.view;
+  }
+};
+
+struct AuthConfirm {
+  NodeId sender;
+  crypto::AuthConfirm confirm;
+  /// Present iff the initiator established mutual trust: half of its view
+  /// (with a self-link inserted, Jelasity framework criterion 2).
+  std::optional<std::vector<NodeId>> swap_offer;
+
+  friend bool operator==(const AuthConfirm& a, const AuthConfirm& b) {
+    return a.sender == b.sender && a.confirm.proof_a == b.confirm.proof_a &&
+           a.swap_offer == b.swap_offer;
+  }
+};
+
+struct SwapReply {
+  NodeId sender;
+  std::vector<NodeId> swap_half;
+
+  friend bool operator==(const SwapReply&, const SwapReply&) = default;
+};
+
+using Message = std::variant<PushMessage, PullRequest, PullReply, AuthConfirm, SwapReply>;
+
+[[nodiscard]] MsgType type_of(const Message& m);
+
+/// Serializes a message with its type tag.
+[[nodiscard]] std::vector<std::uint8_t> encode(const Message& m);
+
+/// Parses a message; throws WireError on malformed input.
+[[nodiscard]] Message decode(const std::vector<std::uint8_t>& bytes);
+[[nodiscard]] Message decode(const std::uint8_t* data, std::size_t len);
+
+}  // namespace raptee::wire

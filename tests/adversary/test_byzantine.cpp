@@ -1,0 +1,167 @@
+#include "adversary/byzantine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace raptee::adversary {
+namespace {
+
+std::vector<NodeId> ids(std::uint32_t from, std::uint32_t count) {
+  std::vector<NodeId> out;
+  for (std::uint32_t i = 0; i < count; ++i) out.emplace_back(from + i);
+  return out;
+}
+
+AttackConfig basic_attack() {
+  AttackConfig config;
+  config.push_budget_per_member = 8;
+  config.pull_fanout = 8;
+  config.advertised_view_size = 20;
+  return config;
+}
+
+TEST(Coordinator, BalancedPushSpreadIsEvenWithinOne) {
+  const auto members = ids(100, 10);
+  const auto victims = ids(0, 40);
+  Coordinator coord(members, victims, basic_attack(), 1);
+  coord.begin_round(0);
+
+  std::map<std::uint32_t, int> per_victim;
+  std::size_t total = 0;
+  for (NodeId m : members) {
+    const auto targets = coord.push_allocation(m);
+    EXPECT_EQ(targets.size(), 8u);
+    total += targets.size();
+    for (NodeId t : targets) ++per_victim[t.value];
+  }
+  EXPECT_EQ(total, 80u);  // 10 members x budget 8
+  int min_hits = 1 << 30, max_hits = 0;
+  for (NodeId v : victims) {
+    const int hits = per_victim.count(v.value) ? per_victim[v.value] : 0;
+    min_hits = std::min(min_hits, hits);
+    max_hits = std::max(max_hits, hits);
+  }
+  EXPECT_LE(max_hits - min_hits, 1);  // the Brahms-optimal even spread
+}
+
+TEST(Coordinator, BeginRoundIsIdempotentPerRound) {
+  const auto members = ids(100, 4);
+  Coordinator coord(members, ids(0, 10), basic_attack(), 2);
+  coord.begin_round(5);
+  const auto first = coord.push_allocation(members[0]);
+  coord.begin_round(5);  // same round: schedule must not be rebuilt
+  EXPECT_EQ(coord.push_allocation(members[0]), first);
+  coord.begin_round(6);  // new round: typically a different allocation
+}
+
+TEST(Coordinator, TargetedModeFocusesBudget) {
+  AttackConfig config = basic_attack();
+  config.targeted_victims = ids(0, 2);  // eclipse two nodes
+  Coordinator coord(ids(100, 5), ids(0, 40), config, 3);
+  coord.begin_round(0);
+  for (NodeId m : ids(100, 5)) {
+    for (NodeId t : coord.push_allocation(m)) {
+      EXPECT_LT(t.value, 2u);
+    }
+  }
+}
+
+TEST(Coordinator, FaultyViewDrawsFromMembersOnly) {
+  const auto members = ids(100, 30);
+  Coordinator coord(members, ids(0, 10), basic_attack(), 4);
+  const auto view = coord.faulty_view(20);
+  EXPECT_EQ(view.size(), 20u);
+  std::set<std::uint32_t> uniq;
+  for (NodeId id : view) {
+    EXPECT_TRUE(coord.is_member(id));
+    uniq.insert(id.value);
+  }
+  EXPECT_EQ(uniq.size(), 20u);  // enough members for distinct entries
+}
+
+TEST(Coordinator, FaultyViewRepeatsWhenMembersScarce) {
+  Coordinator coord(ids(100, 3), ids(0, 10), basic_attack(), 5);
+  const auto view = coord.faulty_view(9);
+  EXPECT_EQ(view.size(), 9u);
+  for (NodeId id : view) EXPECT_TRUE(coord.is_member(id));
+}
+
+TEST(Coordinator, PullTargetsAreVictims) {
+  Coordinator coord(ids(100, 3), ids(0, 10), basic_attack(), 6);
+  const auto targets = coord.pull_targets(NodeId{100});
+  EXPECT_EQ(targets.size(), 8u);
+  for (NodeId t : targets) EXPECT_LT(t.value, 10u);
+}
+
+TEST(Coordinator, MembershipOracle) {
+  Coordinator coord(ids(100, 3), ids(0, 10), basic_attack(), 7);
+  EXPECT_TRUE(coord.is_member(NodeId{101}));
+  EXPECT_FALSE(coord.is_member(NodeId{5}));
+  EXPECT_FALSE(coord.is_member(NodeId{999}));
+}
+
+TEST(Coordinator, EmptyMembersRejected) {
+  EXPECT_THROW(Coordinator({}, ids(0, 10), basic_attack(), 8), std::invalid_argument);
+}
+
+TEST(ByzantineNode, PushesFollowCoordinatorSchedule) {
+  auto coord = std::make_shared<Coordinator>(ids(100, 4), ids(0, 20), basic_attack(), 9);
+  ByzantineNode node(NodeId{101}, coord, 1);
+  node.begin_round(0);
+  const auto targets = node.push_targets();
+  EXPECT_EQ(targets.size(), 8u);
+  EXPECT_EQ(targets, coord->push_allocation(NodeId{101}));
+}
+
+TEST(ByzantineNode, PushAdvertisesFaultyIds) {
+  auto coord = std::make_shared<Coordinator>(ids(100, 4), ids(0, 20), basic_attack(), 10);
+  ByzantineNode node(NodeId{100}, coord, 2);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_TRUE(coord->is_member(node.make_push().sender));
+  }
+}
+
+TEST(ByzantineNode, PullAnswersAreAllFaulty) {
+  auto coord = std::make_shared<Coordinator>(ids(100, 30), ids(0, 20), basic_attack(), 11);
+  ByzantineNode node(NodeId{100}, coord, 3);
+  const auto reply = node.answer_pull(wire::PullRequest{NodeId{5}, {}});
+  EXPECT_EQ(reply.sender, NodeId{100});
+  EXPECT_EQ(reply.view.size(), 20u);
+  for (NodeId id : reply.view) EXPECT_TRUE(coord->is_member(id));
+}
+
+TEST(ByzantineNode, NeverAnswersSwaps) {
+  auto coord = std::make_shared<Coordinator>(ids(100, 4), ids(0, 20), basic_attack(), 12);
+  ByzantineNode node(NodeId{100}, coord, 4);
+  wire::AuthConfirm confirm;
+  confirm.sender = NodeId{0};
+  confirm.swap_offer = std::vector<NodeId>{NodeId{1}};
+  EXPECT_FALSE(node.process_confirm(confirm).has_value());
+}
+
+TEST(ByzantineNode, BogusSwapOfferKnobControlsConfirms) {
+  AttackConfig config = basic_attack();
+  config.attach_bogus_swap_offer = true;
+  auto coord = std::make_shared<Coordinator>(ids(100, 4), ids(0, 20), config, 13);
+  ByzantineNode node(NodeId{100}, coord, 5);
+  const auto confirm = node.process_pull_reply(wire::PullReply{NodeId{5}, {}, {}});
+  EXPECT_TRUE(confirm.swap_offer.has_value());
+
+  auto coord2 = std::make_shared<Coordinator>(ids(100, 4), ids(0, 20), basic_attack(), 13);
+  ByzantineNode node2(NodeId{100}, coord2, 5);
+  EXPECT_FALSE(node2.process_pull_reply(wire::PullReply{NodeId{5}, {}, {}})
+                   .swap_offer.has_value());
+}
+
+TEST(ByzantineNode, PullFanoutMatchesConfig) {
+  auto coord = std::make_shared<Coordinator>(ids(100, 4), ids(0, 20), basic_attack(), 14);
+  ByzantineNode node(NodeId{100}, coord, 6);
+  node.begin_round(0);
+  EXPECT_EQ(node.pull_targets().size(), 8u);
+}
+
+}  // namespace
+}  // namespace raptee::adversary

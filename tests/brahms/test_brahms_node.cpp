@@ -1,0 +1,283 @@
+// BrahmsNode protocol mechanics, driven directly through the INode surface.
+#include "brahms/node.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace raptee::brahms {
+namespace {
+
+BrahmsConfig small_config(std::size_t l1 = 20) {
+  BrahmsConfig config;
+  config.params.l1 = l1;
+  config.params.l2 = l1;
+  return config;
+}
+
+std::unique_ptr<BrahmsNode> make_node(NodeId id, BrahmsConfig config = small_config(),
+                                      std::uint64_t seed = 1) {
+  crypto::Drbg kg(seed);
+  auto auth = std::make_unique<KeyedAuthenticator>(AuthMode::kFingerprint,
+                                                   kg.generate_key(), kg.fork("a"));
+  return std::make_unique<BrahmsNode>(id, config, std::move(auth), Rng(seed));
+}
+
+std::vector<NodeId> id_range(std::uint32_t from, std::uint32_t count) {
+  std::vector<NodeId> out;
+  for (std::uint32_t i = 0; i < count; ++i) out.emplace_back(from + i);
+  return out;
+}
+
+/// Drives one complete pull exchange initiator->responder (no engine).
+void run_pull(BrahmsNode& initiator, BrahmsNode& responder) {
+  const auto request = initiator.open_pull(responder.id());
+  const auto reply = responder.answer_pull(request);
+  const auto confirm = initiator.process_pull_reply(reply);
+  (void)responder.process_confirm(confirm);
+}
+
+TEST(BrahmsNode, RequiresAuthenticator) {
+  EXPECT_THROW(BrahmsNode(NodeId{0}, small_config(), nullptr, Rng(1)),
+               std::invalid_argument);
+}
+
+TEST(BrahmsNode, ValidatesParams) {
+  BrahmsConfig bad = small_config();
+  bad.params.alpha = 0.9;  // alpha+beta+gamma != 1
+  crypto::Drbg kg(1);
+  auto auth = std::make_unique<KeyedAuthenticator>(AuthMode::kOracle, kg.generate_key(),
+                                                   kg.fork("x"));
+  EXPECT_THROW(BrahmsNode(NodeId{0}, bad, std::move(auth), Rng(1)),
+               std::invalid_argument);
+}
+
+TEST(BrahmsNode, BootstrapDedupsAndExcludesSelf) {
+  auto node = make_node(NodeId{5});
+  node->bootstrap({NodeId{1}, NodeId{1}, NodeId{5}, NodeId{2}});
+  const auto view = node->current_view();
+  EXPECT_EQ(view.size(), 2u);
+  EXPECT_EQ(std::count(view.begin(), view.end(), NodeId{5}), 0);
+}
+
+TEST(BrahmsNode, BootstrapTruncatesToViewSize) {
+  auto node = make_node(NodeId{0}, small_config(8));
+  node->bootstrap(id_range(1, 50));
+  EXPECT_EQ(node->current_view().size(), 8u);
+}
+
+TEST(BrahmsNode, BootstrapPrimesSamplers) {
+  auto node = make_node(NodeId{0});
+  node->bootstrap({NodeId{1}, NodeId{2}});
+  EXPECT_FALSE(node->sample_list().empty());
+}
+
+TEST(BrahmsNode, FanoutsMatchAlphaBetaSlices) {
+  auto node = make_node(NodeId{0});  // l1=20: push 8, pull 8, history 4
+  node->bootstrap(id_range(1, 20));
+  node->begin_round(0);
+  const auto pushes = node->push_targets();
+  const auto pulls = node->pull_targets();
+  EXPECT_EQ(pushes.size(), 8u);
+  EXPECT_EQ(pulls.size(), 8u);
+  const auto view = node->current_view();
+  for (NodeId t : pushes) {
+    EXPECT_NE(std::find(view.begin(), view.end(), t), view.end());
+  }
+}
+
+TEST(BrahmsNode, EmptyViewYieldsNoTargets) {
+  auto node = make_node(NodeId{0});
+  node->begin_round(0);
+  EXPECT_TRUE(node->push_targets().empty());
+  EXPECT_TRUE(node->pull_targets().empty());
+}
+
+TEST(BrahmsNode, PushCarriesOwnId) {
+  auto node = make_node(NodeId{7});
+  EXPECT_EQ(node->make_push().sender, NodeId{7});
+}
+
+TEST(BrahmsNode, PullAnswerIsFullView) {
+  auto node = make_node(NodeId{0});
+  node->bootstrap(id_range(1, 10));
+  node->begin_round(0);
+  const auto reply = node->answer_pull(wire::PullRequest{NodeId{99}, {}});
+  EXPECT_EQ(reply.sender, NodeId{0});
+  EXPECT_EQ(reply.view, node->current_view());
+}
+
+TEST(BrahmsNode, ViewRenewalDrawsFromAllThreeSources) {
+  auto a = make_node(NodeId{0}, small_config(20), 1);
+  auto b = make_node(NodeId{100}, small_config(20), 2);
+  a->bootstrap(id_range(1, 20));
+  b->bootstrap(id_range(40, 20));
+  a->begin_round(0);
+  b->begin_round(0);
+
+  // Pushes advertise ids 200.. (fresh, never seen otherwise).
+  for (std::uint32_t i = 0; i < 4; ++i) a->on_push(wire::PushMessage{NodeId{200 + i}});
+  // One pull from b: brings 40..59.
+  run_pull(*a, *b);
+  a->end_round(0);
+
+  const auto view = a->current_view();
+  EXPECT_EQ(view.size(), 20u);
+  const auto has_in = [&view](std::uint32_t lo, std::uint32_t hi) {
+    return std::any_of(view.begin(), view.end(), [lo, hi](NodeId id) {
+      return id.value >= lo && id.value < hi;
+    });
+  };
+  EXPECT_TRUE(has_in(200, 204));  // pushed ids
+  EXPECT_TRUE(has_in(40, 60));    // pulled ids
+  EXPECT_TRUE(has_in(1, 21));     // history (samplers primed from bootstrap)
+}
+
+TEST(BrahmsNode, FloodBlocksViewUpdate) {
+  auto a = make_node(NodeId{0}, small_config(20), 1);
+  auto b = make_node(NodeId{100}, small_config(20), 2);
+  a->bootstrap(id_range(1, 20));
+  b->bootstrap(id_range(40, 20));
+  const auto before = a->current_view();
+
+  a->begin_round(0);
+  b->begin_round(0);
+  // push_slice = 8; 9 pushes exceed it -> defence (ii) blocks the update.
+  for (std::uint32_t i = 0; i < 9; ++i) a->on_push(wire::PushMessage{NodeId{200 + i}});
+  run_pull(*a, *b);
+  a->end_round(0);
+
+  EXPECT_TRUE(a->telemetry().update_blocked);
+  // Ages aside, membership is unchanged.
+  auto after = a->current_view();
+  std::sort(after.begin(), after.end());
+  auto sorted_before = before;
+  std::sort(sorted_before.begin(), sorted_before.end());
+  EXPECT_EQ(after, sorted_before);
+}
+
+TEST(BrahmsNode, NoPushesBlocksViewUpdate) {
+  auto a = make_node(NodeId{0}, small_config(20), 1);
+  auto b = make_node(NodeId{100}, small_config(20), 2);
+  a->bootstrap(id_range(1, 20));
+  b->bootstrap(id_range(40, 20));
+  a->begin_round(0);
+  b->begin_round(0);
+  run_pull(*a, *b);  // pulls but no pushes
+  a->end_round(0);
+  EXPECT_TRUE(a->telemetry().update_blocked);
+}
+
+TEST(BrahmsNode, NoPullsBlocksViewUpdate) {
+  auto a = make_node(NodeId{0}, small_config(20), 1);
+  a->bootstrap(id_range(1, 20));
+  a->begin_round(0);
+  a->on_push(wire::PushMessage{NodeId{200}});
+  a->end_round(0);
+  EXPECT_TRUE(a->telemetry().update_blocked);
+}
+
+TEST(BrahmsNode, ExactSliceLimitIsNotFlood) {
+  auto a = make_node(NodeId{0}, small_config(20), 1);
+  auto b = make_node(NodeId{100}, small_config(20), 2);
+  a->bootstrap(id_range(1, 20));
+  b->bootstrap(id_range(40, 20));
+  a->begin_round(0);
+  b->begin_round(0);
+  for (std::uint32_t i = 0; i < 8; ++i) a->on_push(wire::PushMessage{NodeId{200 + i}});
+  run_pull(*a, *b);
+  a->end_round(0);
+  EXPECT_FALSE(a->telemetry().update_blocked);
+}
+
+TEST(BrahmsNode, SelfNeverEntersView) {
+  auto a = make_node(NodeId{0}, small_config(20), 1);
+  auto b = make_node(NodeId{100}, small_config(20), 2);
+  a->bootstrap(id_range(1, 20));
+  std::vector<NodeId> poisoned = id_range(40, 19);
+  poisoned.push_back(NodeId{0});  // b's view contains a's own id
+  b->bootstrap(poisoned);
+  for (Round r = 0; r < 5; ++r) {
+    a->begin_round(r);
+    b->begin_round(r);
+    a->on_push(wire::PushMessage{NodeId{0}});  // adversarial echo of own id
+    a->on_push(wire::PushMessage{NodeId{210}});
+    run_pull(*a, *b);
+    a->end_round(r);
+  }
+  const auto view = a->current_view();
+  EXPECT_EQ(std::count(view.begin(), view.end(), NodeId{0}), 0);
+}
+
+TEST(BrahmsNode, RenewalSamplesStreamWithMultiplicity) {
+  // A stream where one id has multiplicity 50 out of 100 entries should
+  // claim roughly half the pulled slice, even though it is 1 of 51
+  // *distinct* ids — the over-representation Brahms quantifies.
+  int hits = 0, trials = 0;
+  for (std::uint64_t seed = 0; seed < 40; ++seed) {
+    auto a = make_node(NodeId{0}, small_config(20), seed * 2 + 1);
+    auto b = make_node(NodeId{100}, small_config(20), seed * 2 + 2);
+    a->bootstrap(id_range(1, 20));
+    // b's view: 10 copies is impossible (views dedup), so emulate the
+    // multiplicity through five pulls of an identical adversarial view.
+    b->bootstrap({NodeId{300}});
+    a->begin_round(0);
+    b->begin_round(0);
+    a->on_push(wire::PushMessage{NodeId{200}});
+    for (int pull = 0; pull < 5; ++pull) run_pull(*a, *b);
+    a->end_round(0);
+    const auto view = a->current_view();
+    hits += std::count(view.begin(), view.end(), NodeId{300});
+    ++trials;
+  }
+  // id 300 is the entire pulled stream: it must be present nearly always.
+  EXPECT_GT(hits, trials * 9 / 10);
+}
+
+TEST(BrahmsNode, TelemetryCountsRoundActivity) {
+  auto a = make_node(NodeId{0}, small_config(20), 1);
+  auto b = make_node(NodeId{100}, small_config(20), 2);
+  a->bootstrap(id_range(1, 20));
+  b->bootstrap(id_range(40, 20));
+  a->begin_round(0);
+  b->begin_round(0);
+  a->on_push(wire::PushMessage{NodeId{200}});
+  run_pull(*a, *b);
+  run_pull(*b, *a);
+  a->end_round(0);
+  EXPECT_EQ(a->telemetry().pushes_received, 1u);
+  EXPECT_EQ(a->telemetry().pulls_completed, 1u);
+  EXPECT_EQ(a->telemetry().pulls_answered, 1u);
+  EXPECT_EQ(a->telemetry().pulled_ids_total, 20u);
+  EXPECT_EQ(a->telemetry().trusted_exchanges, 0u);
+}
+
+TEST(BrahmsNode, PullTimeoutLeavesViewIntact) {
+  auto a = make_node(NodeId{0}, small_config(20), 1);
+  a->bootstrap(id_range(1, 20));
+  a->begin_round(0);
+  (void)a->open_pull(NodeId{3});
+  a->on_pull_timeout(NodeId{3});
+  EXPECT_TRUE(a->view().contains(NodeId{3}));
+  // A fresh exchange can start afterwards (slot was released).
+  (void)a->open_pull(NodeId{4});
+}
+
+TEST(BrahmsNode, SamplerValidationEvictsDeadUnderChurn) {
+  BrahmsConfig config = small_config(20);
+  config.sampler_validation_period = 1;
+  crypto::Drbg kg(1);
+  auto auth = std::make_unique<KeyedAuthenticator>(AuthMode::kOracle, kg.generate_key(),
+                                                   kg.fork("a"));
+  // Aliveness probe: ids >= 10 are dead.
+  BrahmsNode node(NodeId{0}, config, std::move(auth), Rng(3),
+                  [](NodeId id) { return id.value < 10; });
+  node.bootstrap(id_range(1, 19));
+  node.begin_round(1);
+  node.end_round(1);
+  for (NodeId id : node.sample_list()) EXPECT_LT(id.value, 10u);
+}
+
+}  // namespace
+}  // namespace raptee::brahms

@@ -1,0 +1,123 @@
+// Count-min sketch and the E1 stream unbiaser (the paper's named future
+// work: clip adversarially over-represented IDs out of the pulled stream).
+#include "brahms/countmin.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace raptee::brahms {
+namespace {
+
+TEST(CountMinSketch, NeverUnderestimates) {
+  Rng rng(1);
+  CountMinSketch sketch(64, 4, rng);
+  for (std::uint32_t i = 0; i < 50; ++i) sketch.add(NodeId{i}, i + 1);
+  for (std::uint32_t i = 0; i < 50; ++i) {
+    EXPECT_GE(sketch.estimate(NodeId{i}), i + 1) << "id " << i;
+  }
+}
+
+TEST(CountMinSketch, AccurateWhenSparse) {
+  Rng rng(2);
+  CountMinSketch sketch(512, 4, rng);
+  sketch.add(NodeId{7}, 100);
+  sketch.add(NodeId{8}, 1);
+  EXPECT_EQ(sketch.estimate(NodeId{7}), 100u);
+  EXPECT_LE(sketch.estimate(NodeId{8}), 2u);
+  EXPECT_EQ(sketch.total(), 101u);
+}
+
+TEST(CountMinSketch, UnseenIdsEstimateNearZero) {
+  Rng rng(3);
+  CountMinSketch sketch(512, 4, rng);
+  for (std::uint32_t i = 0; i < 10; ++i) sketch.add(NodeId{i});
+  EXPECT_LE(sketch.estimate(NodeId{9999}), 1u);
+}
+
+TEST(CountMinSketch, ClearResets) {
+  Rng rng(4);
+  CountMinSketch sketch(64, 2, rng);
+  sketch.add(NodeId{1}, 50);
+  sketch.clear();
+  EXPECT_EQ(sketch.estimate(NodeId{1}), 0u);
+  EXPECT_EQ(sketch.total(), 0u);
+}
+
+TEST(CountMinSketch, DecayHalves) {
+  Rng rng(5);
+  CountMinSketch sketch(64, 2, rng);
+  sketch.add(NodeId{1}, 100);
+  sketch.decay();
+  EXPECT_EQ(sketch.estimate(NodeId{1}), 50u);
+  EXPECT_EQ(sketch.total(), 50u);
+}
+
+TEST(CountMinSketch, RejectsDegenerateDimensions) {
+  Rng rng(6);
+  EXPECT_THROW(CountMinSketch(1, 4, rng), std::invalid_argument);
+  EXPECT_THROW(CountMinSketch(64, 0, rng), std::invalid_argument);
+}
+
+TEST(StreamUnbiaser, ClipsOverRepresentedIds) {
+  Rng rng(7);
+  StreamUnbiaser unbiaser({.sketch_width = 256, .sketch_depth = 4, .cap_factor = 2.0},
+                          rng);
+  // Stream: 50 distinct honest ids once each + one Byzantine id 100 times.
+  std::vector<NodeId> stream;
+  for (std::uint32_t i = 0; i < 50; ++i) stream.emplace_back(i);
+  for (int rep = 0; rep < 100; ++rep) stream.emplace_back(999);
+
+  const auto kept = unbiaser.filter(stream);
+  const auto byz_kept =
+      std::count(kept.begin(), kept.end(), NodeId{999});
+  // Median frequency ~1 => cap ~2: the Byzantine id is clipped hard.
+  EXPECT_LE(byz_kept, 4);
+  EXPECT_GT(unbiaser.clipped_total(), 90u);
+  // Honest ids survive untouched.
+  for (std::uint32_t i = 0; i < 50; ++i) {
+    EXPECT_EQ(std::count(kept.begin(), kept.end(), NodeId{i}), 1) << "id " << i;
+  }
+}
+
+TEST(StreamUnbiaser, UniformStreamPassesThrough) {
+  Rng rng(8);
+  StreamUnbiaser unbiaser({.sketch_width = 256, .sketch_depth = 4, .cap_factor = 2.0},
+                          rng);
+  std::vector<NodeId> stream;
+  for (std::uint32_t i = 0; i < 100; ++i) stream.emplace_back(i);
+  const auto kept = unbiaser.filter(stream);
+  EXPECT_EQ(kept.size(), stream.size());
+  EXPECT_EQ(unbiaser.clipped_total(), 0u);
+}
+
+TEST(StreamUnbiaser, EmptyStream) {
+  Rng rng(9);
+  StreamUnbiaser unbiaser({}, rng);
+  EXPECT_TRUE(unbiaser.filter({}).empty());
+}
+
+TEST(StreamUnbiaser, DecayForgetsOldRounds) {
+  Rng rng(10);
+  StreamUnbiaser unbiaser(
+      {.sketch_width = 256, .sketch_depth = 4, .cap_factor = 2.0, .decay_each_round = true},
+      rng);
+  // Round 1: id 5 heavily over-represented.
+  std::vector<NodeId> biased;
+  for (int rep = 0; rep < 64; ++rep) biased.emplace_back(5);
+  for (std::uint32_t i = 0; i < 20; ++i) biased.emplace_back(100 + i);
+  (void)unbiaser.filter(biased);
+  // Many quiet rounds later the memory of id 5 has decayed away.
+  for (int r = 0; r < 8; ++r) unbiaser.next_round();
+  EXPECT_LE(unbiaser.sketch().estimate(NodeId{5}), 1u);
+}
+
+TEST(StreamUnbiaser, PreservesRelativeOrderOfKeptIds) {
+  Rng rng(11);
+  StreamUnbiaser unbiaser({.cap_factor = 10.0}, rng);
+  std::vector<NodeId> stream{NodeId{3}, NodeId{1}, NodeId{2}};
+  EXPECT_EQ(unbiaser.filter(stream), stream);
+}
+
+}  // namespace
+}  // namespace raptee::brahms

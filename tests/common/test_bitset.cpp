@@ -1,0 +1,81 @@
+#include "common/bitset.hpp"
+
+#include <gtest/gtest.h>
+
+namespace raptee {
+namespace {
+
+TEST(DynamicBitset, StartsEmpty) {
+  DynamicBitset b(100);
+  EXPECT_EQ(b.size(), 100u);
+  EXPECT_EQ(b.count(), 0u);
+  EXPECT_DOUBLE_EQ(b.fill_ratio(), 0.0);
+  for (std::size_t i = 0; i < 100; ++i) EXPECT_FALSE(b.test(i));
+}
+
+TEST(DynamicBitset, SetReturnsTransition) {
+  DynamicBitset b(10);
+  EXPECT_TRUE(b.set(3));
+  EXPECT_FALSE(b.set(3));  // already set
+  EXPECT_TRUE(b.test(3));
+  EXPECT_EQ(b.count(), 1u);
+}
+
+TEST(DynamicBitset, ResetDecrementsCount) {
+  DynamicBitset b(10);
+  b.set(1);
+  b.set(2);
+  b.reset(1);
+  EXPECT_FALSE(b.test(1));
+  EXPECT_TRUE(b.test(2));
+  EXPECT_EQ(b.count(), 1u);
+  b.reset(1);  // idempotent
+  EXPECT_EQ(b.count(), 1u);
+}
+
+TEST(DynamicBitset, WordBoundaries) {
+  DynamicBitset b(200);
+  for (std::size_t i : {0u, 63u, 64u, 127u, 128u, 199u}) {
+    EXPECT_TRUE(b.set(i));
+    EXPECT_TRUE(b.test(i));
+  }
+  EXPECT_EQ(b.count(), 6u);
+}
+
+TEST(DynamicBitset, FillRatio) {
+  DynamicBitset b(4);
+  b.set(0);
+  b.set(1);
+  EXPECT_DOUBLE_EQ(b.fill_ratio(), 0.5);
+}
+
+TEST(DynamicBitset, ClearResetsEverything) {
+  DynamicBitset b(70);
+  for (std::size_t i = 0; i < 70; ++i) b.set(i);
+  EXPECT_EQ(b.count(), 70u);
+  b.clear();
+  EXPECT_EQ(b.count(), 0u);
+  for (std::size_t i = 0; i < 70; ++i) EXPECT_FALSE(b.test(i));
+}
+
+TEST(DynamicBitset, OutOfRangeAsserts) {
+  DynamicBitset b(10);
+  EXPECT_THROW(b.set(10), AssertionError);
+  EXPECT_THROW((void)b.test(10), AssertionError);
+  EXPECT_THROW(b.reset(999), AssertionError);
+}
+
+TEST(DynamicBitset, ZeroSized) {
+  DynamicBitset b;
+  EXPECT_EQ(b.size(), 0u);
+  EXPECT_DOUBLE_EQ(b.fill_ratio(), 0.0);
+}
+
+TEST(DynamicBitset, FullFill) {
+  DynamicBitset b(65);
+  for (std::size_t i = 0; i < 65; ++i) b.set(i);
+  EXPECT_DOUBLE_EQ(b.fill_ratio(), 1.0);
+}
+
+}  // namespace
+}  // namespace raptee

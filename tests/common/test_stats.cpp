@@ -1,0 +1,112 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace raptee {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.ci95_halfwidth(), 0.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats s;
+  s.add(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 5.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+}
+
+TEST(RunningStats, KnownMoments) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);  // population variance
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+  EXPECT_NEAR(s.sample_variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, MergeMatchesSequential) {
+  RunningStats a, b, all;
+  for (int i = 0; i < 50; ++i) {
+    const double x = std::sin(i) * 10;
+    (i % 2 ? a : b).add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a, empty;
+  a.add(1.0);
+  a.add(3.0);
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+  RunningStats c;
+  c.merge(a);
+  EXPECT_EQ(c.count(), 2u);
+  EXPECT_DOUBLE_EQ(c.mean(), 2.0);
+}
+
+TEST(RunningStats, ResetClears) {
+  RunningStats s;
+  s.add(4.0);
+  s.reset();
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(RunningStats, Ci95ShrinksWithSamples) {
+  RunningStats s10, s1000;
+  for (int i = 0; i < 10; ++i) s10.add(i % 2);
+  for (int i = 0; i < 1000; ++i) s1000.add(i % 2);
+  EXPECT_GT(s10.ci95_halfwidth(), s1000.ci95_halfwidth());
+}
+
+TEST(BatchStats, MeanAndStddev) {
+  const std::vector<double> xs{1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(mean_of(xs), 3.0);
+  EXPECT_NEAR(stddev_of(xs), std::sqrt(2.0), 1e-12);
+}
+
+TEST(BatchStats, PercentileInterpolates) {
+  std::vector<double> xs{10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(percentile_of(xs, 0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile_of(xs, 100), 40.0);
+  EXPECT_DOUBLE_EQ(percentile_of(xs, 50), 25.0);
+  EXPECT_DOUBLE_EQ(median_of(xs), 25.0);
+}
+
+TEST(BatchStats, PercentileSingleElement) {
+  EXPECT_DOUBLE_EQ(percentile_of({7.0}, 30), 7.0);
+}
+
+TEST(BatchStats, PercentileRejectsBadInput) {
+  EXPECT_THROW((void)percentile_of({}, 50), std::invalid_argument);
+  EXPECT_THROW((void)percentile_of({1.0}, -1), std::invalid_argument);
+  EXPECT_THROW((void)percentile_of({1.0}, 101), std::invalid_argument);
+}
+
+TEST(BatchStats, PercentileUnsortedInput) {
+  std::vector<double> xs{40, 10, 30, 20};
+  EXPECT_DOUBLE_EQ(median_of(xs), 25.0);
+}
+
+}  // namespace
+}  // namespace raptee

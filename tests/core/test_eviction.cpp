@@ -1,0 +1,77 @@
+#include "core/eviction.hpp"
+
+#include <gtest/gtest.h>
+
+namespace raptee::core {
+namespace {
+
+TEST(EvictionSpec, NoneIsAlwaysZero) {
+  const auto spec = EvictionSpec::none();
+  for (double p : {0.0, 0.3, 1.0}) EXPECT_DOUBLE_EQ(spec.rate_for(p), 0.0);
+}
+
+TEST(EvictionSpec, FixedIgnoresTrustedRatio) {
+  const auto spec = EvictionSpec::fixed(0.6);
+  for (double p : {0.0, 0.5, 1.0}) EXPECT_DOUBLE_EQ(spec.rate_for(p), 0.6);
+}
+
+TEST(EvictionSpec, FixedBoundsValidated) {
+  EXPECT_THROW(EvictionSpec::fixed(1.5).validate(), std::invalid_argument);
+  EXPECT_THROW(EvictionSpec::fixed(-0.1).validate(), std::invalid_argument);
+  EXPECT_NO_THROW(EvictionSpec::fixed(0.0).validate());
+  EXPECT_NO_THROW(EvictionSpec::fixed(1.0).validate());
+}
+
+TEST(EvictionSpec, AdaptiveBoundsValidated) {
+  EXPECT_THROW(EvictionSpec::adaptive(0.8, 0.2).validate(), std::invalid_argument);
+  EXPECT_THROW(EvictionSpec::adaptive(-0.1, 0.5).validate(), std::invalid_argument);
+  EXPECT_THROW(EvictionSpec::adaptive(0.1, 1.5).validate(), std::invalid_argument);
+  EXPECT_NO_THROW(EvictionSpec::adaptive(0.0, 1.0).validate());
+}
+
+TEST(EvictionSpec, Describe) {
+  EXPECT_EQ(EvictionSpec::none().describe(), "none");
+  EXPECT_EQ(EvictionSpec::fixed(0.4).describe(), "fixed(40%)");
+  EXPECT_EQ(EvictionSpec::adaptive().describe(), "adaptive[20%,80%]");
+}
+
+struct AdaptiveCase {
+  double trusted_ratio;
+  double expected_rate;
+};
+
+class AdaptiveRule : public ::testing::TestWithParam<AdaptiveCase> {};
+
+TEST_P(AdaptiveRule, PaperFormula) {
+  // §IV-C: ER between 20 % (trusted share above 80 %) and 80 % (below
+  // 20 %), linear in between: ER(p) = clamp(1-p, 0.2, 0.8).
+  const auto spec = EvictionSpec::adaptive();
+  EXPECT_NEAR(spec.rate_for(GetParam().trusted_ratio), GetParam().expected_rate, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, AdaptiveRule,
+    ::testing::Values(AdaptiveCase{0.00, 0.80},   // no trusted contact: max eviction
+                      AdaptiveCase{0.10, 0.80},   // still clamped high
+                      AdaptiveCase{0.20, 0.80},   // boundary
+                      AdaptiveCase{0.30, 0.70},   // linear region
+                      AdaptiveCase{0.50, 0.50},   //
+                      AdaptiveCase{0.65, 0.35},   //
+                      AdaptiveCase{0.80, 0.20},   // boundary
+                      AdaptiveCase{0.90, 0.20},   // clamped low
+                      AdaptiveCase{1.00, 0.20})); // all-trusted round
+
+TEST(EvictionSpec, CustomAdaptiveBounds) {
+  const auto spec = EvictionSpec::adaptive(0.0, 1.0);
+  EXPECT_DOUBLE_EQ(spec.rate_for(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(spec.rate_for(1.0), 0.0);
+  EXPECT_DOUBLE_EQ(spec.rate_for(0.25), 0.75);
+}
+
+TEST(EvictionSpec, DegenerateBoundsPinRate) {
+  const auto spec = EvictionSpec::adaptive(0.5, 0.5);
+  for (double p : {0.0, 0.4, 0.9}) EXPECT_DOUBLE_EQ(spec.rate_for(p), 0.5);
+}
+
+}  // namespace
+}  // namespace raptee::core

@@ -1,0 +1,76 @@
+// Empirical min-wise independence properties of the sampler hash family.
+#include "crypto/minwise.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace raptee::crypto {
+namespace {
+
+TEST(MinWiseHash, Deterministic) {
+  MinWiseHash h(42);
+  EXPECT_EQ(h(NodeId{7}), h(NodeId{7}));
+  EXPECT_NE(h(NodeId{7}), h(NodeId{8}));
+}
+
+TEST(MinWiseHash, SeedSeparatesFunctions) {
+  MinWiseHash h1(1), h2(2);
+  int same = 0;
+  for (std::uint32_t i = 0; i < 100; ++i) {
+    if (h1(NodeId{i}) == h2(NodeId{i})) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(MinWiseHash, MinIsUniformOverElements) {
+  // Min-wise property: over random hash functions, each of n elements is
+  // the minimum with probability ~1/n.
+  constexpr std::uint32_t kN = 16;
+  constexpr int kTrials = 40000;
+  std::vector<int> argmin_counts(kN, 0);
+  Rng seeder(99);
+  for (int t = 0; t < kTrials; ++t) {
+    MinWiseHash h(seeder.next());
+    std::uint64_t best = ~0ull;
+    std::uint32_t arg = 0;
+    for (std::uint32_t i = 0; i < kN; ++i) {
+      const std::uint64_t v = h(NodeId{i});
+      if (v < best) {
+        best = v;
+        arg = i;
+      }
+    }
+    ++argmin_counts[arg];
+  }
+  const double expected = static_cast<double>(kTrials) / kN;
+  for (int c : argmin_counts) {
+    EXPECT_NEAR(c, expected, 0.15 * expected);
+  }
+}
+
+TEST(MinWiseHash, AvalancheOnIdBitFlip) {
+  MinWiseHash h(12345);
+  int total_bits = 0;
+  for (std::uint32_t i = 0; i < 64; ++i) {
+    const std::uint64_t a = h(NodeId{i});
+    const std::uint64_t b = h(NodeId{i ^ 1u});
+    total_bits += __builtin_popcountll(a ^ b);
+  }
+  // ~32 differing bits on average; allow a generous band.
+  EXPECT_NEAR(total_bits / 64.0, 32.0, 6.0);
+}
+
+TEST(MinWiseHash, NoCollisionsInDenseRange) {
+  MinWiseHash h(5);
+  std::vector<std::uint64_t> hashes;
+  for (std::uint32_t i = 0; i < 10000; ++i) hashes.push_back(h(NodeId{i}));
+  std::sort(hashes.begin(), hashes.end());
+  EXPECT_EQ(std::adjacent_find(hashes.begin(), hashes.end()), hashes.end());
+}
+
+}  // namespace
+}  // namespace raptee::crypto

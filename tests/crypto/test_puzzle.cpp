@@ -1,0 +1,128 @@
+// Hashcash push puzzles — the concrete "limited pushes" rate limiter.
+#include "crypto/puzzle.hpp"
+
+#include <gtest/gtest.h>
+
+namespace raptee::crypto {
+namespace {
+
+TEST(LeadingZeroBits, ByteAndSubByteBoundaries) {
+  Digest256 d{};
+  d.fill(0);
+  EXPECT_TRUE(has_leading_zero_bits(d, 0));
+  EXPECT_TRUE(has_leading_zero_bits(d, 256));
+
+  d[0] = 0x01;  // 7 leading zero bits
+  EXPECT_TRUE(has_leading_zero_bits(d, 7));
+  EXPECT_FALSE(has_leading_zero_bits(d, 8));
+
+  d[0] = 0x00;
+  d[1] = 0x80;  // exactly 8 leading zero bits
+  EXPECT_TRUE(has_leading_zero_bits(d, 8));
+  EXPECT_FALSE(has_leading_zero_bits(d, 9));
+
+  d[1] = 0x00;
+  d[2] = 0xFF;  // 16 leading zero bits
+  EXPECT_TRUE(has_leading_zero_bits(d, 16));
+  EXPECT_FALSE(has_leading_zero_bits(d, 17));
+}
+
+TEST(PushPuzzle, SolveAndVerify) {
+  const PushPuzzle puzzle(NodeId{1}, NodeId{2}, 3, /*difficulty=*/8);
+  const auto solution = puzzle.solve();
+  ASSERT_TRUE(solution.has_value());
+  EXPECT_TRUE(puzzle.verify(*solution));
+}
+
+TEST(PushPuzzle, ZeroDifficultyIsFree) {
+  const PushPuzzle puzzle(NodeId{1}, NodeId{2}, 3, 0);
+  const auto solution = puzzle.solve(0, 1);
+  ASSERT_TRUE(solution.has_value());
+  EXPECT_EQ(solution->nonce, 0u);
+}
+
+TEST(PushPuzzle, SolutionIsBindingToAllFields) {
+  const PushPuzzle puzzle(NodeId{1}, NodeId{2}, 3, 10);
+  const auto solution = *puzzle.solve();
+  // Any changed field invalidates the proof (overwhelmingly likely).
+  EXPECT_FALSE(PushPuzzle(NodeId{9}, NodeId{2}, 3, 10).verify(solution));
+  EXPECT_FALSE(PushPuzzle(NodeId{1}, NodeId{9}, 3, 10).verify(solution));
+  EXPECT_FALSE(PushPuzzle(NodeId{1}, NodeId{2}, 9, 10).verify(solution));
+}
+
+TEST(PushPuzzle, BudgetExhaustionReturnsNothing) {
+  const PushPuzzle hard(NodeId{1}, NodeId{2}, 3, 24);
+  EXPECT_FALSE(hard.solve(0, /*max_attempts=*/16).has_value());
+}
+
+TEST(PushPuzzle, ExpectedWorkScale) {
+  EXPECT_DOUBLE_EQ(PushPuzzle(NodeId{0}, NodeId{0}, 0, 0).expected_work(), 1.0);
+  EXPECT_DOUBLE_EQ(PushPuzzle(NodeId{0}, NodeId{0}, 0, 10).expected_work(), 1024.0);
+}
+
+TEST(PushPuzzle, WorkGrowsWithDifficulty) {
+  // Statistical: average solving nonce roughly doubles per difficulty bit.
+  double work8 = 0, work10 = 0;
+  constexpr int kTrials = 12;
+  for (std::uint32_t trial = 0; trial < kTrials; ++trial) {
+    work8 += static_cast<double>(
+        PushPuzzle(NodeId{trial}, NodeId{1}, trial, 8).solve()->nonce);
+    work10 += static_cast<double>(
+        PushPuzzle(NodeId{trial}, NodeId{1}, trial, 10).solve()->nonce);
+  }
+  EXPECT_GT(work10, work8);
+}
+
+TEST(PuzzledPushGuard, AdmitsValidRejectsInvalid) {
+  PuzzledPushGuard guard(8);
+  const PushPuzzle puzzle(NodeId{1}, NodeId{2}, 0, 8);
+  const auto solution = *puzzle.solve();
+  EXPECT_TRUE(guard.admit(NodeId{1}, NodeId{2}, 0, solution));
+  EXPECT_FALSE(guard.admit(NodeId{1}, NodeId{2}, 0, PuzzleSolution{solution.nonce + 1}));
+  EXPECT_EQ(guard.rejected_total(), 1u);
+}
+
+TEST(PuzzledPushGuard, RejectsReplayWithinRound) {
+  PuzzledPushGuard guard(6);
+  const auto solution = *PushPuzzle(NodeId{1}, NodeId{2}, 0, 6).solve();
+  EXPECT_TRUE(guard.admit(NodeId{1}, NodeId{2}, 0, solution));
+  EXPECT_FALSE(guard.admit(NodeId{1}, NodeId{2}, 0, solution));
+  EXPECT_EQ(guard.admitted_this_round(), 1u);
+}
+
+TEST(PuzzledPushGuard, RoundRolloverRequiresFreshWork) {
+  PuzzledPushGuard guard(6);
+  const auto round0 = *PushPuzzle(NodeId{1}, NodeId{2}, 0, 6).solve();
+  EXPECT_TRUE(guard.admit(NodeId{1}, NodeId{2}, 0, round0));
+  guard.next_round();
+  EXPECT_EQ(guard.admitted_this_round(), 0u);
+  // The old solution does not transfer to round 1 (different statement)...
+  EXPECT_FALSE(guard.admit(NodeId{1}, NodeId{2}, 1, round0) &&
+               !PushPuzzle(NodeId{1}, NodeId{2}, 1, 6).verify(round0));
+  // ...but fresh work does.
+  const auto round1 = *PushPuzzle(NodeId{1}, NodeId{2}, 1, 6).solve();
+  EXPECT_TRUE(guard.admit(NodeId{1}, NodeId{2}, 1, round1));
+}
+
+TEST(PuzzledPushGuard, RateLimitIsComputeBound) {
+  // A sender with a budget of ~2^8 hash evaluations can afford ~one
+  // difficulty-8 push but ~16 difficulty-4 pushes: the guard's difficulty
+  // knob IS the per-round rate limit.
+  PuzzledPushGuard strict(12);
+  PuzzledPushGuard lax(4);
+  constexpr std::uint64_t kBudget = 1 << 8;
+  std::size_t strict_pushes = 0, lax_pushes = 0;
+  for (std::uint32_t attempt = 0; attempt < 16; ++attempt) {
+    if (const auto s = PushPuzzle(NodeId{1}, NodeId{attempt}, 0, 12).solve(0, kBudget)) {
+      if (strict.admit(NodeId{1}, NodeId{attempt}, 0, *s)) ++strict_pushes;
+    }
+    if (const auto s = PushPuzzle(NodeId{1}, NodeId{attempt}, 0, 4).solve(0, kBudget)) {
+      if (lax.admit(NodeId{1}, NodeId{attempt}, 0, *s)) ++lax_pushes;
+    }
+  }
+  EXPECT_LT(strict_pushes, lax_pushes);
+  EXPECT_EQ(lax_pushes, 16u);
+}
+
+}  // namespace
+}  // namespace raptee::crypto

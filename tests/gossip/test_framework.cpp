@@ -1,0 +1,194 @@
+// Gossip peer-sampling framework properties, exercised through the Cyclon
+// and Newscast instantiations (Jelasity et al. TOCS'07 §4-5 expectations:
+// bounded views, no self-loops, connectivity, balanced in-degrees, low
+// clustering after mixing).
+#include "gossip/framework.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+#include <queue>
+
+#include "common/stats.hpp"
+
+namespace raptee::gossip {
+namespace {
+
+enum class Proto { kCyclon, kNewscast };
+
+FrameworkParams params_for(Proto p, std::size_t c) {
+  return p == Proto::kCyclon ? cyclon_params(c) : newscast_params(c);
+}
+
+class FrameworkProtoTest : public ::testing::TestWithParam<Proto> {};
+
+TEST_P(FrameworkProtoTest, ViewsStayBoundedAndSelfFree) {
+  FrameworkDriver driver(params_for(GetParam(), 10), 60, 42);
+  driver.bootstrap_uniform();
+  driver.run(30);
+  for (std::size_t i = 0; i < driver.size(); ++i) {
+    const auto& view = driver.node(i).view();
+    EXPECT_LE(view.size(), 10u);
+    EXPECT_GE(view.size(), 5u);  // should stay well-populated
+    EXPECT_FALSE(view.contains(driver.node(i).id()));
+  }
+}
+
+TEST_P(FrameworkProtoTest, GraphStaysConnected) {
+  FrameworkDriver driver(params_for(GetParam(), 8), 80, 7);
+  driver.bootstrap_uniform();
+  driver.run(40);
+  // BFS over the undirected-ized view graph.
+  std::vector<std::vector<std::size_t>> adj(driver.size());
+  for (std::size_t i = 0; i < driver.size(); ++i) {
+    for (const auto& e : driver.node(i).view().entries()) {
+      adj[i].push_back(e.id.value);
+      adj[e.id.value].push_back(i);
+    }
+  }
+  std::vector<bool> visited(driver.size(), false);
+  std::queue<std::size_t> frontier;
+  frontier.push(0);
+  visited[0] = true;
+  std::size_t reached = 1;
+  while (!frontier.empty()) {
+    const std::size_t cur = frontier.front();
+    frontier.pop();
+    for (std::size_t nbr : adj[cur]) {
+      if (!visited[nbr]) {
+        visited[nbr] = true;
+        ++reached;
+        frontier.push(nbr);
+      }
+    }
+  }
+  EXPECT_EQ(reached, driver.size());
+}
+
+TEST_P(FrameworkProtoTest, InDegreesAreBalanced) {
+  FrameworkDriver driver(params_for(GetParam(), 10), 100, 99);
+  driver.bootstrap_uniform();
+  driver.run(60);
+  const auto in = driver.indegrees();
+  std::vector<double> xs(in.begin(), in.end());
+  const double mean = mean_of(xs);
+  EXPECT_NEAR(mean, 10.0, 0.5);  // sum of in-degrees == sum of view sizes
+  // No node starved or hugely over-represented.
+  EXPECT_GT(*std::min_element(xs.begin(), xs.end()), 0.0);
+  EXPECT_LT(*std::max_element(xs.begin(), xs.end()), 4.0 * mean);
+}
+
+TEST_P(FrameworkProtoTest, AgesResetThroughExchange) {
+  FrameworkDriver driver(params_for(GetParam(), 8), 40, 3);
+  driver.bootstrap_uniform();
+  driver.run(25);
+  // Descriptors keep circulating, so the maximum age stays bounded well
+  // below the round count.
+  std::uint32_t max_age = 0;
+  for (std::size_t i = 0; i < driver.size(); ++i) {
+    for (const auto& e : driver.node(i).view().entries()) {
+      max_age = std::max(max_age, e.age);
+    }
+  }
+  EXPECT_LT(max_age, 25u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Protocols, FrameworkProtoTest,
+                         ::testing::Values(Proto::kCyclon, Proto::kNewscast),
+                         [](const auto& info) {
+                           return info.param == Proto::kCyclon ? "Cyclon" : "Newscast";
+                         });
+
+TEST(FrameworkNode, BufferContainsSelfLinkFirst) {
+  FrameworkNode node(NodeId{5}, cyclon_params(8), Rng(1));
+  node.bootstrap({NodeId{1}, NodeId{2}, NodeId{3}});
+  const auto buffer = node.make_buffer(NodeId{1});
+  ASSERT_FALSE(buffer.empty());
+  EXPECT_EQ(buffer[0].id, NodeId{5});
+  EXPECT_EQ(buffer[0].age, 0u);
+  for (std::size_t i = 1; i < buffer.size(); ++i) EXPECT_NE(buffer[i].id, NodeId{1});
+}
+
+TEST(FrameworkNode, TailSelectionPicksOldest) {
+  FrameworkParams params = cyclon_params(8);
+  FrameworkNode node(NodeId{0}, params, Rng(2));
+  node.bootstrap({NodeId{1}, NodeId{2}});
+  node.next_round();
+  node.next_round();
+  // Make node 2 fresher via an exchange that re-inserts it at age 0.
+  node.on_exchange(NodeId{2}, {{NodeId{2}, 0}}, nullptr);
+  EXPECT_EQ(node.select_partner(), NodeId{1});
+}
+
+TEST(FrameworkNode, RandomSelectionCoversView) {
+  FrameworkParams params = newscast_params(8);
+  FrameworkNode node(NodeId{0}, params, Rng(3));
+  node.bootstrap({NodeId{1}, NodeId{2}, NodeId{3}});
+  std::set<std::uint32_t> seen;
+  for (int i = 0; i < 200; ++i) seen.insert(node.select_partner()->value);
+  EXPECT_EQ(seen.size(), 3u);
+}
+
+TEST(FrameworkNode, EmptyViewSelectsNobody) {
+  FrameworkNode node(NodeId{0}, cyclon_params(4), Rng(4));
+  EXPECT_FALSE(node.select_partner().has_value());
+}
+
+TEST(FrameworkNode, PartnerTimeoutRemovesDescriptor) {
+  FrameworkNode node(NodeId{0}, cyclon_params(4), Rng(5));
+  node.bootstrap({NodeId{1}, NodeId{2}});
+  node.on_partner_timeout(NodeId{1});
+  EXPECT_FALSE(node.view().contains(NodeId{1}));
+  EXPECT_TRUE(node.view().contains(NodeId{2}));
+}
+
+TEST(FrameworkNode, PushPullReplyBuiltBeforeMerge) {
+  FrameworkNode passive(NodeId{9}, cyclon_params(4, 2), Rng(6));
+  passive.bootstrap({NodeId{1}, NodeId{2}});
+  std::vector<ViewEntry> reply;
+  passive.on_exchange(NodeId{5}, {{NodeId{5}, 0}, {NodeId{7}, 1}}, &reply);
+  // The reply must come from the pre-merge view (so no 5 or 7 inside).
+  for (const auto& e : reply) {
+    if (e.id == NodeId{9}) continue;  // self link
+    EXPECT_TRUE(e.id == NodeId{1} || e.id == NodeId{2});
+  }
+  // And the merge happened afterwards.
+  EXPECT_TRUE(passive.view().contains(NodeId{5}));
+}
+
+TEST(FrameworkParams, PresetShapes) {
+  const auto cyclon = cyclon_params(20);
+  EXPECT_EQ(cyclon.peer_selection, PeerSelection::kTail);
+  EXPECT_EQ(cyclon.heal, 0u);
+  EXPECT_EQ(cyclon.buffer_size, 11u);
+  const auto newscast = newscast_params(20);
+  EXPECT_EQ(newscast.peer_selection, PeerSelection::kRandom);
+  EXPECT_EQ(newscast.heal, 20u);
+}
+
+TEST(FrameworkDriver, ClusteringDropsFromCliqueBootstrap) {
+  // Bootstrap with dense local cliques plus a single long-range ring link
+  // (without the ring the cliques are disconnected components and no gossip
+  // protocol could mix them): clustering starts high; shuffling must
+  // decorrelate it.
+  FrameworkParams params = cyclon_params(6);
+  FrameworkDriver driver(params, 40, 11);
+  for (std::size_t i = 0; i < driver.size(); ++i) {
+    std::vector<NodeId> boot;
+    boot.emplace_back((static_cast<std::uint32_t>(i) + 8) % 40);  // ring link first
+    for (std::uint32_t j = 0; j < 7; ++j) {
+      const std::uint32_t target = (static_cast<std::uint32_t>(i) / 8) * 8 + j;
+      if (target != i && target < 40) boot.emplace_back(target);
+    }
+    driver.node(i).bootstrap(boot);
+  }
+  const double before = driver.clustering_coefficient();
+  driver.run(60);
+  const double after = driver.clustering_coefficient();
+  EXPECT_LT(after, before * 0.7);
+}
+
+}  // namespace
+}  // namespace raptee::gossip

@@ -1,0 +1,204 @@
+#include "gossip/view.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace raptee::gossip {
+namespace {
+
+TEST(PartialView, InsertRespectsCapacity) {
+  PartialView v(3);
+  EXPECT_TRUE(v.insert(NodeId{1}));
+  EXPECT_TRUE(v.insert(NodeId{2}));
+  EXPECT_TRUE(v.insert(NodeId{3}));
+  EXPECT_TRUE(v.full());
+  EXPECT_FALSE(v.insert(NodeId{4}));
+  EXPECT_EQ(v.size(), 3u);
+}
+
+TEST(PartialView, DuplicateInsertKeepsFresherAge) {
+  PartialView v(4);
+  v.insert(NodeId{1}, 5);
+  EXPECT_FALSE(v.insert(NodeId{1}, 2));
+  EXPECT_EQ(v.entries()[0].age, 2u);
+  EXPECT_FALSE(v.insert(NodeId{1}, 9));
+  EXPECT_EQ(v.entries()[0].age, 2u);
+  EXPECT_EQ(v.size(), 1u);
+}
+
+TEST(PartialView, ContainsAndIds) {
+  PartialView v(4);
+  v.insert(NodeId{10});
+  v.insert(NodeId{20});
+  EXPECT_TRUE(v.contains(NodeId{10}));
+  EXPECT_FALSE(v.contains(NodeId{30}));
+  EXPECT_EQ(v.ids(), (std::vector<NodeId>{NodeId{10}, NodeId{20}}));
+}
+
+TEST(PartialView, AgeAllIncrements) {
+  PartialView v(4);
+  v.insert(NodeId{1}, 0);
+  v.insert(NodeId{2}, 3);
+  v.age_all();
+  EXPECT_EQ(v.entries()[0].age, 1u);
+  EXPECT_EQ(v.entries()[1].age, 4u);
+}
+
+TEST(PartialView, OldestFindsMaxAge) {
+  PartialView v(4);
+  EXPECT_FALSE(v.oldest().has_value());
+  v.insert(NodeId{1}, 2);
+  v.insert(NodeId{2}, 7);
+  v.insert(NodeId{3}, 5);
+  EXPECT_EQ(v.oldest()->id, NodeId{2});
+}
+
+TEST(PartialView, InsertReplaceOldestEvictsMaxAge) {
+  PartialView v(2);
+  v.insert(NodeId{1}, 9);
+  v.insert(NodeId{2}, 1);
+  v.insert_replace_oldest(NodeId{3}, 0);
+  EXPECT_FALSE(v.contains(NodeId{1}));
+  EXPECT_TRUE(v.contains(NodeId{3}));
+  EXPECT_EQ(v.size(), 2u);
+}
+
+TEST(PartialView, RemoveById) {
+  PartialView v(3);
+  v.insert(NodeId{1});
+  v.insert(NodeId{2});
+  EXPECT_TRUE(v.remove(NodeId{1}));
+  EXPECT_FALSE(v.remove(NodeId{1}));
+  EXPECT_EQ(v.size(), 1u);
+}
+
+TEST(PartialView, RemoveOldestH) {
+  PartialView v(5);
+  for (std::uint32_t i = 0; i < 5; ++i) v.insert(NodeId{i}, i);
+  v.remove_oldest(2);
+  EXPECT_EQ(v.size(), 3u);
+  EXPECT_FALSE(v.contains(NodeId{4}));
+  EXPECT_FALSE(v.contains(NodeId{3}));
+  v.remove_oldest(100);  // clamped
+  EXPECT_TRUE(v.empty());
+}
+
+TEST(PartialView, RemoveRandomAndTruncate) {
+  Rng rng(1);
+  PartialView v(10);
+  for (std::uint32_t i = 0; i < 10; ++i) v.insert(NodeId{i});
+  v.remove_random(4, rng);
+  EXPECT_EQ(v.size(), 6u);
+  v.remove_random(100, rng);
+  EXPECT_TRUE(v.empty());
+}
+
+TEST(PartialView, RemoveIdsBatch) {
+  PartialView v(5);
+  for (std::uint32_t i = 0; i < 5; ++i) v.insert(NodeId{i});
+  v.remove_ids({NodeId{0}, NodeId{2}, NodeId{4}, NodeId{99}});
+  EXPECT_EQ(v.ids(), (std::vector<NodeId>{NodeId{1}, NodeId{3}}));
+}
+
+TEST(PartialView, ReplaceAllResetsAgesAndTruncates) {
+  PartialView v(3);
+  v.insert(NodeId{9}, 5);
+  v.replace_all({NodeId{1}, NodeId{2}, NodeId{2}, NodeId{3}, NodeId{4}});
+  EXPECT_EQ(v.size(), 3u);
+  EXPECT_FALSE(v.contains(NodeId{9}));
+  EXPECT_TRUE(v.contains(NodeId{1}));
+  for (const auto& e : v.entries()) EXPECT_EQ(e.age, 0u);
+}
+
+TEST(PartialView, RandomAndPickCoverage) {
+  Rng rng(2);
+  PartialView v(8);
+  EXPECT_FALSE(v.random(rng).has_value());
+  for (std::uint32_t i = 0; i < 8; ++i) v.insert(NodeId{i});
+  std::set<std::uint32_t> seen;
+  for (int trial = 0; trial < 400; ++trial) {
+    seen.insert(v.random(rng)->id.value);
+    seen.insert(v.pick_id(rng).value);
+  }
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(PartialView, SampleIdsDistinct) {
+  Rng rng(3);
+  PartialView v(10);
+  for (std::uint32_t i = 0; i < 10; ++i) v.insert(NodeId{i});
+  const auto sample = v.sample_ids(rng, 4);
+  EXPECT_EQ(sample.size(), 4u);
+  std::set<std::uint32_t> uniq;
+  for (NodeId id : sample) uniq.insert(id.value);
+  EXPECT_EQ(uniq.size(), 4u);
+  EXPECT_EQ(v.sample_ids(rng, 100).size(), 10u);
+}
+
+TEST(PartialView, SelectToSendExcludesPartner) {
+  Rng rng(4);
+  PartialView v(6);
+  for (std::uint32_t i = 0; i < 6; ++i) v.insert(NodeId{i}, i);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto sent = v.select_to_send(rng, 3, NodeId{2});
+    EXPECT_EQ(sent.size(), 3u);
+    for (const auto& e : sent) EXPECT_NE(e.id, NodeId{2});
+  }
+}
+
+TEST(PartialView, FrameworkMergeDedupsAndExcludesSelf) {
+  Rng rng(5);
+  PartialView v(6);
+  v.insert(NodeId{1}, 4);
+  v.framework_merge({{NodeId{1}, 1}, {NodeId{5}, 0}, {NodeId{7}, 2}}, /*self=*/NodeId{7},
+                    /*h=*/0, /*s=*/0, /*sent=*/{}, rng);
+  EXPECT_EQ(v.size(), 2u);         // self excluded, 1 deduped
+  EXPECT_EQ(v.entries()[0].age, 1u);  // fresher copy of node 1 kept
+  EXPECT_TRUE(v.contains(NodeId{5}));
+}
+
+TEST(PartialView, FrameworkMergeHealDropsOldest) {
+  Rng rng(6);
+  PartialView v(3);
+  v.insert(NodeId{1}, 9);
+  v.insert(NodeId{2}, 8);
+  v.insert(NodeId{3}, 1);
+  // Merge two new entries into a full view: surplus 2, H=2 drops the two
+  // oldest (ids 1 and 2).
+  v.framework_merge({{NodeId{4}, 0}, {NodeId{5}, 0}}, NodeId{100}, /*h=*/2, /*s=*/0, {},
+                    rng);
+  EXPECT_EQ(v.size(), 3u);
+  EXPECT_FALSE(v.contains(NodeId{1}));
+  EXPECT_FALSE(v.contains(NodeId{2}));
+  EXPECT_TRUE(v.contains(NodeId{4}));
+  EXPECT_TRUE(v.contains(NodeId{5}));
+}
+
+TEST(PartialView, FrameworkMergeSwapDropsSentEntries) {
+  Rng rng(7);
+  PartialView v(3);
+  v.insert(NodeId{1}, 0);
+  v.insert(NodeId{2}, 0);
+  v.insert(NodeId{3}, 0);
+  // Surplus 2 with H=0, S=2: the sent entries {1,2} are removed.
+  v.framework_merge({{NodeId{4}, 0}, {NodeId{5}, 0}}, NodeId{100}, /*h=*/0, /*s=*/2,
+                    /*sent=*/{NodeId{1}, NodeId{2}}, rng);
+  EXPECT_EQ(v.size(), 3u);
+  EXPECT_FALSE(v.contains(NodeId{1}));
+  EXPECT_FALSE(v.contains(NodeId{2}));
+}
+
+TEST(PartialView, FrameworkMergeRandomFallback) {
+  Rng rng(8);
+  PartialView v(2);
+  v.insert(NodeId{1}, 0);
+  v.insert(NodeId{2}, 0);
+  // Surplus with H=0, S=0: random removal keeps size at capacity.
+  v.framework_merge({{NodeId{3}, 0}, {NodeId{4}, 0}}, NodeId{100}, 0, 0, {}, rng);
+  EXPECT_EQ(v.size(), 2u);
+}
+
+}  // namespace
+}  // namespace raptee::gossip

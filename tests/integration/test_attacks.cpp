@@ -1,0 +1,102 @@
+// Security-analysis integration tests (paper §VI): trusted-node
+// identification and view-poisoned trusted-node injection.
+#include <gtest/gtest.h>
+
+#include "metrics/experiment.hpp"
+
+namespace raptee {
+namespace {
+
+metrics::ExperimentConfig attack_config() {
+  metrics::ExperimentConfig config;
+  config.n = 150;
+  config.byzantine_fraction = 0.2;
+  config.trusted_fraction = 0.2;
+  config.brahms.l1 = 20;
+  config.brahms.l2 = 20;
+  config.rounds = 40;
+  config.seed = 77;
+  config.run_identification = true;
+  return config;
+}
+
+TEST(IdentificationAttackE2E, HigherEvictionIsMoreDetectable) {
+  // §VI-A: detectability grows with the eviction rate — ER=100 % trusted
+  // nodes serve conspicuously clean views; ER=0 % are indistinguishable.
+  auto config = attack_config();
+  config.eviction = core::EvictionSpec::fixed(0.0);
+  const auto er0 = metrics::run_repeated(config, 2, 2);
+  config.eviction = core::EvictionSpec::fixed(1.0);
+  const auto er100 = metrics::run_repeated(config, 2, 2);
+  EXPECT_GT(er100.ident_best_f1.mean(), er0.ident_best_f1.mean());
+}
+
+TEST(IdentificationAttackE2E, ZeroEvictionIsNearlyInvisible) {
+  auto config = attack_config();
+  config.eviction = core::EvictionSpec::fixed(0.0);
+  const auto result = metrics::run_repeated(config, 2, 2);
+  // Without eviction, trusted views match honest views; the classifier has
+  // nothing to latch onto.
+  EXPECT_LT(result.ident_best_f1.mean(), 0.35);
+}
+
+TEST(IdentificationAttackE2E, ScoresAreWellFormed) {
+  auto config = attack_config();
+  config.eviction = core::EvictionSpec::adaptive();
+  const auto result = metrics::run_experiment(config);
+  EXPECT_GE(result.ident_best.precision, 0.0);
+  EXPECT_LE(result.ident_best.precision, 1.0);
+  EXPECT_GE(result.ident_best.recall, 0.0);
+  EXPECT_LE(result.ident_best.recall, 1.0);
+  EXPECT_GE(result.ident_best.f1,
+            std::min(result.ident_final.f1, result.ident_best.f1));
+}
+
+TEST(InjectionAttackE2E, PoisonedTrustedNodesSelfHeal) {
+  // §VI-B: poisoned trusted devices run honest code; their views start
+  // 100 % Byzantine but must trend down toward the honest trusted level.
+  auto config = attack_config();
+  config.run_identification = false;
+  config.trusted_fraction = 0.1;
+  config.poisoned_extra_fraction = 0.1;
+  config.eviction = core::EvictionSpec::adaptive();
+  config.rounds = 50;
+  const auto result = metrics::run_experiment(config);
+  // Trusted series includes the poisoned half; early rounds are heavily
+  // polluted, late rounds must be far cleaner.
+  const auto& trusted = result.pollution_series;  // all-correct average
+  ASSERT_GE(trusted.size(), 50u);
+  EXPECT_LT(result.steady_pollution_trusted, 0.6);
+}
+
+TEST(InjectionAttackE2E, SmallInjectionDoesNotCollapseResilience) {
+  // §VI-B headline: a +5 % poisoned-trusted injection into a t=10 % system
+  // has little or no impact on system-wide resilience.
+  auto config = attack_config();
+  config.run_identification = false;
+  config.trusted_fraction = 0.1;
+  config.eviction = core::EvictionSpec::adaptive();
+  config.rounds = 50;
+
+  const auto clean = metrics::run_repeated(config, 2, 2);
+  config.poisoned_extra_fraction = 0.05;
+  const auto attacked = metrics::run_repeated(config, 2, 2);
+
+  // Allow a modest degradation band; the attack must not blow pollution up.
+  EXPECT_LT(attacked.pollution.mean(), clean.pollution.mean() * 1.25 + 0.02);
+}
+
+TEST(InjectionAttackE2E, PoisonedNodesStillCountAsTrustedSwapPartners) {
+  // Poisoned devices hold the genuine group key, so swaps happen even in a
+  // system whose only honest-trusted mass is small.
+  auto config = attack_config();
+  config.run_identification = false;
+  config.trusted_fraction = 0.05;
+  config.poisoned_extra_fraction = 0.1;
+  config.rounds = 25;
+  const auto result = metrics::run_experiment(config);
+  EXPECT_GT(result.swaps_completed, 0u);
+}
+
+}  // namespace
+}  // namespace raptee

@@ -1,0 +1,112 @@
+#include "sgx/attestation.hpp"
+
+#include <gtest/gtest.h>
+
+namespace raptee::sgx {
+namespace {
+
+TEST(Attestation, GenuineEnclaveProvisions) {
+  AttestationService service(1);
+  service.allowlist(measure_code(raptee_enclave_identity()));
+  Enclave enclave(raptee_enclave_identity(), 7);
+  EXPECT_TRUE(service.provision(enclave));
+  EXPECT_TRUE(enclave.has_group_key());
+  EXPECT_EQ(service.provisioned_count(), 1u);
+}
+
+TEST(Attestation, UnknownMeasurementRefused) {
+  AttestationService service(1);
+  service.allowlist(measure_code(raptee_enclave_identity()));
+  Enclave rogue("rogue-code", 7);
+  EXPECT_FALSE(service.provision(rogue));
+  EXPECT_FALSE(rogue.has_group_key());
+  EXPECT_EQ(service.provisioned_count(), 0u);
+}
+
+TEST(Attestation, EmptyAllowlistRefusesEveryone) {
+  AttestationService service(1);
+  Enclave enclave(raptee_enclave_identity(), 7);
+  EXPECT_FALSE(service.provision(enclave));
+}
+
+TEST(Attestation, QuoteVerification) {
+  AttestationService service(2);
+  service.allowlist(measure_code(raptee_enclave_identity()));
+  Enclave enclave(raptee_enclave_identity(), 9);
+  Quote quote = service.issue_quote(enclave);
+  EXPECT_TRUE(service.verify_quote(quote));
+
+  // Forged measurement: signature no longer matches.
+  Quote forged = quote;
+  forged.measurement = measure_code("evil");
+  EXPECT_FALSE(service.verify_quote(forged));
+
+  // Tampered report data.
+  Quote tampered = quote;
+  tampered.report_data[0] ^= 1;
+  EXPECT_FALSE(service.verify_quote(tampered));
+
+  // Tampered signature.
+  Quote badsig = quote;
+  badsig.signature[0] ^= 1;
+  EXPECT_FALSE(service.verify_quote(badsig));
+}
+
+TEST(Attestation, QuotesFromOtherServicesRejected) {
+  AttestationService s1(3), s2(4);
+  const auto m = measure_code(raptee_enclave_identity());
+  s1.allowlist(m);
+  s2.allowlist(m);
+  Enclave enclave(raptee_enclave_identity(), 5);
+  const Quote quote = s2.issue_quote(enclave);
+  EXPECT_FALSE(s1.verify_quote(quote));  // different quoting keys
+}
+
+TEST(Attestation, AllProvisionedEnclavesShareTheGroupKey) {
+  AttestationService service(5);
+  service.allowlist(measure_code(raptee_enclave_identity()));
+  Enclave e1(raptee_enclave_identity(), 1);
+  Enclave e2(raptee_enclave_identity(), 2);
+  Enclave e3(raptee_enclave_identity(), 3);
+  ASSERT_TRUE(service.provision(e1));
+  ASSERT_TRUE(service.provision(e2));
+  ASSERT_TRUE(service.provision(e3));
+  EXPECT_EQ(e1.group_fingerprint(), e2.group_fingerprint());
+  EXPECT_EQ(e2.group_fingerprint(), e3.group_fingerprint());
+}
+
+TEST(Attestation, DifferentServicesIssueDifferentGroupKeys) {
+  AttestationService s1(6), s2(7);
+  const auto m = measure_code(raptee_enclave_identity());
+  s1.allowlist(m);
+  s2.allowlist(m);
+  Enclave e1(raptee_enclave_identity(), 1);
+  Enclave e2(raptee_enclave_identity(), 2);
+  ASSERT_TRUE(s1.provision(e1));
+  ASSERT_TRUE(s2.provision(e2));
+  EXPECT_NE(e1.group_fingerprint(), e2.group_fingerprint());
+}
+
+TEST(Attestation, AllowlistIsIdempotent) {
+  AttestationService service(8);
+  const auto m = measure_code("x");
+  service.allowlist(m);
+  service.allowlist(m);
+  EXPECT_TRUE(service.is_allowlisted(m));
+  EXPECT_FALSE(service.is_allowlisted(measure_code("y")));
+}
+
+TEST(Attestation, AdversaryWithGenuineHardwareGetsHonestEnclave) {
+  // The §VI-B premise: the adversary CAN run the genuine enclave (and so
+  // obtains the group key) but CANNOT run modified code under the genuine
+  // measurement — trust in the enclave's behaviour comes from measurement,
+  // not from who owns the device.
+  AttestationService service(9);
+  service.allowlist(measure_code(raptee_enclave_identity()));
+  Enclave adversary_device(raptee_enclave_identity(), 666);
+  EXPECT_TRUE(service.provision(adversary_device));
+  EXPECT_TRUE(adversary_device.has_group_key());
+}
+
+}  // namespace
+}  // namespace raptee::sgx

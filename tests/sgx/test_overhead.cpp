@@ -1,0 +1,88 @@
+#include "sgx/overhead.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace raptee::sgx {
+namespace {
+
+TEST(CycleModel, PaperTable1Values) {
+  const CycleModel m = CycleModel::paper_table1();
+  const auto& pull = m.entry(FunctionClass::kPullRequest);
+  EXPECT_DOUBLE_EQ(pull.standard_cycles, 15623.0);
+  EXPECT_DOUBLE_EQ(pull.sgx_cycles, 18593.0);
+  EXPECT_DOUBLE_EQ(pull.mean_overhead(), 2970.0);
+
+  EXPECT_DOUBLE_EQ(m.entry(FunctionClass::kPushMessage).mean_overhead(), 1661.0);
+  EXPECT_DOUBLE_EQ(m.entry(FunctionClass::kTrustedComms).mean_overhead(), 1671.0);
+  EXPECT_DOUBLE_EQ(m.entry(FunctionClass::kSampleListComputation).mean_overhead(),
+                   2340.0);
+  EXPECT_DOUBLE_EQ(m.entry(FunctionClass::kDynamicViewComputation).mean_overhead(),
+                   2619.0);
+}
+
+TEST(CycleModel, DefaultModelIsFree) {
+  const CycleModel m;
+  Rng rng(1);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(m.sample_overhead(FunctionClass::kPullRequest, rng), 0u);
+  }
+}
+
+TEST(CycleModel, SampledOverheadTracksMeanAndSigma) {
+  const CycleModel m = CycleModel::paper_table1();
+  Rng rng(2);
+  double sum = 0.0;
+  constexpr int kDraws = 20000;
+  for (int i = 0; i < kDraws; ++i) {
+    sum += static_cast<double>(m.sample_overhead(FunctionClass::kPullRequest, rng));
+  }
+  EXPECT_NEAR(sum / kDraws, 2970.0, 2970.0 * 0.01);
+}
+
+TEST(CycleModel, SampleNeverNegative) {
+  CycleModel m;
+  m.set(FunctionClass::kOther, {100.0, 110.0, 5.0});  // huge sigma
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const Cycles c = m.sample_overhead(FunctionClass::kOther, rng);
+    EXPECT_GE(c, 0u);  // Cycles is unsigned; also checks no wrap-around
+    EXPECT_LT(c, 1000u);
+  }
+}
+
+TEST(CycleLedger, ChargesAccumulate) {
+  CycleLedger ledger;
+  ledger.charge(FunctionClass::kPushMessage, 100);
+  ledger.charge(FunctionClass::kPushMessage, 50);
+  ledger.charge(FunctionClass::kAttestation, 7);
+  EXPECT_EQ(ledger.cycles(FunctionClass::kPushMessage), 150u);
+  EXPECT_EQ(ledger.calls(FunctionClass::kPushMessage), 2u);
+  EXPECT_EQ(ledger.total_cycles(), 157u);
+  ledger.reset();
+  EXPECT_EQ(ledger.total_cycles(), 0u);
+  EXPECT_EQ(ledger.calls(FunctionClass::kPushMessage), 0u);
+}
+
+TEST(FunctionClass, NamesMatchTable1Rows) {
+  EXPECT_EQ(std::string(to_string(FunctionClass::kPullRequest)), "Pull request");
+  EXPECT_EQ(std::string(to_string(FunctionClass::kPushMessage)), "Push message");
+  EXPECT_EQ(std::string(to_string(FunctionClass::kTrustedComms)),
+            "Trusted communications");
+  EXPECT_EQ(std::string(to_string(FunctionClass::kSampleListComputation)),
+            "Sample list comput.");
+  EXPECT_EQ(std::string(to_string(FunctionClass::kDynamicViewComputation)),
+            "Dynamic view comput.");
+}
+
+TEST(CycleCounter, MonotonicNonDecreasing) {
+  const Cycles a = read_cycle_counter();
+  volatile std::uint64_t sink = 0;
+  for (int i = 0; i < 1000; ++i) sink += static_cast<std::uint64_t>(i);
+  const Cycles b = read_cycle_counter();
+  EXPECT_GE(b, a);
+}
+
+}  // namespace
+}  // namespace raptee::sgx

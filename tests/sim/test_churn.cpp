@@ -1,0 +1,122 @@
+#include "sim/churn.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fake_node.hpp"
+#include "sim/engine.hpp"
+
+namespace raptee::sim {
+namespace {
+
+using testing::FakeNode;
+
+struct ChurnFixture : public ::testing::Test {
+  Engine make_engine(std::size_t n) {
+    Engine engine({});
+    fakes.clear();
+    for (std::size_t i = 0; i < n; ++i) {
+      auto node = std::make_unique<FakeNode>(NodeId{static_cast<std::uint32_t>(i)});
+      fakes.push_back(node.get());
+      engine.add_node(std::move(node), NodeKind::kHonest);
+    }
+    return engine;
+  }
+  std::vector<FakeNode*> fakes;
+};
+
+TEST_F(ChurnFixture, LeaveEventKillsNode) {
+  Engine engine = make_engine(3);
+  ChurnSchedule schedule;
+  schedule.add({1, ChurnEvent::Kind::kLeave, NodeId{2}});
+
+  schedule.apply(engine, 2);  // round 0: nothing
+  EXPECT_TRUE(engine.is_alive(NodeId{2}));
+  engine.step();
+  schedule.apply(engine, 2);  // round 1: leave fires
+  EXPECT_FALSE(engine.is_alive(NodeId{2}));
+}
+
+TEST_F(ChurnFixture, RejoinRestoresAndBootstraps) {
+  Engine engine = make_engine(4);
+  ChurnSchedule schedule;
+  schedule.add({0, ChurnEvent::Kind::kLeave, NodeId{1}});
+  schedule.add({2, ChurnEvent::Kind::kRejoin, NodeId{1}});
+
+  schedule.apply(engine, 2);
+  EXPECT_FALSE(engine.is_alive(NodeId{1}));
+  engine.step();
+  engine.step();
+  schedule.apply(engine, 2);
+  EXPECT_TRUE(engine.is_alive(NodeId{1}));
+  EXPECT_EQ(fakes[1]->bootstraps, 1);
+  EXPECT_EQ(fakes[1]->view_.size(), 2u);
+  for (NodeId peer : fakes[1]->view_) EXPECT_NE(peer, NodeId{1});
+}
+
+TEST_F(ChurnFixture, EventsFireInOrderAcrossRounds) {
+  Engine engine = make_engine(5);
+  ChurnSchedule schedule;
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    schedule.add({i, ChurnEvent::Kind::kLeave, NodeId{i}});
+  }
+  for (Round r = 0; r < 3; ++r) {
+    schedule.apply(engine, 2);
+    engine.step();
+  }
+  EXPECT_FALSE(engine.is_alive(NodeId{0}));
+  EXPECT_FALSE(engine.is_alive(NodeId{1}));
+  EXPECT_FALSE(engine.is_alive(NodeId{2}));
+  EXPECT_TRUE(engine.is_alive(NodeId{3}));
+}
+
+TEST(ChurnSchedule, RandomChurnBuildsBoundedUniqueLeaves) {
+  Rng rng(5);
+  std::vector<NodeId> population;
+  for (std::uint32_t i = 0; i < 100; ++i) population.emplace_back(i);
+  const auto schedule =
+      ChurnSchedule::random_churn(population, 0, 10, 0.02, 5, /*rejoin=*/true, rng);
+
+  std::size_t leaves = 0, rejoins = 0;
+  std::vector<bool> left(100, false);
+  for (const auto& event : schedule.events()) {
+    if (event.kind == ChurnEvent::Kind::kLeave) {
+      ++leaves;
+      EXPECT_FALSE(left[event.node.value]) << "node left twice";
+      left[event.node.value] = true;
+      EXPECT_LT(event.at_round, 10u);
+    } else {
+      ++rejoins;
+    }
+  }
+  EXPECT_EQ(leaves, 20u);  // 2 per round for 10 rounds
+  EXPECT_EQ(rejoins, leaves);
+}
+
+TEST(ChurnSchedule, NoRejoinMode) {
+  Rng rng(6);
+  std::vector<NodeId> population;
+  for (std::uint32_t i = 0; i < 50; ++i) population.emplace_back(i);
+  const auto schedule =
+      ChurnSchedule::random_churn(population, 2, 4, 0.1, 1, /*rejoin=*/false, rng);
+  for (const auto& event : schedule.events()) {
+    EXPECT_EQ(event.kind, ChurnEvent::Kind::kLeave);
+    EXPECT_GE(event.at_round, 2u);
+    EXPECT_LT(event.at_round, 4u);
+  }
+}
+
+TEST(ChurnSchedule, EventsSortedByRound) {
+  Rng rng(7);
+  std::vector<NodeId> population;
+  for (std::uint32_t i = 0; i < 60; ++i) population.emplace_back(i);
+  const auto schedule =
+      ChurnSchedule::random_churn(population, 0, 6, 0.05, 2, true, rng);
+  Round previous = 0;
+  for (const auto& event : schedule.events()) {
+    EXPECT_GE(event.at_round, previous);
+    previous = event.at_round;
+  }
+}
+
+}  // namespace
+}  // namespace raptee::sim

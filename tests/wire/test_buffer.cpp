@@ -1,0 +1,146 @@
+#include "wire/buffer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace raptee::wire {
+namespace {
+
+TEST(Buffer, FixedWidthRoundTrip) {
+  Writer w;
+  w.u8(0xAB);
+  w.u16(0xBEEF);
+  w.u32(0xDEADBEEF);
+  w.u64(0x0123456789ABCDEFull);
+  Reader r(w.bytes());
+  EXPECT_EQ(r.u8(), 0xAB);
+  EXPECT_EQ(r.u16(), 0xBEEF);
+  EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.u64(), 0x0123456789ABCDEFull);
+  r.expect_done();
+}
+
+TEST(Buffer, VarintRoundTripEdges) {
+  const std::uint64_t values[] = {0,       1,       127,        128,
+                                  129,     16383,   16384,      (1ull << 32) - 1,
+                                  1ull << 32, (1ull << 63), ~0ull};
+  Writer w;
+  for (auto v : values) w.varint(v);
+  Reader r(w.bytes());
+  for (auto v : values) EXPECT_EQ(r.varint(), v);
+  r.expect_done();
+}
+
+TEST(Buffer, VarintCompactness) {
+  Writer w;
+  w.varint(127);
+  EXPECT_EQ(w.size(), 1u);
+  Writer w2;
+  w2.varint(128);
+  EXPECT_EQ(w2.size(), 2u);
+}
+
+TEST(Buffer, TruncatedReadThrows) {
+  Writer w;
+  w.u16(7);
+  Reader r(w.bytes());
+  EXPECT_THROW((void)r.u32(), WireError);
+}
+
+TEST(Buffer, EmptyReaderThrowsOnAnyRead) {
+  Reader r(nullptr, 0);
+  EXPECT_TRUE(r.done());
+  EXPECT_THROW((void)r.u8(), WireError);
+  EXPECT_THROW((void)r.varint(), WireError);
+}
+
+TEST(Buffer, MalformedVarintUnterminated) {
+  const std::uint8_t bytes[] = {0x80, 0x80, 0x80};
+  Reader r(bytes, sizeof bytes);
+  EXPECT_THROW((void)r.varint(), WireError);
+}
+
+TEST(Buffer, VarintTooLongThrows) {
+  // 10 continuation bytes exceed 64 bits.
+  std::vector<std::uint8_t> bytes(10, 0x80);
+  bytes.push_back(0x02);
+  Reader r(bytes);
+  EXPECT_THROW((void)r.varint(), WireError);
+}
+
+TEST(Buffer, BytesFieldRoundTrip) {
+  Writer w;
+  w.bytes_field({1, 2, 3, 4, 5});
+  w.bytes_field({});
+  Reader r(w.bytes());
+  EXPECT_EQ(r.bytes_field(), (std::vector<std::uint8_t>{1, 2, 3, 4, 5}));
+  EXPECT_TRUE(r.bytes_field().empty());
+  r.expect_done();
+}
+
+TEST(Buffer, BytesFieldLengthBombRejected) {
+  Writer w;
+  w.varint(1 << 30);  // claims 1 GiB payload, provides nothing
+  Reader r(w.bytes());
+  EXPECT_THROW((void)r.bytes_field(), WireError);
+}
+
+TEST(Buffer, NodeIdsRoundTrip) {
+  Writer w;
+  const std::vector<NodeId> ids{NodeId{0}, NodeId{42}, NodeId{0xFFFFFFFE}};
+  w.node_ids(ids);
+  Reader r(w.bytes());
+  EXPECT_EQ(r.node_ids(), ids);
+}
+
+TEST(Buffer, NodeIdsCountBombRejected) {
+  Writer w;
+  w.varint(100);  // claims 100 ids but provides none
+  Reader r(w.bytes());
+  EXPECT_THROW((void)r.node_ids(), WireError);
+}
+
+TEST(Buffer, NodeIdsMaxCountEnforced) {
+  Writer w;
+  w.node_ids({NodeId{1}, NodeId{2}, NodeId{3}});
+  Reader r(w.bytes());
+  EXPECT_THROW((void)r.node_ids(/*max_count=*/2), WireError);
+}
+
+TEST(Buffer, FixedArrayRoundTrip) {
+  Writer w;
+  std::array<std::uint8_t, 4> a{9, 8, 7, 6};
+  w.fixed(a);
+  Reader r(w.bytes());
+  EXPECT_EQ(r.fixed<4>(), a);
+}
+
+TEST(Buffer, ExpectDoneCatchesTrailingBytes) {
+  Writer w;
+  w.u8(1);
+  w.u8(2);
+  Reader r(w.bytes());
+  (void)r.u8();
+  EXPECT_THROW(r.expect_done(), WireError);
+  (void)r.u8();
+  EXPECT_NO_THROW(r.expect_done());
+}
+
+TEST(Buffer, RemainingTracksPosition) {
+  Writer w;
+  w.u32(5);
+  Reader r(w.bytes());
+  EXPECT_EQ(r.remaining(), 4u);
+  (void)r.u16();
+  EXPECT_EQ(r.remaining(), 2u);
+}
+
+TEST(Buffer, TakeMovesBuffer) {
+  Writer w;
+  w.u8(0x55);
+  auto bytes = w.take();
+  EXPECT_EQ(bytes.size(), 1u);
+  EXPECT_EQ(bytes[0], 0x55);
+}
+
+}  // namespace
+}  // namespace raptee::wire

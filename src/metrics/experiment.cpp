@@ -11,9 +11,18 @@
 #include "core/node_factory.hpp"
 #include "core/raptee_node.hpp"
 #include "metrics/trackers.hpp"
+#include "sim/churn.hpp"
 #include "sim/engine.hpp"
 
 namespace raptee::metrics {
+
+void ChurnSpec::validate() const {
+  if (!enabled) return;
+  RAPTEE_REQUIRE(rate_per_round >= 0.0 && rate_per_round <= 1.0,
+                 "churn rate out of [0,1]: " << rate_per_round);
+  RAPTEE_REQUIRE(until == 0 || from <= until,
+                 "churn window invalid: [" << from << ", " << until << ")");
+}
 
 std::size_t ExperimentConfig::byzantine_count() const {
   return static_cast<std::size_t>(std::lround(byzantine_fraction * static_cast<double>(n)));
@@ -37,6 +46,7 @@ void ExperimentConfig::validate() const {
   RAPTEE_REQUIRE(rounds >= 1, "need at least one round");
   brahms.validate();
   eviction.validate();
+  churn.validate();
 }
 
 ExperimentResult run_experiment(const ExperimentConfig& config) {
@@ -158,10 +168,23 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
     engine.add_listener(ident.get());
   }
 
+  // --- churn schedule (correct nodes only; seed-derived stream) ---
+  sim::ChurnSchedule churn_schedule;
+  if (config.churn.enabled) {
+    const Round until =
+        config.churn.until == 0 ? config.rounds
+                                : std::min<Round>(config.churn.until, config.rounds);
+    Rng churn_rng(mix64(config.seed, 0x6368726Eull));
+    churn_schedule = sim::ChurnSchedule::random_churn(
+        correct_ids, config.churn.from, until, config.churn.rate_per_round,
+        config.churn.downtime, config.churn.rejoin, churn_rng);
+  }
+
   // --- run ---
   ExperimentResult result;
   adversary::IdentificationResult best{};
   for (Round r = 0; r < config.rounds; ++r) {
+    if (config.churn.enabled) churn_schedule.apply(engine, config.brahms.l1);
     engine.step();
     if (ident) {
       const auto eval = ident->evaluate(engine.now(), config.identification_threshold);

@@ -25,6 +25,36 @@
 
 namespace raptee::metrics {
 
+/// Declarative churn for an experiment: every round in [from, until) a
+/// `rate_per_round` fraction of the correct population crashes (Byzantine
+/// nodes never churn — the adversary keeps its members online), optionally
+/// rejoining `downtime` rounds later with a fresh bootstrap view. Each
+/// correct node crashes at most once per run (sim::ChurnSchedule draws
+/// victims from a shuffled pool without replacement), so churn tapers off
+/// once rate_per_round × window exceeds the correct population. The
+/// schedule is drawn from a seed-derived stream, so churned runs stay
+/// bit-for-bit reproducible.
+struct ChurnSpec {
+  bool enabled = false;
+  Round from = 0;
+  Round until = 0;             ///< exclusive; 0 = run length
+  double rate_per_round = 0.01;
+  Round downtime = 5;
+  bool rejoin = true;
+
+  [[nodiscard]] static ChurnSpec none() { return {}; }
+  [[nodiscard]] static ChurnSpec steady(double rate_per_round, Round downtime = 5,
+                                        bool rejoin = true) {
+    ChurnSpec s;
+    s.enabled = true;
+    s.rate_per_round = rate_per_round;
+    s.downtime = downtime;
+    s.rejoin = rejoin;
+    return s;
+  }
+  void validate() const;
+};
+
 struct ExperimentConfig {
   std::size_t n = 600;               ///< base population (excludes injected nodes)
   double byzantine_fraction = 0.10;  ///< f
@@ -33,6 +63,7 @@ struct ExperimentConfig {
 
   brahms::Params brahms{};                      ///< l1/l2/α/β/γ
   core::EvictionSpec eviction = core::EvictionSpec::none();
+  ChurnSpec churn = ChurnSpec::none();
   bool trusted_overlay = false;                 ///< D1 extension
   brahms::AuthMode auth_mode = brahms::AuthMode::kFingerprint;
 

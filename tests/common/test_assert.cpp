@@ -1,0 +1,80 @@
+// Direct coverage for the assertion machinery: failure behaviour (throw
+// types, message contents) was previously only exercised indirectly through
+// callers' EXPECT_THROWs.
+#include "common/assert.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace raptee {
+namespace {
+
+TEST(Assert, PassingAssertIsSilent) {
+  EXPECT_NO_THROW(RAPTEE_ASSERT(1 + 1 == 2));
+  EXPECT_NO_THROW(RAPTEE_ASSERT_MSG(true, "never rendered"));
+  EXPECT_NO_THROW(RAPTEE_REQUIRE(true, "never rendered"));
+}
+
+TEST(Assert, FailureThrowsAssertionError) {
+  EXPECT_THROW(RAPTEE_ASSERT(false), AssertionError);
+  EXPECT_THROW(RAPTEE_ASSERT_MSG(false, "boom"), AssertionError);
+}
+
+TEST(Assert, AssertionErrorIsALogicError) {
+  // Tests catching std::logic_error (and generic std::exception handlers)
+  // must see assertion failures.
+  EXPECT_THROW(RAPTEE_ASSERT(false), std::logic_error);
+}
+
+TEST(Assert, MessageCarriesExpressionFileLineAndDetail) {
+  try {
+    RAPTEE_ASSERT_MSG(2 == 3, "detail " << 42);
+    FAIL() << "should have thrown";
+  } catch (const AssertionError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("2 == 3"), std::string::npos) << what;
+    EXPECT_NE(what.find("test_assert.cpp"), std::string::npos) << what;
+    EXPECT_NE(what.find("detail 42"), std::string::npos) << what;
+  }
+}
+
+TEST(Assert, RequireThrowsInvalidArgumentWithFormattedMessage) {
+  try {
+    const int n = 3;
+    RAPTEE_REQUIRE(n > 8, "population too small: " << n);
+    FAIL() << "should have thrown";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("n > 8"), std::string::npos) << what;
+    EXPECT_NE(what.find("population too small: 3"), std::string::npos) << what;
+  }
+}
+
+TEST(Assert, RequireIsNotAnAssertionError) {
+  // The two tiers stay distinguishable: precondition violations must not be
+  // caught by handlers that watch for internal-invariant bugs.
+  EXPECT_THROW(RAPTEE_REQUIRE(false, "nope"), std::invalid_argument);
+  try {
+    RAPTEE_REQUIRE(false, "nope");
+  } catch (const AssertionError&) {
+    FAIL() << "RAPTEE_REQUIRE must not throw AssertionError";
+  } catch (const std::invalid_argument&) {
+    SUCCEED();
+  }
+}
+
+TEST(Assert, SideEffectsInExpressionRunExactlyOnce) {
+  int calls = 0;
+  auto bump = [&calls]() {
+    ++calls;
+    return true;
+  };
+  RAPTEE_ASSERT(bump());
+  EXPECT_EQ(calls, 1);
+  RAPTEE_REQUIRE(bump(), "msg");
+  EXPECT_EQ(calls, 2);
+}
+
+}  // namespace
+}  // namespace raptee

@@ -231,5 +231,58 @@ TEST_P(RngBoundParam, LemireUnbiasedAcrossBounds) {
 INSTANTIATE_TEST_SUITE_P(Bounds, RngBoundParam,
                          ::testing::Values(2, 3, 7, 10, 100, 1000, 65536));
 
+TEST(Rng, PickSingleElementNeedsNoRandomness) {
+  Rng r(90);
+  std::vector<int> one{7};
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(r.pick(one), 7);
+}
+
+TEST(Rng, PickCoversAllElements) {
+  Rng r(91);
+  std::vector<int> v{0, 1, 2, 3};
+  std::set<int> seen;
+  for (int i = 0; i < 200; ++i) seen.insert(r.pick(v));
+  EXPECT_EQ(seen.size(), v.size());
+}
+
+TEST(Rng, SampleIndicesZeroPopulation) {
+  Rng r(92);
+  EXPECT_TRUE(r.sample_indices(0, 0).empty());
+  EXPECT_TRUE(r.sample_indices(0, 5).empty());
+}
+
+TEST(Rng, SampleFromEmptyVector) {
+  Rng r(93);
+  const std::vector<int> empty;
+  EXPECT_TRUE(r.sample(empty, 0).empty());
+  EXPECT_TRUE(r.sample(empty, 3).empty());
+}
+
+TEST(Rng, BelowHugeBoundExercisesRejectionPath) {
+  // bound > 2^63 makes Lemire's rejection threshold (2^64 mod bound) huge,
+  // so the retry loop actually runs; results must still be in range.
+  Rng r(94);
+  const std::uint64_t bound = (1ull << 63) + 1;
+  for (int i = 0; i < 200; ++i) EXPECT_LT(r.below(bound), bound);
+}
+
+TEST(Rng, BelowMaxBound) {
+  Rng r(95);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_LT(r.below(~0ull), ~0ull);
+  }
+}
+
+TEST(Rng, ForkDifferentSaltsDiverge) {
+  Rng parent(96);
+  Rng a = parent.fork(1);
+  Rng b = parent.fork(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
 }  // namespace
 }  // namespace raptee

@@ -1,0 +1,167 @@
+// Deterministic scenario-matrix harness: seeded end-to-end sweeps over
+// adversary fraction × trusted fraction × churn × eviction, asserting the
+// paper's qualitative invariants on every cell — the way BASALT and
+// Honeybee validate their samplers. Every cell is a full experiment
+// (population build, bootstrap, synchronous rounds, trackers), so this
+// suite is also the tier-1 gate for simulator performance regressions
+// (ctest enforces a wall-clock budget on the whole binary).
+#include "support/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+namespace raptee::test {
+namespace {
+
+using metrics::ExperimentResult;
+
+std::vector<MatrixCell> matrix_cells() {
+  std::vector<MatrixCell> cells;
+  for (double f : {0.0, 0.1, 0.3}) {
+    for (double t : {0.0, 0.2, 1.0}) {
+      for (bool churn : {false, true}) {
+        for (int ev : {0, 40, 100}) {
+          // Eviction is a trusted-node policy: without trusted nodes the
+          // 40/100 cells duplicate ev=0 — skip the duplicates to keep the
+          // grid inside the ctest budget.
+          if (t == 0.0 && ev != 0) continue;
+          cells.push_back({f, t, churn, ev});
+        }
+      }
+    }
+  }
+  return cells;
+}
+
+class ScenarioMatrix : public ::testing::TestWithParam<MatrixCell> {};
+
+TEST_P(ScenarioMatrix, PaperInvariantsHold) {
+  const MatrixCell cell = GetParam();
+  const ExperimentResult result = cell.scenario().run();
+  const metrics::ExperimentConfig config = cell.scenario().config();
+
+  // The metric streams cover every executed round and stay in range.
+  ASSERT_EQ(result.pollution_series.size(), config.rounds);
+  ASSERT_EQ(result.min_knowledge_series.size(), config.rounds);
+  for (double p : result.pollution_series) {
+    ASSERT_GE(p, 0.0);
+    ASSERT_LE(p, 1.0);
+  }
+  for (double k : result.min_knowledge_series) {
+    ASSERT_GE(k, 0.0);
+    ASSERT_LE(k, 1.0);
+  }
+
+  // The protocol makes progress in every regime: pull exchanges complete
+  // even under churn and a 30 % balanced attack.
+  EXPECT_GT(result.pulls_completed, 0u);
+
+  if (cell.adversary == 0.0) {
+    // No adversary ⇒ no pollution, anywhere, ever.
+    EXPECT_EQ(result.steady_pollution, 0.0);
+    const double peak = *std::max_element(result.pollution_series.begin(),
+                                          result.pollution_series.end());
+    EXPECT_EQ(peak, 0.0);
+    if (!cell.churn) {
+      // Convergence: a stable benign population discovers most of itself
+      // and reaches the paper's 75 % discovery milestone.
+      EXPECT_TRUE(result.discovery_round.has_value());
+    }
+  } else {
+    // Bounded Byzantine representation: the balanced attack over-represents
+    // the adversary, but correct views never collapse to all-Byzantine.
+    EXPECT_LT(result.steady_pollution, 0.9);
+    // Hub amplification is real yet bounded: steady pollution stays under
+    // 3× the Byzantine fraction plus binomial slack (generous on purpose —
+    // this is a qualitative, seed-stable envelope, not a tuned constant).
+    EXPECT_LT(result.steady_pollution, 3.0 * cell.adversary + 2.0 / 16.0);
+  }
+
+  if (cell.trusted_share > 0.0 && cell.adversary > 0.0 && cell.eviction_pct > 0) {
+    // Eviction keeps trusted views at least as clean as the overall
+    // population (the mechanism behind the paper's resilience gains).
+    EXPECT_LE(result.steady_pollution_trusted, result.steady_pollution + 0.05);
+  }
+
+  if (cell.trusted_share > 0.0) {
+    // Trusted telemetry reports the configured fixed rate while exchanges
+    // with untrusted peers happen (t=1.0 has no untrusted correct peers).
+    if (cell.eviction_pct > 0 && cell.trusted_share < 1.0) {
+      EXPECT_NEAR(result.mean_eviction_rate, cell.eviction_pct / 100.0, 1e-9);
+    }
+    EXPECT_GE(result.mean_trusted_ratio, 0.0);
+    EXPECT_LE(result.mean_trusted_ratio, 1.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, ScenarioMatrix, ::testing::ValuesIn(matrix_cells()),
+                         [](const ::testing::TestParamInfo<MatrixCell>& info) {
+                           return info.param.name();
+                         });
+
+// Same seed ⇒ identical metric streams, bit for bit — across the hardest
+// cells (adversary + trusted overlay + churn + eviction + identification).
+class ScenarioDeterminism : public ::testing::TestWithParam<MatrixCell> {};
+
+TEST_P(ScenarioDeterminism, SameSeedReplaysBitExactly) {
+  Scenario scenario = GetParam().scenario();
+  scenario.identification().seed(99);
+  const ExperimentResult first = scenario.run();
+  const ExperimentResult second = scenario.run();
+  EXPECT_TRUE(same_metric_streams(first, second));
+  EXPECT_EQ(first.ident_best.flagged, second.ident_best.flagged);
+  EXPECT_EQ(first.ident_best.f1, second.ident_best.f1);
+}
+
+TEST_P(ScenarioDeterminism, DifferentSeedsDiverge) {
+  Scenario scenario = GetParam().scenario();
+  const ExperimentResult first = scenario.seed(1).run();
+  const ExperimentResult second = scenario.seed(2).run();
+  // Two seeds agreeing on every counter would mean the seed is ignored.
+  EXPECT_FALSE(first.swaps_completed == second.swaps_completed &&
+               first.pollution_series == second.pollution_series &&
+               first.min_knowledge_series == second.min_knowledge_series);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Reference, ScenarioDeterminism,
+    ::testing::Values(MatrixCell{0.1, 0.2, false, 40}, MatrixCell{0.3, 0.2, true, 100},
+                      MatrixCell{0.3, 1.0, true, 40}),
+    [](const ::testing::TestParamInfo<MatrixCell>& info) { return info.param.name(); });
+
+// The §VI-A identification attack sees through an *unprotected* trusted
+// overlay: with eviction on and no camouflage, flagged nodes exist and the
+// attack beats the trivial all-negative classifier.
+TEST(ScenarioIdentification, EvictionLeaksTrustedIdentityWithoutCountermeasures) {
+  const metrics::ExperimentResult result = Scenario()
+                                               .adversary(0.2)
+                                               .trusted_share(0.3)
+                                               .eviction_pct(100)
+                                               .identification()
+                                               .rounds(60)
+                                               .run();
+  EXPECT_GT(result.ident_best.trusted_total, 0u);
+  EXPECT_GT(result.ident_best.flagged, 0u);
+  EXPECT_GT(result.ident_best.recall, 0.0);
+  EXPECT_GT(result.ident_best.f1, 0.0);
+}
+
+// Churn integration: nodes that leave stop exchanging, rejoiners recover,
+// and the run keeps its full metric streams.
+TEST(ScenarioChurn, ChurnReducesThroughputButNotCorrectness) {
+  Scenario stable = Scenario().adversary(0.1).trusted_share(0.2);
+  Scenario churny = stable;
+  metrics::ChurnSpec spec = metrics::ChurnSpec::steady(0.05, 8, true);
+  churny.churn(spec);
+
+  const metrics::ExperimentResult calm = stable.run();
+  const metrics::ExperimentResult stormy = churny.run();
+  EXPECT_LT(stormy.pulls_completed, calm.pulls_completed);
+  EXPECT_GT(stormy.pulls_completed, 0u);
+  EXPECT_EQ(stormy.pollution_series.size(), calm.pollution_series.size());
+}
+
+}  // namespace
+}  // namespace raptee::test

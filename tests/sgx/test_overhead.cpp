@@ -79,7 +79,7 @@ TEST(FunctionClass, NamesMatchTable1Rows) {
 TEST(CycleCounter, MonotonicNonDecreasing) {
   const Cycles a = read_cycle_counter();
   volatile std::uint64_t sink = 0;
-  for (int i = 0; i < 1000; ++i) sink += static_cast<std::uint64_t>(i);
+  for (int i = 0; i < 1000; ++i) sink = sink + static_cast<std::uint64_t>(i);
   const Cycles b = read_cycle_counter();
   EXPECT_GE(b, a);
 }

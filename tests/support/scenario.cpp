@@ -1,0 +1,167 @@
+#include "support/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <ostream>
+#include <sstream>
+
+namespace raptee::test {
+
+Scenario::Scenario() {
+  base_.n = 128;
+  base_.brahms.l1 = 16;
+  base_.brahms.l2 = 16;
+  base_.rounds = 64;
+  base_.seed = 20220308;
+}
+
+Scenario& Scenario::population(std::size_t n) {
+  base_.n = n;
+  return *this;
+}
+Scenario& Scenario::view_size(std::size_t l1) {
+  base_.brahms.l1 = l1;
+  base_.brahms.l2 = l1;
+  return *this;
+}
+Scenario& Scenario::rounds(Round rounds) {
+  base_.rounds = rounds;
+  return *this;
+}
+Scenario& Scenario::seed(std::uint64_t seed) {
+  base_.seed = seed;
+  return *this;
+}
+Scenario& Scenario::adversary(double fraction) {
+  base_.byzantine_fraction = fraction;
+  return *this;
+}
+Scenario& Scenario::trusted_share(double share) {
+  trusted_share_ = share;
+  return *this;
+}
+Scenario& Scenario::poisoned_extra(double fraction) {
+  base_.poisoned_extra_fraction = fraction;
+  return *this;
+}
+Scenario& Scenario::eviction_pct(int percent) {
+  base_.eviction = percent == 0 ? core::EvictionSpec::none()
+                                : core::EvictionSpec::fixed(percent / 100.0);
+  return *this;
+}
+Scenario& Scenario::eviction(const core::EvictionSpec& spec) {
+  base_.eviction = spec;
+  return *this;
+}
+Scenario& Scenario::trusted_overlay(bool enabled) {
+  base_.trusted_overlay = enabled;
+  return *this;
+}
+Scenario& Scenario::churn(bool enabled) {
+  metrics::ChurnSpec spec = metrics::ChurnSpec::steady(0.02);
+  spec.enabled = enabled;
+  base_.churn = spec;
+  return *this;
+}
+Scenario& Scenario::churn(const metrics::ChurnSpec& spec) {
+  base_.churn = spec;
+  return *this;
+}
+Scenario& Scenario::identification(double threshold) {
+  base_.run_identification = true;
+  base_.identification_threshold = threshold;
+  return *this;
+}
+Scenario& Scenario::wire_roundtrip(bool enabled) {
+  base_.wire_roundtrip = enabled;
+  return *this;
+}
+Scenario& Scenario::encrypt_links(bool enabled) {
+  base_.encrypt_links = enabled;
+  return *this;
+}
+Scenario& Scenario::message_loss(double probability) {
+  base_.message_loss = probability;
+  return *this;
+}
+
+metrics::ExperimentConfig Scenario::config() const {
+  metrics::ExperimentConfig config = base_;
+  config.trusted_fraction = trusted_share_ * (1.0 - base_.byzantine_fraction);
+  return config;
+}
+
+metrics::ExperimentResult Scenario::run() const { return metrics::run_experiment(config()); }
+
+std::string MatrixCell::name() const {
+  std::ostringstream oss;
+  oss << 'f' << std::lround(adversary * 100) << "_t"
+      << std::lround(trusted_share * 100) << (churn ? "_churn" : "_stable") << "_ev"
+      << eviction_pct;
+  return oss.str();
+}
+
+Scenario MatrixCell::scenario() const {
+  Scenario s;
+  s.adversary(adversary).trusted_share(trusted_share).churn(churn).eviction_pct(
+      eviction_pct);
+  return s;
+}
+
+std::ostream& operator<<(std::ostream& os, const MatrixCell& cell) {
+  return os << cell.name();
+}
+
+namespace {
+
+bool same_series(const char* label, const std::vector<double>& a,
+                 const std::vector<double>& b) {
+  if (a.size() != b.size()) {
+    ADD_FAILURE() << label << ": length " << a.size() << " vs " << b.size();
+    return false;
+  }
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    // Bit-exact: a rerun of the same seeded simulation must replay the very
+    // same floating-point operations, not merely land close.
+    if (std::memcmp(&a[i], &b[i], sizeof(double)) != 0) {
+      ADD_FAILURE() << label << '[' << i << "]: " << a[i] << " vs " << b[i];
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+bool same_metric_streams(const metrics::ExperimentResult& a,
+                         const metrics::ExperimentResult& b) {
+  bool ok = same_series("pollution_series", a.pollution_series, b.pollution_series);
+  ok = same_series("pollution_series_trusted", a.pollution_series_trusted,
+                   b.pollution_series_trusted) && ok;
+  ok = same_series("min_knowledge_series", a.min_knowledge_series,
+                   b.min_knowledge_series) && ok;
+  if (a.discovery_round != b.discovery_round) {
+    ADD_FAILURE() << "discovery_round diverged";
+    ok = false;
+  }
+  if (a.stability_round != b.stability_round) {
+    ADD_FAILURE() << "stability_round diverged";
+    ok = false;
+  }
+  if (a.swaps_completed != b.swaps_completed || a.pulls_completed != b.pulls_completed) {
+    ADD_FAILURE() << "exchange counters diverged: swaps " << a.swaps_completed << '/'
+                  << b.swaps_completed << ", pulls " << a.pulls_completed << '/'
+                  << b.pulls_completed;
+    ok = false;
+  }
+  if (a.enclave_cycles_total != b.enclave_cycles_total) {
+    ADD_FAILURE() << "enclave cycle ledgers diverged: " << a.enclave_cycles_total
+                  << " vs " << b.enclave_cycles_total;
+    ok = false;
+  }
+  return ok;
+}
+
+}  // namespace raptee::test

@@ -7,7 +7,7 @@
 
 int main() {
   using namespace raptee;
-  const auto knobs = bench::Knobs::from_env();
+  const auto knobs = scenario::Knobs::from_env();
   bench::print_header("ablation_adaptive_bounds", knobs);
   std::cout << "D2 ablation: adaptive eviction clamp [lower, upper] at t=10%\n\n";
 
@@ -21,25 +21,25 @@ int main() {
   const std::vector<int> fs{10, 20, 30};
 
   // Per f: one baseline, then one cell per bounds variant.
-  std::vector<metrics::ExperimentConfig> configs;
-  for (int f : fs) {
-    metrics::ExperimentConfig baseline = bench::base_config(knobs);
-    baseline.byzantine_fraction = f / 100.0;
-    configs.push_back(baseline);
+  std::vector<scenario::ScenarioSpec> specs;
+  for (const int f : fs) {
+    scenario::ScenarioSpec baseline = knobs.base_spec().adversary_pct(f);
+    specs.push_back(baseline);
     for (const Bounds& b : variants) {
-      metrics::ExperimentConfig raptee = baseline;
-      raptee.trusted_fraction = 0.10;
-      raptee.eviction = core::EvictionSpec::adaptive(b.lower, b.upper);
-      raptee.run_identification = true;
-      configs.push_back(raptee);
+      scenario::ScenarioSpec raptee = baseline;
+      raptee.trusted(0.10)
+          .eviction(core::EvictionSpec::adaptive(b.lower, b.upper))
+          .identification();
+      specs.push_back(raptee);
     }
   }
-  const auto cells = bench::run_cells(std::move(configs), knobs.reps, knobs.threads);
+  const auto cells = scenario::Runner(knobs.threads).run_batch(specs, knobs.reps);
 
   metrics::TablePrinter table(
       {"bounds", "f%", "improvement %", "discovery ovh %", "ident F1", "mean ER %"});
   metrics::CsvWriter csv({"lower", "upper", "f_pct", "improvement_pct",
                           "discovery_overhead_pct", "ident_f1", "mean_er_pct"});
+  scenario::results::BenchReport report("ablation_adaptive_bounds", knobs);
 
   const std::size_t stride = 1 + variants.size();
   for (std::size_t vi = 0; vi < variants.size(); ++vi) {
@@ -63,9 +63,19 @@ int main() {
                    bench::fmt_opt(disc, 3),
                    metrics::fmt(raptee.ident_best_f1.mean(), 4),
                    metrics::fmt(100.0 * raptee.eviction_rate.mean(), 2)});
+      report.add_row(metrics::JsonObject()
+                         .field("lower", b.lower)
+                         .field("upper", b.upper)
+                         .field("f_pct", fs[fi])
+                         .field("improvement_pct",
+                                bench::improvement_pct(baseline, raptee))
+                         .field("discovery_overhead_pct", disc)
+                         .field("ident_f1", raptee.ident_best_f1.mean())
+                         .field("mean_eviction_rate", raptee.eviction_rate.mean()));
     }
   }
   std::cout << table.render() << '\n';
   bench::write_csv("ablation_adaptive_bounds.csv", csv);
+  report.write();
   return 0;
 }

@@ -8,7 +8,7 @@
 
 int main() {
   using namespace raptee;
-  const auto knobs = bench::Knobs::from_env();
+  const auto knobs = scenario::Knobs::from_env();
   bench::print_header("ablation_trusted_overlay", knobs);
   std::cout << "D1 ablation: trusted overlay off (paper-faithful) vs on\n\n";
 
@@ -16,32 +16,30 @@ int main() {
   const std::vector<int> ts{1, 10};
 
   // Per (f, t): baseline, overlay-off, overlay-on.
-  std::vector<metrics::ExperimentConfig> configs;
-  for (int f : fs) {
-    for (int t : ts) {
-      metrics::ExperimentConfig baseline = bench::base_config(knobs);
-      baseline.byzantine_fraction = f / 100.0;
-      configs.push_back(baseline);
-      metrics::ExperimentConfig off = baseline;
-      off.trusted_fraction = t / 100.0;
-      off.eviction = core::EvictionSpec::adaptive();
-      off.trusted_overlay = false;
-      configs.push_back(off);
-      metrics::ExperimentConfig on = off;
-      on.trusted_overlay = true;
-      configs.push_back(on);
+  std::vector<scenario::ScenarioSpec> specs;
+  for (const int f : fs) {
+    for (const int t : ts) {
+      scenario::ScenarioSpec baseline = knobs.base_spec().adversary_pct(f);
+      specs.push_back(baseline);
+      scenario::ScenarioSpec off = baseline;
+      off.trusted_pct(t).eviction(core::EvictionSpec::adaptive()).trusted_overlay(false);
+      specs.push_back(off);
+      scenario::ScenarioSpec on = off;
+      on.trusted_overlay(true);
+      specs.push_back(on);
     }
   }
-  const auto cells = bench::run_cells(std::move(configs), knobs.reps, knobs.threads);
+  const auto cells = scenario::Runner(knobs.threads).run_batch(specs, knobs.reps);
 
   metrics::TablePrinter table({"f%", "t%", "improvement off %", "improvement on %",
                                "trusted pollution off %", "trusted pollution on %"});
   metrics::CsvWriter csv({"f_pct", "t_pct", "overlay", "improvement_pct",
                           "trusted_pollution_pct"});
+  scenario::results::BenchReport report("ablation_trusted_overlay", knobs);
 
   std::size_t idx = 0;
-  for (int f : fs) {
-    for (int t : ts) {
+  for (const int f : fs) {
+    for (const int t : ts) {
       const auto& baseline = cells[idx++];
       const auto& off = cells[idx++];
       const auto& on = cells[idx++];
@@ -56,9 +54,20 @@ int main() {
       csv.add_row({std::to_string(f), std::to_string(t), "on",
                    metrics::fmt(bench::improvement_pct(baseline, on), 3),
                    metrics::fmt(100.0 * on.pollution_trusted.mean(), 3)});
+      const auto json_row = [&](const char* overlay, const metrics::RepeatedResult& cell) {
+        report.add_row(metrics::JsonObject()
+                           .field("f_pct", f)
+                           .field("t_pct", t)
+                           .field("overlay", overlay)
+                           .field("improvement_pct", bench::improvement_pct(baseline, cell))
+                           .field("trusted_pollution", cell.pollution_trusted.mean()));
+      };
+      json_row("off", off);
+      json_row("on", on);
     }
   }
   std::cout << table.render() << '\n';
   bench::write_csv("ablation_trusted_overlay.csv", csv);
+  report.write();
   return 0;
 }

@@ -1,72 +1,9 @@
 #include "bench_common.hpp"
 
-#include <cstdlib>
-
-#include "common/rng.hpp"
 #include <iostream>
+#include <vector>
 
 namespace raptee::bench {
-
-namespace {
-
-std::size_t env_size(const char* name, std::size_t fallback) {
-  if (const char* value = std::getenv(name)) {
-    const long parsed = std::atol(value);
-    if (parsed > 0) return static_cast<std::size_t>(parsed);
-  }
-  return fallback;
-}
-
-}  // namespace
-
-Knobs Knobs::from_env() {
-  Knobs knobs;
-  if (const char* full = std::getenv("RAPTEE_BENCH_FULL")) {
-    knobs.full = std::atoi(full) != 0;
-  }
-  if (knobs.full) {
-    knobs.n = 10000;
-    knobs.l1 = 200;
-    knobs.rounds = 200;
-    knobs.reps = 10;
-  }
-  knobs.n = env_size("RAPTEE_BENCH_N", knobs.n);
-  knobs.l1 = env_size("RAPTEE_BENCH_L1", knobs.l1);
-  knobs.rounds = static_cast<Round>(env_size("RAPTEE_BENCH_ROUNDS", knobs.rounds));
-  knobs.reps = env_size("RAPTEE_BENCH_REPS", knobs.reps);
-  knobs.threads = env_size("RAPTEE_BENCH_THREADS", knobs.threads);
-  return knobs;
-}
-
-metrics::ExperimentConfig base_config(const Knobs& knobs) {
-  metrics::ExperimentConfig config;
-  config.n = knobs.n;
-  config.brahms.l1 = knobs.l1;
-  config.brahms.l2 = knobs.l1;
-  config.rounds = knobs.rounds;
-  config.seed = knobs.seed;
-  config.auth_mode = brahms::AuthMode::kFingerprint;
-  return config;
-}
-
-std::vector<int> f_grid(const Knobs& knobs) {
-  if (knobs.full) {
-    std::vector<int> grid;
-    for (int f = 10; f <= 30; f += 2) grid.push_back(f);
-    return grid;
-  }
-  return {10, 20, 30};
-}
-
-std::vector<int> t_grid(const Knobs& knobs) {
-  if (knobs.full) return {1, 5, 10, 20, 30, 50};
-  return {1, 10, 30};
-}
-
-std::vector<int> er_grid(const Knobs& knobs) {
-  if (knobs.full) return {0, 20, 40, 60, 80, 100};
-  return {0, 60, 100};
-}
 
 void write_csv(const std::string& file_name, const metrics::CsvWriter& csv) {
   const std::string path = "bench_out/" + file_name;
@@ -77,7 +14,7 @@ void write_csv(const std::string& file_name, const metrics::CsvWriter& csv) {
   }
 }
 
-void print_header(const char* bench_name, const Knobs& knobs) {
+void print_header(const char* bench_name, const scenario::Knobs& knobs) {
   std::cout << "==== " << bench_name << " ====\n"
             << "mode=" << (knobs.full ? "FULL (paper-scale)" : "quick")
             << "  N=" << knobs.n << "  view=" << knobs.l1 << "  rounds=" << knobs.rounds
@@ -88,52 +25,18 @@ std::string fmt_opt(const std::optional<double>& value, int precision) {
   return value ? metrics::fmt(*value, precision) : std::string("-");
 }
 
-std::vector<metrics::RepeatedResult> run_cells(
-    std::vector<metrics::ExperimentConfig> configs, std::size_t reps,
-    std::size_t threads) {
-  std::vector<metrics::ExperimentConfig> flat;
-  flat.reserve(configs.size() * reps);
-  for (const auto& config : configs) {
-    for (std::size_t r = 0; r < reps; ++r) {
-      metrics::ExperimentConfig cell = config;
-      cell.seed = raptee::mix64(config.seed, 0x5265705Aull + r);
-      flat.push_back(cell);
-    }
-  }
-  const auto results = metrics::run_batch(flat, threads);
-
-  std::vector<metrics::RepeatedResult> out(configs.size());
-  for (std::size_t c = 0; c < configs.size(); ++c) {
-    metrics::RepeatedResult& agg = out[c];
-    for (std::size_t r = 0; r < reps; ++r) {
-      const auto& res = results[c * reps + r];
-      ++agg.runs;
-      agg.pollution.add(res.steady_pollution);
-      agg.pollution_honest.add(res.steady_pollution_honest);
-      agg.pollution_trusted.add(res.steady_pollution_trusted);
-      if (res.discovery_round) {
-        agg.discovery.add(static_cast<double>(*res.discovery_round));
-        ++agg.discovery_reached;
-      }
-      if (res.stability_round) {
-        agg.stability.add(static_cast<double>(*res.stability_round));
-        ++agg.stability_reached;
-      }
-      agg.eviction_rate.add(res.mean_eviction_rate);
-      agg.trusted_ratio.add(res.mean_trusted_ratio);
-      agg.ident_best_precision.add(res.ident_best.precision);
-      agg.ident_best_recall.add(res.ident_best.recall);
-      agg.ident_best_f1.add(res.ident_best.f1);
-    }
-  }
-  return out;
-}
-
 double improvement_pct(const metrics::RepeatedResult& baseline,
                        const metrics::RepeatedResult& raptee) {
   const double base = baseline.pollution.mean();
   if (base <= 0.0) return 0.0;
   return 100.0 * (base - raptee.pollution.mean()) / base;
+}
+
+double improvement_honest_pct(const metrics::RepeatedResult& baseline,
+                              const metrics::RepeatedResult& raptee) {
+  const double base = baseline.pollution_honest.mean();
+  if (base <= 0.0) return 0.0;
+  return 100.0 * (base - raptee.pollution_honest.mean()) / base;
 }
 
 std::optional<double> overhead_pct(const RunningStats& baseline,
@@ -147,36 +50,37 @@ std::optional<double> overhead_pct(const RunningStats& baseline,
 }
 
 void run_eviction_figure(const char* fig_name, const char* title,
-                         const core::EvictionSpec& eviction, const Knobs& knobs) {
+                         const core::EvictionSpec& eviction,
+                         const scenario::Knobs& knobs) {
   print_header(fig_name, knobs);
   std::cout << title << "\n\n";
 
-  const auto fs = f_grid(knobs);
-  const auto ts = t_grid(knobs);
+  const auto fs = knobs.f_grid();
+  const auto ts = knobs.t_grid();
 
   // Batch layout: per f, one Brahms baseline followed by one RAPTEE cell
   // per t — the baseline is shared across the whole t row.
-  std::vector<metrics::ExperimentConfig> configs;
-  for (int f : fs) {
-    metrics::ExperimentConfig baseline = base_config(knobs);
-    baseline.byzantine_fraction = f / 100.0;
-    configs.push_back(baseline);
-    for (int t : ts) {
-      metrics::ExperimentConfig raptee = baseline;
-      raptee.trusted_fraction = t / 100.0;
-      raptee.eviction = eviction;
-      configs.push_back(raptee);
+  std::vector<scenario::ScenarioSpec> specs;
+  for (const int f : fs) {
+    scenario::ScenarioSpec baseline = knobs.base_spec().adversary_pct(f);
+    specs.push_back(baseline);
+    for (const int t : ts) {
+      scenario::ScenarioSpec raptee = baseline;
+      raptee.trusted_pct(t).eviction(eviction);
+      specs.push_back(raptee);
     }
   }
-  const auto cells = run_cells(std::move(configs), knobs.reps, knobs.threads);
+  const scenario::Runner runner(knobs.threads);
+  const auto cells = runner.run_batch(specs, knobs.reps);
 
   std::vector<std::string> headers{"f%\\t%"};
-  for (int t : ts) headers.push_back("t=" + std::to_string(t) + "%");
+  for (const int t : ts) headers.push_back("t=" + std::to_string(t) + "%");
   metrics::TablePrinter improvement(headers), discovery(headers), stability(headers);
   metrics::CsvWriter csv({"f_pct", "t_pct", "eviction", "baseline_pollution_pct",
                           "raptee_pollution_pct", "resilience_improvement_pct",
                           "resilience_improvement_honest_pct", "discovery_overhead_pct",
                           "stability_overhead_pct", "mean_eviction_rate_pct"});
+  scenario::results::BenchReport report(fig_name, knobs);
 
   const std::size_t stride = 1 + ts.size();
   for (std::size_t fi = 0; fi < fs.size(); ++fi) {
@@ -196,18 +100,26 @@ void run_eviction_figure(const char* fig_name, const char* title,
       row_disc.push_back(fmt_opt(disc));
       row_stab.push_back(fmt_opt(stab));
 
-      const double imp_honest =
-          baseline.pollution_honest.mean() > 0.0
-              ? 100.0 *
-                    (baseline.pollution_honest.mean() - raptee.pollution_honest.mean()) /
-                    baseline.pollution_honest.mean()
-              : 0.0;
+      const double imp_honest = improvement_honest_pct(baseline, raptee);
       csv.add_row({std::to_string(f), std::to_string(ts[ti]), eviction.describe(),
                    metrics::fmt(100.0 * baseline.pollution.mean(), 3),
                    metrics::fmt(100.0 * raptee.pollution.mean(), 3),
                    metrics::fmt(imp, 3), metrics::fmt(imp_honest, 3), fmt_opt(disc, 3),
                    fmt_opt(stab, 3),
                    metrics::fmt(100.0 * raptee.eviction_rate.mean(), 2)});
+      report.add_row(metrics::JsonObject()
+                         .field("f_pct", f)
+                         .field("t_pct", ts[ti])
+                         .field("eviction", eviction.describe())
+                         .field("baseline_pollution", baseline.pollution.mean())
+                         .field("raptee_pollution", raptee.pollution.mean())
+                         .field("resilience_improvement_pct", imp)
+                         .field("resilience_improvement_honest_pct", imp_honest)
+                         .field("discovery_overhead_pct", disc)
+                         .field("stability_overhead_pct", stab)
+                         .field("mean_eviction_rate", raptee.eviction_rate.mean())
+                         .field_raw("raptee", scenario::results::to_json(raptee))
+                         .field_raw("baseline", scenario::results::to_json(baseline)));
     }
     improvement.add_row(row_imp);
     discovery.add_row(row_disc);
@@ -220,6 +132,7 @@ void run_eviction_figure(const char* fig_name, const char* title,
   std::cout << "(c) Round overhead to reach view stability (%)\n" << stability.render()
             << '\n';
   write_csv(std::string(fig_name) + ".csv", csv);
+  report.write();
 }
 
 }  // namespace raptee::bench

@@ -1,61 +1,36 @@
-// Shared machinery for the figure/table benches.
+// Shared presentation machinery for the figure/table benches.
 //
-// Every bench prints the paper's rows/series as aligned tables and writes
-// CSV to bench_out/. Grids default to a runtime-trimmed "quick" mode; set
-// RAPTEE_BENCH_FULL=1 for the paper-scale grid (N=10,000, view 200,
-// 200 rounds, f in 10..30 step 2, t in {1,5,10,20,30,50}), and override
-// individual knobs with RAPTEE_BENCH_N / _L1 / _ROUNDS / _REPS / _THREADS.
+// Scenario assembly lives in the scenario API (scenario/scenario.hpp):
+// scenario::Knobs::from_env() sizes runs (RAPTEE_BENCH_* knobs, see
+// README.md), ScenarioSpec builds cells, Runner executes them. This header
+// only keeps what benches share to *present* results: aligned tables, the
+// CSV + JSON sinks under bench_out/, the derived-metric math (resilience
+// improvement, round overheads) and the Figures 5-9 eviction-sweep driver.
 #pragma once
 
+#include <optional>
 #include <string>
-#include <vector>
 
-#include "metrics/experiment.hpp"
 #include "metrics/report.hpp"
+#include "scenario/scenario.hpp"
 
 namespace raptee::bench {
-
-struct Knobs {
-  bool full = false;
-  std::size_t n = 400;
-  std::size_t l1 = 40;
-  Round rounds = 150;
-  std::size_t reps = 1;
-  std::size_t threads = 2;
-  std::uint64_t seed = 20220308;  // arXiv date of the paper
-
-  static Knobs from_env();
-};
-
-/// The experiment configuration shared by all figure benches.
-[[nodiscard]] metrics::ExperimentConfig base_config(const Knobs& knobs);
-
-/// Byzantine-fraction grid (percent): paper 10..30 step 2; quick {10,20,30}.
-[[nodiscard]] std::vector<int> f_grid(const Knobs& knobs);
-/// Trusted-fraction grid (percent): paper {1,5,10,20,30,50}; quick {1,10,30}.
-[[nodiscard]] std::vector<int> t_grid(const Knobs& knobs);
-/// Eviction-rate grid (percent): paper {0,20,...,100}; quick {0,60,100}.
-[[nodiscard]] std::vector<int> er_grid(const Knobs& knobs);
 
 /// Writes a CSV under bench_out/ (best effort; failures warn on stderr).
 void write_csv(const std::string& file_name, const metrics::CsvWriter& csv);
 
 /// Prints the run header (grid sizes, mode) for reproducibility.
-void print_header(const char* bench_name, const Knobs& knobs);
+void print_header(const char* bench_name, const scenario::Knobs& knobs);
 
 /// "12.3" or "-" for missing optionals.
 [[nodiscard]] std::string fmt_opt(const std::optional<double>& value, int precision = 1);
 
-/// Runs `configs`, each repeated `reps` times with decorrelated seeds, all
-/// cells flattened into one batch across `threads` workers; aggregates per
-/// config. This is the throughput backbone of every figure bench.
-[[nodiscard]] std::vector<metrics::RepeatedResult> run_cells(
-    std::vector<metrics::ExperimentConfig> configs, std::size_t reps,
-    std::size_t threads);
-
 /// Relative pollution drop of `raptee` vs `baseline` (percent, all-correct).
 [[nodiscard]] double improvement_pct(const metrics::RepeatedResult& baseline,
                                      const metrics::RepeatedResult& raptee);
+/// Same, restricted to honest untrusted nodes (§V-C prose metric).
+[[nodiscard]] double improvement_honest_pct(const metrics::RepeatedResult& baseline,
+                                            const metrics::RepeatedResult& raptee);
 /// Round-overhead percent for a rounds metric; nullopt when either side
 /// failed to reach the milestone.
 [[nodiscard]] std::optional<double> overhead_pct(const RunningStats& baseline,
@@ -65,9 +40,10 @@ void print_header(const char* bench_name, const Knobs& knobs);
 
 /// Figures 5-9 all share this sweep: for a given eviction policy, produce
 /// the three panels (resilience improvement, discovery overhead, stability
-/// overhead) as f x t matrices, print them and write CSV. Baselines are
-/// computed once per f and shared across the t columns.
+/// overhead) as f x t matrices, print them and write CSV + JSON. Baselines
+/// are computed once per f and shared across the t columns.
 void run_eviction_figure(const char* fig_name, const char* title,
-                         const core::EvictionSpec& eviction, const Knobs& knobs);
+                         const core::EvictionSpec& eviction,
+                         const scenario::Knobs& knobs);
 
 }  // namespace raptee::bench

@@ -3,6 +3,6 @@
 
 int main() {
   using namespace raptee;
-  bench::run_ident_fixed_f_figure("fig11_ident_f30", 30, bench::Knobs::from_env());
+  bench::run_ident_fixed_f_figure("fig11_ident_f30", 30, scenario::Knobs::from_env());
   return 0;
 }

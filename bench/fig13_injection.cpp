@@ -6,44 +6,44 @@
 
 int main() {
   using namespace raptee;
-  const auto knobs = bench::Knobs::from_env();
+  const auto knobs = scenario::Knobs::from_env();
   bench::print_header("fig13_injection", knobs);
   std::cout << "Corrupted trusted node injection (paper Fig. 13): resilience "
                "improvement with +x% view-poisoned trusted nodes\n\n";
 
-  const auto fs = bench::f_grid(knobs);
+  const auto fs = knobs.f_grid();
   const std::vector<int> t_panels = knobs.full ? std::vector<int>{1, 10, 30}
                                                : std::vector<int>{1, 30};
   const std::vector<int> injections =
       knobs.full ? std::vector<int>{0, 1, 5, 10, 20, 30} : std::vector<int>{0, 5, 30};
 
   // Batch layout per f: one Brahms baseline, then (t, inj) cells.
-  std::vector<metrics::ExperimentConfig> configs;
-  for (int f : fs) {
-    metrics::ExperimentConfig baseline = bench::base_config(knobs);
-    baseline.byzantine_fraction = f / 100.0;
-    configs.push_back(baseline);
-    for (int t : t_panels) {
-      for (int inj : injections) {
-        metrics::ExperimentConfig raptee = baseline;
-        raptee.trusted_fraction = t / 100.0;
-        raptee.poisoned_extra_fraction = inj / 100.0;
-        raptee.eviction = core::EvictionSpec::adaptive();
-        configs.push_back(raptee);
+  std::vector<scenario::ScenarioSpec> specs;
+  for (const int f : fs) {
+    scenario::ScenarioSpec baseline = knobs.base_spec().adversary_pct(f);
+    specs.push_back(baseline);
+    for (const int t : t_panels) {
+      for (const int inj : injections) {
+        scenario::ScenarioSpec raptee = baseline;
+        raptee.trusted_pct(t)
+            .poisoned_extra(inj / 100.0)
+            .eviction(core::EvictionSpec::adaptive());
+        specs.push_back(raptee);
       }
     }
   }
-  const auto cells = bench::run_cells(std::move(configs), knobs.reps, knobs.threads);
+  const auto cells = scenario::Runner(knobs.threads).run_batch(specs, knobs.reps);
 
   metrics::CsvWriter csv({"t_pct", "injected_pct", "f_pct", "baseline_pollution_pct",
                           "raptee_pollution_pct", "resilience_improvement_pct"});
+  scenario::results::BenchReport report("fig13_injection", knobs);
   const std::size_t stride = 1 + t_panels.size() * injections.size();
 
   for (std::size_t pi = 0; pi < t_panels.size(); ++pi) {
     const int t = t_panels[pi];
     std::cout << "--- panel: attack on a system with t=" << t << "% ---\n";
     std::vector<std::string> headers{"f%"};
-    for (int inj : injections) {
+    for (const int inj : injections) {
       headers.push_back(inj == 0 ? ("t=" + std::to_string(t) + "%")
                                  : ("+" + std::to_string(inj) + "%"));
     }
@@ -62,11 +62,19 @@ int main() {
                      metrics::fmt(100.0 * baseline.pollution.mean(), 3),
                      metrics::fmt(100.0 * raptee.pollution.mean(), 3),
                      metrics::fmt(imp, 3)});
+        report.add_row(metrics::JsonObject()
+                           .field("t_pct", t)
+                           .field("injected_pct", injections[ii])
+                           .field("f_pct", fs[fi])
+                           .field("baseline_pollution", baseline.pollution.mean())
+                           .field("raptee_pollution", raptee.pollution.mean())
+                           .field("resilience_improvement_pct", imp));
       }
       table.add_row(row);
     }
     std::cout << table.render() << '\n';
   }
   bench::write_csv("fig13_injection.csv", csv);
+  report.write();
   return 0;
 }

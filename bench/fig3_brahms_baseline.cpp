@@ -7,20 +7,25 @@
 
 int main() {
   using namespace raptee;
-  const auto knobs = bench::Knobs::from_env();
+  const auto knobs = scenario::Knobs::from_env();
   bench::print_header("fig3_brahms_baseline", knobs);
   std::cout << "Brahms resilience, time to discovery and to stability under "
                "Byzantine faults (paper Fig. 3)\n\n";
+
+  const auto fs = knobs.f_grid();
+  scenario::Grid grid(knobs.base_spec());
+  grid.axis_adversary_pct(fs);
+  const auto sweep = scenario::Runner(knobs.threads).run_grid(grid, knobs.reps);
 
   metrics::TablePrinter table(
       {"f%", "byz-in-views %", "discovery rounds", "stability rounds"});
   metrics::CsvWriter csv({"f_pct", "pollution_pct", "pollution_sd_pct",
                           "discovery_rounds", "stability_rounds"});
+  scenario::results::BenchReport report("fig3_brahms_baseline", knobs);
 
-  for (int f : bench::f_grid(knobs)) {
-    metrics::ExperimentConfig config = bench::base_config(knobs);
-    config.byzantine_fraction = f / 100.0;
-    const auto result = metrics::run_repeated(config, knobs.reps, knobs.threads);
+  for (std::size_t fi = 0; fi < fs.size(); ++fi) {
+    const int f = fs[fi];
+    const auto& result = sweep.at({fi});
 
     const std::string discovery =
         result.discovery_reached ? metrics::fmt(result.discovery.mean(), 0) : "-";
@@ -31,9 +36,15 @@ int main() {
     csv.add_row({std::to_string(f), metrics::fmt(100.0 * result.pollution.mean(), 3),
                  metrics::fmt(100.0 * result.pollution.sample_stddev(), 3), discovery,
                  stability});
+    report.add_row(metrics::JsonObject()
+                       .field("f_pct", f)
+                       .field("pollution", result.pollution.mean())
+                       .field("pollution_sd", result.pollution.sample_stddev())
+                       .field_raw("result", scenario::results::to_json(result)));
   }
 
   std::cout << table.render() << '\n';
   bench::write_csv("fig3_brahms_baseline.csv", csv);
+  report.write();
   return 0;
 }

@@ -7,6 +7,6 @@ int main() {
       "fig5_eviction_0",
       "Resilience improvement and performance overhead under a 0% eviction rate "
       "(paper Fig. 5)",
-      core::EvictionSpec::fixed(0.0), bench::Knobs::from_env());
+      core::EvictionSpec::fixed(0.0), scenario::Knobs::from_env());
   return 0;
 }

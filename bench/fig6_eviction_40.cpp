@@ -7,6 +7,6 @@ int main() {
       "fig6_eviction_40",
       "Resilience improvement and performance overhead under a 40% eviction rate "
       "(paper Fig. 6)",
-      core::EvictionSpec::fixed(0.4), bench::Knobs::from_env());
+      core::EvictionSpec::fixed(0.4), scenario::Knobs::from_env());
   return 0;
 }

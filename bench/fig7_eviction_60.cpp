@@ -7,6 +7,6 @@ int main() {
       "fig7_eviction_60",
       "Resilience improvement and performance overhead under a 60% eviction rate "
       "(paper Fig. 7)",
-      core::EvictionSpec::fixed(0.6), bench::Knobs::from_env());
+      core::EvictionSpec::fixed(0.6), scenario::Knobs::from_env());
   return 0;
 }

@@ -7,6 +7,6 @@ int main() {
       "fig8_eviction_100",
       "Resilience improvement and performance overhead under a 100% eviction rate "
       "(paper Fig. 8)",
-      core::EvictionSpec::fixed(1.0), bench::Knobs::from_env());
+      core::EvictionSpec::fixed(1.0), scenario::Knobs::from_env());
   return 0;
 }

@@ -8,6 +8,6 @@ int main() {
       "fig9_adaptive",
       "Resilience improvement and performance overhead under the adaptive eviction "
       "rate policy (paper Fig. 9)",
-      core::EvictionSpec::adaptive(), bench::Knobs::from_env());
+      core::EvictionSpec::adaptive(), scenario::Knobs::from_env());
   return 0;
 }

@@ -24,6 +24,7 @@
 #include "common/stats.hpp"
 #include "crypto/hmac.hpp"
 #include "gossip/view.hpp"
+#include "metrics/json.hpp"
 #include "metrics/report.hpp"
 #include "sgx/overhead.hpp"
 #include "wire/message.hpp"
@@ -164,6 +165,7 @@ void print_table1() {
                                "Mean overhead", "Std dev"});
   metrics::CsvWriter csv({"function", "standard_cycles", "sgx_cycles", "mean_overhead",
                           "stddev_pct"});
+  metrics::JsonArray rows;
 
   for (const Row& row : kRows) {
     for (int i = 0; i < kWarmup; ++i) row.fn();
@@ -194,6 +196,13 @@ void print_table1() {
     csv.add_row({row.name, metrics::fmt(standard.mean(), 1),
                  metrics::fmt(sgx_variant.mean(), 1), metrics::fmt(overhead, 1),
                  metrics::fmt(sd_pct, 2)});
+    rows.item_raw(metrics::JsonObject()
+                      .field("function", row.name)
+                      .field("standard_cycles", standard.mean())
+                      .field("sgx_cycles", sgx_variant.mean())
+                      .field("mean_overhead", overhead)
+                      .field("stddev_pct", sd_pct)
+                      .str());
   }
 
   std::cout << "\nTABLE I: SGX performance overhead (in CPU cycles)\n"
@@ -204,6 +213,16 @@ void print_table1() {
                "sd 2-4%.\n";
   const std::string path = "bench_out/table1_sgx_overhead.csv";
   if (csv.write(path)) std::cout << "[csv] " << path << '\n';
+  // Own schema id: unlike the figure benches (raptee.bench/1) this document
+  // has no scenario knobs — its provenance is the cycle-sampling count.
+  const std::string json = metrics::JsonObject()
+                               .field("schema", "raptee.bench.table1/1")
+                               .field("bench", "table1_sgx_overhead")
+                               .field("samples", std::uint64_t{kSamples})
+                               .field_raw("rows", rows.str())
+                               .str();
+  const std::string json_path = "bench_out/table1_sgx_overhead.json";
+  if (metrics::write_text_file(json_path, json)) std::cout << "[json] " << json_path << '\n';
 }
 
 }  // namespace

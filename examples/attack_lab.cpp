@@ -9,23 +9,23 @@
 #include <cstdlib>
 #include <iostream>
 
-#include "metrics/experiment.hpp"
 #include "metrics/report.hpp"
+#include "scenario/scenario.hpp"
 
 int main(int argc, char** argv) {
   using namespace raptee;
-  metrics::ExperimentConfig config;
-  config.n = argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 300;
-  config.byzantine_fraction = argc > 2 ? std::atof(argv[2]) / 100.0 : 0.20;
-  config.trusted_fraction = argc > 3 ? std::atof(argv[3]) / 100.0 : 0.15;
   const double er = argc > 4 ? std::atof(argv[4]) : -1.0;
-  config.eviction = er < 0 ? core::EvictionSpec::adaptive()
-                           : core::EvictionSpec::fixed(er / 100.0);
-  config.brahms.l1 = 24;
-  config.brahms.l2 = 24;
-  config.rounds = 60;
-  config.seed = 13;
-  config.run_identification = true;
+  scenario::ScenarioSpec spec =
+      scenario::ScenarioSpec()
+          .population(argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 300)
+          .adversary((argc > 2 ? std::atof(argv[2]) : 20.0) / 100.0)
+          .trusted((argc > 3 ? std::atof(argv[3]) : 15.0) / 100.0)
+          .eviction(er < 0 ? core::EvictionSpec::adaptive()
+                           : core::EvictionSpec::fixed(er / 100.0))
+          .view_size(24)
+          .rounds(60)
+          .seed(13);
+  const auto config = spec.config();
 
   std::cout << "Attack lab: N=" << config.n << "  f=" << config.byzantine_fraction * 100
             << "%  t=" << config.trusted_fraction * 100
@@ -34,9 +34,8 @@ int main(int argc, char** argv) {
   // --- 1. identification attack, threshold sweep ---
   std::cout << "[1] Trusted-node identification (adversary's best round)\n";
   metrics::TablePrinter ident_table({"threshold pp", "precision", "recall", "F1"});
-  for (double threshold : {0.05, 0.10, 0.15, 0.20}) {
-    config.identification_threshold = threshold;
-    const auto result = metrics::run_experiment(config);
+  for (const double threshold : {0.05, 0.10, 0.15, 0.20}) {
+    const auto result = scenario::ScenarioSpec(spec).identification(threshold).run();
     ident_table.add_row({metrics::fmt(100 * threshold, 0),
                          metrics::fmt(result.ident_best.precision, 2),
                          metrics::fmt(result.ident_best.recall, 2),
@@ -46,10 +45,7 @@ int main(int argc, char** argv) {
 
   // --- 2. poisoned trusted-node injection: self-healing ---
   std::cout << "[2] View-poisoned trusted injection (+10% poisoned devices)\n";
-  config.run_identification = false;
-  config.identification_threshold = 0.10;
-  config.poisoned_extra_fraction = 0.10;
-  const auto attacked = metrics::run_experiment(config);
+  const auto attacked = spec.poisoned_extra(0.10).run();
 
   metrics::TablePrinter heal_table({"round", "all correct views %", "trusted views %"});
   // `trusted` includes the poisoned devices: their curve starts heavily

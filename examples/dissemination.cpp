@@ -8,86 +8,60 @@
 // RAPTEE-built views should reach full coverage in fewer rounds than
 // Brahms-built views under the same attack.
 //
+// The overlays are built by the scenario API; an IScenarioObserver
+// snapshots the converged views at on_run_end, when the engine still holds
+// the final state.
+//
 //   ./build/examples/dissemination [N] [f%] [t%] [fanout]
+#include <algorithm>
 #include <cstdlib>
 #include <iostream>
-#include <queue>
 
-#include "metrics/experiment.hpp"
+#include "common/rng.hpp"
 #include "metrics/report.hpp"
-#include "adversary/byzantine.hpp"
-#include "raptee.hpp"
+#include "scenario/scenario.hpp"
+#include "sim/engine.hpp"
 
 namespace {
 
 using namespace raptee;
 
-/// Runs one RAPTEE/Brahms experiment and returns an engine-sized adjacency
-/// snapshot (views of correct nodes) plus the kind map.
+/// Adjacency snapshot (views of correct nodes) plus the kind map.
 struct Overlay {
   std::vector<std::vector<NodeId>> views;
   std::vector<NodeKind> kinds;
 };
 
-Overlay build_overlay(std::size_t n, double f, double t, std::uint64_t seed) {
-  core::NodeFactory factory(seed, brahms::AuthMode::kFingerprint);
-  sim::Engine engine({seed});
+/// Captures the converged overlay when the scenario run ends.
+class OverlaySnapshotter final : public scenario::IScenarioObserver {
+ public:
+  void on_round(const scenario::RoundSnapshot&, const sim::Engine&) override {}
 
-  brahms::BrahmsConfig brahms_config;
-  brahms_config.params.l1 = 24;
-  brahms_config.params.l2 = 24;
-  core::RapteeConfig raptee_config;
-  raptee_config.brahms = brahms_config;
-  raptee_config.eviction = core::EvictionSpec::adaptive();
-
-  const auto n_byz = static_cast<std::uint32_t>(f * n);
-  const auto n_trusted = static_cast<std::uint32_t>(t * n);
-  std::vector<NodeId> byz_ids, correct_ids;
-  Rng layout(seed);
-  std::vector<NodeKind> kinds(n, NodeKind::kHonest);
-  for (std::uint32_t i = 0; i < n_byz; ++i) kinds[i] = NodeKind::kByzantine;
-  for (std::uint32_t i = n_byz; i < n_byz + n_trusted; ++i) kinds[i] = NodeKind::kTrusted;
-  layout.shuffle(kinds);
-  for (std::uint32_t i = 0; i < n; ++i) {
-    (kinds[i] == NodeKind::kByzantine ? byz_ids : correct_ids).emplace_back(i);
-  }
-
-  std::shared_ptr<adversary::Coordinator> coordinator;
-  if (!byz_ids.empty()) {
-    adversary::AttackConfig attack;
-    attack.push_budget_per_member = brahms_config.params.push_slice();
-    attack.pull_fanout = brahms_config.params.pull_slice();
-    attack.advertised_view_size = brahms_config.params.l1;
-    coordinator = std::make_shared<adversary::Coordinator>(byz_ids, correct_ids, attack,
-                                                           seed ^ 0xA77ACull);
-  }
-
-  for (std::uint32_t i = 0; i < n; ++i) {
-    const NodeId id{i};
-    switch (kinds[i]) {
-      case NodeKind::kByzantine:
-        engine.add_node(std::make_unique<adversary::ByzantineNode>(id, coordinator, seed + i),
-                        kinds[i]);
-        break;
-      case NodeKind::kTrusted:
-        engine.add_node(factory.make_trusted(id, raptee_config), kinds[i]);
-        break;
-      default:
-        engine.add_node(factory.make_honest(id, brahms_config), kinds[i]);
+  void on_run_end(const metrics::ExperimentResult&, const sim::Engine& engine) override {
+    overlay.kinds = engine.kinds();
+    overlay.views.resize(engine.size());
+    for (std::uint32_t i = 0; i < engine.size(); ++i) {
+      if (overlay.kinds[i] != NodeKind::kByzantine) {
+        overlay.views[i] = engine.node(NodeId{i}).current_view();
+      }
     }
   }
-  engine.bootstrap_uniform(brahms_config.params.l1);
-  engine.run(60);
 
   Overlay overlay;
-  overlay.kinds = kinds;
-  overlay.views.resize(n);
-  for (std::uint32_t i = 0; i < n; ++i) {
-    if (kinds[i] != NodeKind::kByzantine) {
-      overlay.views[i] = engine.node(NodeId{i}).current_view();
-    }
-  }
-  return overlay;
+};
+
+Overlay build_overlay(std::size_t n, double f, double t, std::uint64_t seed) {
+  OverlaySnapshotter snapshotter;
+  const auto spec = scenario::ScenarioSpec()
+                        .population(n)
+                        .adversary(f)
+                        .trusted(t)
+                        .view_size(24)
+                        .eviction(core::EvictionSpec::adaptive())
+                        .rounds(60)
+                        .seed(seed);
+  (void)scenario::Runner().run(spec, &snapshotter);
+  return std::move(snapshotter.overlay);
 }
 
 /// Epidemic rounds to reach full correct coverage (capped at 50).

@@ -1,34 +1,35 @@
-// Quickstart: build a small mixed population (honest / trusted / Byzantine),
-// run RAPTEE for 80 rounds, and print the metrics the paper reports —
-// Byzantine view pollution, discovery and stability rounds — next to a
-// plain-Brahms baseline of the same system.
+// Quickstart: build a small mixed population (honest / trusted / Byzantine)
+// with the scenario API, run RAPTEE for 80 rounds, and print the metrics
+// the paper reports — Byzantine view pollution, discovery and stability
+// rounds — next to a plain-Brahms baseline of the same system.
 //
 //   ./build/examples/quickstart [N] [f%] [t%] [rounds]
 #include <cstdlib>
 #include <iostream>
 
-#include "metrics/experiment.hpp"
 #include "metrics/report.hpp"
+#include "scenario/scenario.hpp"
 
 int main(int argc, char** argv) {
   using namespace raptee;
 
-  metrics::ExperimentConfig config;
-  config.n = argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 500;
-  config.byzantine_fraction = argc > 2 ? std::atof(argv[2]) / 100.0 : 0.10;
-  config.trusted_fraction = argc > 3 ? std::atof(argv[3]) / 100.0 : 0.10;
-  config.rounds = argc > 4 ? static_cast<Round>(std::atoi(argv[4])) : 80;
-  config.brahms.l1 = 40;
-  config.brahms.l2 = 40;
-  config.eviction = core::EvictionSpec::adaptive();
-  config.seed = 7;
+  const auto spec =
+      scenario::ScenarioSpec()
+          .population(argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 500)
+          .adversary((argc > 2 ? std::atof(argv[2]) : 10.0) / 100.0)
+          .trusted((argc > 3 ? std::atof(argv[3]) : 10.0) / 100.0)
+          .rounds(argc > 4 ? static_cast<Round>(std::atoi(argv[4])) : 80)
+          .view_size(40)
+          .eviction(core::EvictionSpec::adaptive())
+          .seed(7);
+  const auto config = spec.config();
 
   std::cout << "RAPTEE quickstart: N=" << config.n << "  f="
             << config.byzantine_fraction * 100 << "%  t="
             << config.trusted_fraction * 100 << "%  view=" << config.brahms.l1
             << "  eviction=" << config.eviction.describe() << "\n\n";
 
-  const auto cmp = metrics::run_comparison(config, /*reps=*/1);
+  const auto cmp = scenario::Runner().run_comparison(spec, /*reps=*/1);
 
   metrics::TablePrinter table({"protocol", "byz-in-views %", "honest %", "trusted %",
                                "discovery rd", "stability rd"});

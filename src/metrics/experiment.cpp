@@ -11,6 +11,7 @@
 #include "core/node_factory.hpp"
 #include "core/raptee_node.hpp"
 #include "metrics/trackers.hpp"
+#include "scenario/observer.hpp"
 #include "sim/churn.hpp"
 #include "sim/engine.hpp"
 
@@ -18,7 +19,8 @@ namespace raptee::metrics {
 
 void ChurnSpec::validate() const {
   if (!enabled) return;
-  RAPTEE_REQUIRE(rate_per_round >= 0.0 && rate_per_round <= 1.0,
+  RAPTEE_REQUIRE(std::isfinite(rate_per_round) && rate_per_round >= 0.0 &&
+                     rate_per_round <= 1.0,
                  "churn rate out of [0,1]: " << rate_per_round);
   RAPTEE_REQUIRE(until == 0 || from <= until,
                  "churn window invalid: [" << from << ", " << until << ")");
@@ -43,13 +45,28 @@ void ExperimentConfig::validate() const {
                  "trusted fraction out of range");
   RAPTEE_REQUIRE(byzantine_fraction + trusted_fraction <= 1.0,
                  "f + t exceeds the population");
+  RAPTEE_REQUIRE(poisoned_extra_fraction >= 0.0,
+                 "negative poisoned fraction: " << poisoned_extra_fraction);
+  // Fractions are rounded to counts independently, so near the boundary the
+  // rounded counts can overshoot what the fractions promise: catch both an
+  // over-allocated population and a run with no correct node at all (the
+  // trackers need at least one observer).
+  RAPTEE_REQUIRE(byzantine_count() + trusted_count() <= n,
+                 "rounded byzantine + trusted counts exceed the population");
+  RAPTEE_REQUIRE(byzantine_count() < n, "no correct node left in the population");
+  RAPTEE_REQUIRE(message_loss >= 0.0 && message_loss < 1.0,
+                 "message loss out of [0,1): " << message_loss);
+  RAPTEE_REQUIRE(identification_threshold >= 0.0 && identification_threshold <= 1.0,
+                 "identification threshold out of [0,1]");
   RAPTEE_REQUIRE(rounds >= 1, "need at least one round");
+  RAPTEE_REQUIRE(stability_window >= 1, "stability window must be >= 1");
   brahms.validate();
   eviction.validate();
   churn.validate();
 }
 
-ExperimentResult run_experiment(const ExperimentConfig& config) {
+ExperimentResult run_experiment(const ExperimentConfig& config,
+                                scenario::IScenarioObserver* observer) {
   config.validate();
 
   const std::size_t n_byz = config.byzantine_count();
@@ -183,12 +200,43 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   // --- run ---
   ExperimentResult result;
   adversary::IdentificationResult best{};
+  if (observer) observer->on_run_start(config, engine);
   for (Round r = 0; r < config.rounds; ++r) {
     if (config.churn.enabled) churn_schedule.apply(engine, config.brahms.l1);
+    // Some series only append when their population was observable this
+    // round (trusted telemetry needs an alive trusted node, the honest /
+    // trusted pollution splits need an alive correct node); remember each
+    // length so the snapshot can tell "no datum" apart from a stale value.
+    const std::size_t telemetry_before = trusted_telemetry.eviction_rate_series().size();
+    const std::size_t honest_before = pollution.honest_series().size();
+    const std::size_t trusted_before = pollution.trusted_series().size();
+    const std::size_t knowledge_before = discovery.min_knowledge_series().size();
     engine.step();
     if (ident) {
       const auto eval = ident->evaluate(engine.now(), config.identification_threshold);
       if (eval.f1 > best.f1) best = eval;
+    }
+    if (observer) {
+      // Report 0 for a series that skipped this round (no observable
+      // population), and its fresh tail value when it grew.
+      const auto latest = [](const std::vector<double>& series, std::size_t before) {
+        return series.size() > before ? series.back() : 0.0;
+      };
+      scenario::RoundSnapshot snapshot;
+      snapshot.round = r;
+      snapshot.pollution = pollution.pollution_series().back();
+      snapshot.pollution_honest = latest(pollution.honest_series(), honest_before);
+      snapshot.pollution_trusted = latest(pollution.trusted_series(), trusted_before);
+      snapshot.min_knowledge = latest(discovery.min_knowledge_series(), knowledge_before);
+      if (trusted_telemetry.eviction_rate_series().size() > telemetry_before) {
+        snapshot.eviction_rate = trusted_telemetry.eviction_rate_series().back();
+        snapshot.trusted_ratio = trusted_telemetry.trusted_ratio_series().back();
+      }
+      snapshot.swaps_completed = engine.counters().swaps_completed;
+      snapshot.pulls_completed = engine.counters().pulls_completed;
+      snapshot.pushes_delivered = engine.counters().pushes_delivered;
+      snapshot.wire_bytes = engine.counters().wire_bytes;
+      observer->on_round(snapshot, engine);
     }
   }
 
@@ -214,6 +262,7 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   }
   result.swaps_completed = engine.counters().swaps_completed;
   result.pulls_completed = engine.counters().pulls_completed;
+  if (observer) observer->on_run_end(result, engine);
   return result;
 }
 

@@ -23,6 +23,10 @@
 #include "common/stats.hpp"
 #include "common/types.hpp"
 
+namespace raptee::scenario {
+class IScenarioObserver;
+}  // namespace raptee::scenario
+
 namespace raptee::metrics {
 
 /// Declarative churn for an experiment: every round in [from, until) a
@@ -105,7 +109,11 @@ struct ExperimentResult {
   std::uint64_t pulls_completed = 0;
 };
 
-[[nodiscard]] ExperimentResult run_experiment(const ExperimentConfig& config);
+/// Runs one experiment. `observer`, when given, receives one RoundSnapshot
+/// per round plus run-boundary hooks (see scenario/observer.hpp); the
+/// callbacks never change the simulation outcome.
+[[nodiscard]] ExperimentResult run_experiment(const ExperimentConfig& config,
+                                              scenario::IScenarioObserver* observer = nullptr);
 
 /// Mean/σ aggregation over `reps` runs with decorrelated seeds, executed on
 /// up to `threads` worker threads (0 = hardware concurrency).

@@ -1,0 +1,82 @@
+// Dependency-free JSON emission for machine-readable results.
+//
+// The scenario API serializes every result type (ExperimentResult,
+// RepeatedResult, ComparisonResult, grid sweeps) to bench_out/*.json so the
+// bench trajectory can be diffed, re-plotted and regression-tracked without
+// parsing aligned text tables. The writer is deliberately tiny: objects and
+// arrays are assembled as strings, numbers are formatted with
+// std::to_chars (shortest round-trip form), so a fixed-seed run emits
+// bit-identical documents on every host — a property the scenario tests
+// assert.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace raptee::metrics {
+
+/// Escapes `text` per RFC 8259 (quotes, backslash, control characters);
+/// returns the escaped body WITHOUT surrounding quotes.
+[[nodiscard]] std::string json_escape(std::string_view text);
+
+/// Shortest round-trip decimal form of `value` (std::to_chars). Non-finite
+/// values, which JSON cannot represent, become "null".
+[[nodiscard]] std::string json_number(double value);
+
+/// Incremental "key": value object builder. Insertion order is preserved —
+/// determinism is part of the output contract.
+class JsonObject {
+ public:
+  JsonObject& field(std::string_view key, double value);
+  // size_t/Cycles/Round all funnel through the 64-bit integer overloads
+  // (std::size_t is std::uint64_t on every supported platform).
+  JsonObject& field(std::string_view key, std::int64_t value);
+  JsonObject& field(std::string_view key, std::uint64_t value);
+  JsonObject& field(std::string_view key, int value);
+  JsonObject& field(std::string_view key, unsigned value);
+  JsonObject& field(std::string_view key, bool value);
+  JsonObject& field(std::string_view key, std::string_view value);
+  JsonObject& field(std::string_view key, const char* value);
+  /// Rounds absent optionals to null (figures use "-" in text tables).
+  JsonObject& field(std::string_view key, const std::optional<double>& value);
+  JsonObject& field_null(std::string_view key);
+  /// Splices an already-serialized JSON value (nested object/array).
+  JsonObject& field_raw(std::string_view key, std::string_view raw_json);
+
+  [[nodiscard]] std::string str() const { return "{" + body_ + "}"; }
+
+ private:
+  JsonObject& append(std::string_view key, std::string_view serialized);
+  std::string body_;
+};
+
+/// Incremental array builder; same determinism contract as JsonObject.
+class JsonArray {
+ public:
+  JsonArray& item(double value);
+  JsonArray& item(std::string_view value);
+  JsonArray& item_raw(std::string_view raw_json);
+
+  [[nodiscard]] bool empty() const { return body_.empty(); }
+  [[nodiscard]] std::string str() const { return "[" + body_ + "]"; }
+
+ private:
+  JsonArray& append(std::string_view serialized);
+  std::string body_;
+};
+
+/// Serializes a numeric series as a JSON array.
+[[nodiscard]] std::string json_series(const std::vector<double>& values);
+
+/// Strict structural validator (RFC 8259 grammar, no semantic output).
+/// Used by tests and tools to assert emitted documents parse.
+[[nodiscard]] bool json_valid(std::string_view text);
+
+/// Writes `content` to `path`, creating parent directories; returns false
+/// on I/O failure.
+bool write_text_file(const std::string& path, std::string_view content);
+
+}  // namespace raptee::metrics

@@ -19,6 +19,7 @@
 #include "core/raptee_node.hpp"   // IWYU pragma: export
 #include "gossip/framework.hpp"   // IWYU pragma: export
 #include "gossip/view.hpp"        // IWYU pragma: export
+#include "scenario/scenario.hpp"  // IWYU pragma: export
 #include "sgx/attestation.hpp"    // IWYU pragma: export
 #include "sgx/enclave.hpp"        // IWYU pragma: export
 #include "sim/churn.hpp"          // IWYU pragma: export

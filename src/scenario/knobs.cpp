@@ -1,0 +1,79 @@
+#include "scenario/knobs.hpp"
+
+#include <cstdlib>
+
+namespace raptee::scenario {
+
+namespace {
+
+std::size_t env_size(const char* name, std::size_t fallback) {
+  if (const char* value = std::getenv(name)) {
+    const long parsed = std::atol(value);
+    if (parsed > 0) return static_cast<std::size_t>(parsed);
+  }
+  return fallback;
+}
+
+/// Unlike the sizing knobs, 0 is a legitimate seed and the full uint64
+/// range must survive the parse.
+std::uint64_t env_seed(const char* name, std::uint64_t fallback) {
+  if (const char* value = std::getenv(name)) {
+    char* end = nullptr;
+    const unsigned long long parsed = std::strtoull(value, &end, 10);
+    if (end != value && *end == '\0') return static_cast<std::uint64_t>(parsed);
+  }
+  return fallback;
+}
+
+}  // namespace
+
+Knobs Knobs::from_env() {
+  Knobs knobs;
+  if (const char* full = std::getenv("RAPTEE_BENCH_FULL")) {
+    knobs.full = std::atoi(full) != 0;
+  }
+  if (knobs.full) {
+    knobs.n = 10000;
+    knobs.l1 = 200;
+    knobs.rounds = 200;
+    knobs.reps = 10;
+  }
+  knobs.n = env_size("RAPTEE_BENCH_N", knobs.n);
+  knobs.l1 = env_size("RAPTEE_BENCH_L1", knobs.l1);
+  knobs.rounds = static_cast<Round>(env_size("RAPTEE_BENCH_ROUNDS", knobs.rounds));
+  knobs.reps = env_size("RAPTEE_BENCH_REPS", knobs.reps);
+  knobs.threads = env_size("RAPTEE_BENCH_THREADS", knobs.threads);
+  knobs.seed = env_seed("RAPTEE_BENCH_SEED", knobs.seed);
+  return knobs;
+}
+
+ScenarioSpec Knobs::base_spec() const {
+  return ScenarioSpec()
+      .population(n)
+      .view_size(l1)
+      .rounds(rounds)
+      .seed(seed)
+      .adversary(0.0)
+      .auth_mode(brahms::AuthMode::kFingerprint);
+}
+
+std::vector<int> Knobs::f_grid() const {
+  if (full) {
+    std::vector<int> grid;
+    for (int f = 10; f <= 30; f += 2) grid.push_back(f);
+    return grid;
+  }
+  return {10, 20, 30};
+}
+
+std::vector<int> Knobs::t_grid() const {
+  if (full) return {1, 5, 10, 20, 30, 50};
+  return {1, 10, 30};
+}
+
+std::vector<int> Knobs::er_grid() const {
+  if (full) return {0, 20, 40, 60, 80, 100};
+  return {0, 60, 100};
+}
+
+}  // namespace raptee::scenario

@@ -1,0 +1,41 @@
+// Environment-driven sizing shared by every figure/table bench.
+//
+// Grids default to a runtime-trimmed "quick" mode; RAPTEE_BENCH_FULL=1
+// selects the paper-scale grid (N=10,000, view 200, 200 rounds, 10 reps,
+// f in 10..30 step 2, t in {1,5,10,20,30,50}, ER in {0,20,...,100}), and
+// individual knobs are overridden with RAPTEE_BENCH_N / _L1 / _ROUNDS /
+// _REPS / _THREADS / _SEED. README.md documents the full table.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "scenario/spec.hpp"
+
+namespace raptee::scenario {
+
+struct Knobs {
+  bool full = false;
+  std::size_t n = 400;
+  std::size_t l1 = 40;
+  Round rounds = 150;
+  std::size_t reps = 1;
+  std::size_t threads = 2;
+  std::uint64_t seed = 20220308;  // arXiv date of the paper
+
+  /// Reads RAPTEE_BENCH_* from the environment.
+  [[nodiscard]] static Knobs from_env();
+
+  /// The base spec shared by all figure benches (fingerprint auth, no
+  /// adversary/trust configured — benches layer those per cell).
+  [[nodiscard]] ScenarioSpec base_spec() const;
+
+  /// Byzantine-fraction grid (percent): paper 10..30 step 2; quick {10,20,30}.
+  [[nodiscard]] std::vector<int> f_grid() const;
+  /// Trusted-fraction grid (percent): paper {1,5,10,20,30,50}; quick {1,10,30}.
+  [[nodiscard]] std::vector<int> t_grid() const;
+  /// Eviction-rate grid (percent): paper {0,20,...,100}; quick {0,60,100}.
+  [[nodiscard]] std::vector<int> er_grid() const;
+};
+
+}  // namespace raptee::scenario

@@ -1,0 +1,84 @@
+// Streaming observation of a running scenario.
+//
+// ExperimentResult carries full per-round series vectors; before this
+// interface existed, callers chose between "buffer everything" and
+// "see nothing". An IScenarioObserver instead receives one RoundSnapshot
+// per executed round — pollution split three ways, discovery progress,
+// adaptive-eviction telemetry and the engine's cumulative exchange
+// counters — plus engine access at round and run boundaries, so examples
+// and tools can stream dashboards, scan live views or snapshot the
+// converged overlay without re-implementing the experiment loop.
+//
+// Delivery contract (asserted by tests/scenario/test_observer.cpp):
+//   on_run_start    once, after population build + bootstrap, round 0 not yet run
+//   on_round        exactly `rounds` times, after each engine round completes;
+//                   snapshot values are bit-identical to the entries the
+//                   final ExperimentResult series gained that round (a
+//                   series that skipped an unobservable round reports 0)
+//   on_run_end      once, after the last round, with the collected result
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace raptee::sim {
+class Engine;
+}  // namespace raptee::sim
+
+namespace raptee::metrics {
+struct ExperimentConfig;
+struct ExperimentResult;
+}  // namespace raptee::metrics
+
+namespace raptee::scenario {
+
+/// One round's worth of the paper's metrics, as later found in the
+/// ExperimentResult series, plus the engine's cumulative counters.
+struct RoundSnapshot {
+  Round round = 0;                 ///< the round that just completed (0-based)
+
+  double pollution = 0.0;          ///< Byzantine share of all correct views
+  double pollution_honest = 0.0;   ///< honest untrusted nodes only
+  double pollution_trusted = 0.0;  ///< trusted (incl. poisoned) nodes only
+  double min_knowledge = 0.0;      ///< worst-node discovery progress (0..1)
+
+  /// Mean adaptive-eviction telemetry over alive trusted nodes this round;
+  /// 0 when the scenario has no (alive) trusted nodes.
+  double eviction_rate = 0.0;
+  double trusted_ratio = 0.0;
+
+  /// Engine exchange counters, cumulative since round 0.
+  std::uint64_t swaps_completed = 0;
+  std::uint64_t pulls_completed = 0;
+  std::uint64_t pushes_delivered = 0;
+  std::uint64_t wire_bytes = 0;
+};
+
+/// Per-round streaming hook attached to Runner::run / metrics::run_experiment.
+/// Observers run synchronously on the simulation thread: keep callbacks
+/// cheap, and treat the engine reference as read-only.
+class IScenarioObserver {
+ public:
+  virtual ~IScenarioObserver() = default;
+
+  /// Population is built and bootstrapped; no round has run yet.
+  virtual void on_run_start(const metrics::ExperimentConfig& config,
+                            const sim::Engine& engine) {
+    (void)config;
+    (void)engine;
+  }
+
+  /// A round completed. `snapshot.round` counts from 0.
+  virtual void on_round(const RoundSnapshot& snapshot, const sim::Engine& engine) = 0;
+
+  /// The run finished; `result` is the fully-collected ExperimentResult and
+  /// `engine` still holds the converged overlay (views, counters, kinds).
+  virtual void on_run_end(const metrics::ExperimentResult& result,
+                          const sim::Engine& engine) {
+    (void)result;
+    (void)engine;
+  }
+};
+
+}  // namespace raptee::scenario

@@ -1,0 +1,250 @@
+#include "scenario/results.hpp"
+
+#include <iostream>
+#include <utility>
+
+namespace raptee::scenario::results {
+
+using metrics::JsonArray;
+using metrics::JsonObject;
+
+namespace {
+
+const char* auth_mode_name(brahms::AuthMode mode) {
+  switch (mode) {
+    case brahms::AuthMode::kFull: return "full";
+    case brahms::AuthMode::kFingerprint: return "fingerprint";
+    case brahms::AuthMode::kOracle: return "oracle";
+  }
+  return "unknown";
+}
+
+const char* eviction_kind_name(core::EvictionSpec::Kind kind) {
+  switch (kind) {
+    case core::EvictionSpec::Kind::kNone: return "none";
+    case core::EvictionSpec::Kind::kFixed: return "fixed";
+    case core::EvictionSpec::Kind::kAdaptive: return "adaptive";
+  }
+  return "unknown";
+}
+
+std::optional<double> round_opt(const std::optional<Round>& round) {
+  if (!round) return std::nullopt;
+  return static_cast<double>(*round);
+}
+
+}  // namespace
+
+std::string to_json(const Knobs& knobs) {
+  return JsonObject()
+      .field("mode", knobs.full ? "full" : "quick")
+      .field("n", knobs.n)
+      .field("view", knobs.l1)
+      .field("rounds", static_cast<std::uint64_t>(knobs.rounds))
+      .field("reps", knobs.reps)
+      .field("threads", knobs.threads)
+      .field("seed", knobs.seed)
+      .str();
+}
+
+std::string to_json(const metrics::ExperimentConfig& config) {
+  const JsonObject brahms = JsonObject()
+                                .field("l1", config.brahms.l1)
+                                .field("l2", config.brahms.l2)
+                                .field("alpha", config.brahms.alpha)
+                                .field("beta", config.brahms.beta)
+                                .field("gamma", config.brahms.gamma);
+  const JsonObject eviction = JsonObject()
+                                  .field("kind", eviction_kind_name(config.eviction.kind))
+                                  .field("fixed_rate", config.eviction.fixed_rate)
+                                  .field("lower", config.eviction.lower)
+                                  .field("upper", config.eviction.upper)
+                                  .field("describe", config.eviction.describe());
+  const JsonObject churn =
+      JsonObject()
+          .field("enabled", config.churn.enabled)
+          .field("from", static_cast<std::uint64_t>(config.churn.from))
+          .field("until", static_cast<std::uint64_t>(config.churn.until))
+          .field("rate_per_round", config.churn.rate_per_round)
+          .field("downtime", static_cast<std::uint64_t>(config.churn.downtime))
+          .field("rejoin", config.churn.rejoin);
+  return JsonObject()
+      .field("n", config.n)
+      .field("byzantine_fraction", config.byzantine_fraction)
+      .field("trusted_fraction", config.trusted_fraction)
+      .field("poisoned_extra_fraction", config.poisoned_extra_fraction)
+      .field_raw("brahms", brahms.str())
+      .field_raw("eviction", eviction.str())
+      .field_raw("churn", churn.str())
+      .field("trusted_overlay", config.trusted_overlay)
+      .field("auth_mode", auth_mode_name(config.auth_mode))
+      .field("rounds", static_cast<std::uint64_t>(config.rounds))
+      .field("seed", config.seed)
+      .field("run_identification", config.run_identification)
+      .field("identification_threshold", config.identification_threshold)
+      .field("stability_window", config.stability_window)
+      .field("use_cycle_model", config.use_cycle_model)
+      .field("wire_roundtrip", config.wire_roundtrip)
+      .field("encrypt_links", config.encrypt_links)
+      .field("message_loss", config.message_loss)
+      .str();
+}
+
+std::string to_json(const RunningStats& stats) {
+  return JsonObject()
+      .field("count", stats.count())
+      .field("mean", stats.mean())
+      .field("sd", stats.sample_stddev())
+      .field("min", stats.min())
+      .field("max", stats.max())
+      .str();
+}
+
+std::string to_json(const adversary::IdentificationResult& result) {
+  return JsonObject()
+      .field("precision", result.precision)
+      .field("recall", result.recall)
+      .field("f1", result.f1)
+      .field("flagged", result.flagged)
+      .field("true_positives", result.true_positives)
+      .field("trusted_total", result.trusted_total)
+      .field("evaluated_at", static_cast<std::uint64_t>(result.evaluated_at))
+      .str();
+}
+
+std::string to_json(const metrics::ExperimentResult& result) {
+  return JsonObject()
+      .field("steady_pollution", result.steady_pollution)
+      .field("steady_pollution_honest", result.steady_pollution_honest)
+      .field("steady_pollution_trusted", result.steady_pollution_trusted)
+      .field("discovery_round", round_opt(result.discovery_round))
+      .field("stability_round", round_opt(result.stability_round))
+      .field("mean_eviction_rate", result.mean_eviction_rate)
+      .field("mean_trusted_ratio", result.mean_trusted_ratio)
+      .field_raw("ident_best", to_json(result.ident_best))
+      .field_raw("ident_final", to_json(result.ident_final))
+      .field("enclave_cycles_total", result.enclave_cycles_total)
+      .field("swaps_completed", result.swaps_completed)
+      .field("pulls_completed", result.pulls_completed)
+      .field_raw("pollution_series", metrics::json_series(result.pollution_series))
+      .field_raw("pollution_series_trusted",
+                 metrics::json_series(result.pollution_series_trusted))
+      .field_raw("min_knowledge_series",
+                 metrics::json_series(result.min_knowledge_series))
+      .str();
+}
+
+std::string to_json(const metrics::RepeatedResult& result) {
+  return JsonObject()
+      .field("runs", result.runs)
+      .field("discovery_reached", result.discovery_reached)
+      .field("stability_reached", result.stability_reached)
+      .field_raw("pollution", to_json(result.pollution))
+      .field_raw("pollution_honest", to_json(result.pollution_honest))
+      .field_raw("pollution_trusted", to_json(result.pollution_trusted))
+      .field_raw("discovery", to_json(result.discovery))
+      .field_raw("stability", to_json(result.stability))
+      .field_raw("eviction_rate", to_json(result.eviction_rate))
+      .field_raw("trusted_ratio", to_json(result.trusted_ratio))
+      .field_raw("ident_best_precision", to_json(result.ident_best_precision))
+      .field_raw("ident_best_recall", to_json(result.ident_best_recall))
+      .field_raw("ident_best_f1", to_json(result.ident_best_f1))
+      .str();
+}
+
+std::string to_json(const metrics::ComparisonResult& result) {
+  return JsonObject()
+      .field_raw("raptee", to_json(result.raptee))
+      .field_raw("baseline", to_json(result.baseline))
+      .field("resilience_improvement_pct", result.resilience_improvement_pct)
+      .field("resilience_improvement_honest_pct",
+             result.resilience_improvement_honest_pct)
+      .field("discovery_overhead_pct", result.discovery_overhead_pct)
+      .field("stability_overhead_pct", result.stability_overhead_pct)
+      .str();
+}
+
+std::string experiment_document(const ScenarioSpec& spec,
+                                const metrics::ExperimentResult& result) {
+  return JsonObject()
+      .field("schema", "raptee.scenario.experiment/1")
+      .field("label", spec.label())
+      .field_raw("config", to_json(spec.config()))
+      .field_raw("result", to_json(result))
+      .str();
+}
+
+std::string repeated_document(const ScenarioSpec& spec, std::size_t reps,
+                              const metrics::RepeatedResult& result) {
+  return JsonObject()
+      .field("schema", "raptee.scenario.repeated/1")
+      .field("label", spec.label())
+      .field("reps", reps)
+      .field_raw("config", to_json(spec.config()))
+      .field_raw("result", to_json(result))
+      .str();
+}
+
+std::string comparison_document(const ScenarioSpec& spec, std::size_t reps,
+                                const metrics::ComparisonResult& result) {
+  return JsonObject()
+      .field("schema", "raptee.scenario.comparison/1")
+      .field("label", spec.label())
+      .field("reps", reps)
+      .field_raw("config", to_json(spec.config()))
+      .field_raw("result", to_json(result))
+      .str();
+}
+
+std::string grid_document(const GridResult& sweep, std::size_t reps) {
+  JsonArray axes;
+  for (const Axis& axis : sweep.axes) {
+    JsonArray points;
+    for (const AxisPoint& point : axis.points) points.item(point.label);
+    axes.item_raw(
+        JsonObject().field("name", axis.name).field_raw("points", points.str()).str());
+  }
+  JsonArray cells;
+  for (std::size_t i = 0; i < sweep.cells.size(); ++i) {
+    JsonObject cell;
+    cell.field("label", sweep.specs[i].label());
+    cell.field_raw("config", to_json(sweep.specs[i].config()));
+    cell.field_raw("result", to_json(sweep.cells[i]));
+    cells.item_raw(cell.str());
+  }
+  return JsonObject()
+      .field("schema", "raptee.scenario.grid/1")
+      .field("reps", reps)
+      .field_raw("axes", axes.str())
+      .field_raw("cells", cells.str())
+      .str();
+}
+
+bool write(const std::string& path, std::string_view json) {
+  if (!metrics::write_text_file(path, json)) {
+    std::cerr << "warning: could not write " << path << '\n';
+    return false;
+  }
+  std::cout << "[json] " << path << '\n';
+  return true;
+}
+
+BenchReport::BenchReport(std::string bench_name, const Knobs& knobs)
+    : bench_name_(std::move(bench_name)), knobs_json_(to_json(knobs)) {}
+
+void BenchReport::add_row(const JsonObject& row) { rows_.item_raw(row.str()); }
+
+std::string BenchReport::document() const {
+  return JsonObject()
+      .field("schema", "raptee.bench/1")
+      .field("bench", bench_name_)
+      .field_raw("knobs", knobs_json_)
+      .field_raw("rows", rows_.str())
+      .str();
+}
+
+bool BenchReport::write(const std::string& dir) const {
+  return results::write(dir + "/" + bench_name_ + ".json", document());
+}
+
+}  // namespace raptee::scenario::results

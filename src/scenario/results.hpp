@@ -1,0 +1,71 @@
+// results: structured JSON serialization for every scenario outcome.
+//
+// Every document embeds full config provenance (population, adversary,
+// Brahms parameters, eviction, churn, fidelity knobs AND the seed), so a
+// bench_out/*.json file alone suffices to reproduce the run. Formatting is
+// deterministic (see metrics/json.hpp): a fixed-seed run emits the same
+// bytes every time, which the scenario tests assert and which makes the
+// bench trajectory diffable.
+//
+// Document shapes ("schema" field, versioned):
+//   raptee.scenario.experiment/1  — one run: config + full result series
+//   raptee.scenario.repeated/1    — mean/σ aggregate over reps
+//   raptee.scenario.comparison/1  — RAPTEE vs Brahms at matched f
+//   raptee.scenario.grid/1        — axes + one aggregate per cell
+//   raptee.bench/1                — a figure bench: knobs + derived rows
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "metrics/experiment.hpp"
+#include "metrics/json.hpp"
+#include "scenario/knobs.hpp"
+#include "scenario/runner.hpp"
+#include "scenario/spec.hpp"
+
+namespace raptee::scenario::results {
+
+// --- building blocks (JSON fragments, spliced with field_raw) ---
+[[nodiscard]] std::string to_json(const Knobs& knobs);
+[[nodiscard]] std::string to_json(const metrics::ExperimentConfig& config);
+[[nodiscard]] std::string to_json(const RunningStats& stats);
+[[nodiscard]] std::string to_json(const metrics::ExperimentResult& result);
+[[nodiscard]] std::string to_json(const metrics::RepeatedResult& result);
+[[nodiscard]] std::string to_json(const metrics::ComparisonResult& result);
+[[nodiscard]] std::string to_json(const adversary::IdentificationResult& result);
+
+// --- complete documents ---
+[[nodiscard]] std::string experiment_document(const ScenarioSpec& spec,
+                                              const metrics::ExperimentResult& result);
+[[nodiscard]] std::string repeated_document(const ScenarioSpec& spec, std::size_t reps,
+                                            const metrics::RepeatedResult& result);
+[[nodiscard]] std::string comparison_document(const ScenarioSpec& spec, std::size_t reps,
+                                              const metrics::ComparisonResult& result);
+[[nodiscard]] std::string grid_document(const GridResult& sweep, std::size_t reps);
+
+/// Writes a document to `path` (creating directories); returns false and
+/// warns on stderr on I/O failure.
+bool write(const std::string& path, std::string_view json);
+
+/// A figure bench's machine-readable sink: knobs provenance + one derived
+/// row per cell, written to <dir>/<bench_name>.json. Rows mirror the CSV
+/// columns but keep numbers as numbers and missing values as null.
+class BenchReport {
+ public:
+  BenchReport(std::string bench_name, const Knobs& knobs);
+
+  /// Adds one row; build it with metrics::JsonObject.
+  void add_row(const metrics::JsonObject& row);
+
+  [[nodiscard]] std::string document() const;
+  /// Writes <dir>/<bench_name>.json; returns false on I/O failure.
+  bool write(const std::string& dir = "bench_out") const;
+
+ private:
+  std::string bench_name_;
+  std::string knobs_json_;
+  metrics::JsonArray rows_;
+};
+
+}  // namespace raptee::scenario::results

@@ -1,0 +1,182 @@
+#include "scenario/runner.hpp"
+
+#include <utility>
+
+#include "common/assert.hpp"
+#include "common/rng.hpp"
+#include "scenario/observer.hpp"
+
+namespace raptee::scenario {
+
+namespace {
+
+/// The seed-decorrelation stream shared with metrics::run_repeated, so a
+/// batch cell and a standalone repetition of the same spec agree bit for
+/// bit.
+std::uint64_t rep_seed(std::uint64_t base_seed, std::size_t rep) {
+  return mix64(base_seed, 0x5265705Aull + rep);
+}
+
+metrics::RepeatedResult aggregate(const metrics::ExperimentResult* results,
+                                  std::size_t count) {
+  metrics::RepeatedResult agg;
+  for (std::size_t i = 0; i < count; ++i) {
+    const metrics::ExperimentResult& r = results[i];
+    ++agg.runs;
+    agg.pollution.add(r.steady_pollution);
+    agg.pollution_honest.add(r.steady_pollution_honest);
+    agg.pollution_trusted.add(r.steady_pollution_trusted);
+    if (r.discovery_round) {
+      agg.discovery.add(static_cast<double>(*r.discovery_round));
+      ++agg.discovery_reached;
+    }
+    if (r.stability_round) {
+      agg.stability.add(static_cast<double>(*r.stability_round));
+      ++agg.stability_reached;
+    }
+    agg.eviction_rate.add(r.mean_eviction_rate);
+    agg.trusted_ratio.add(r.mean_trusted_ratio);
+    agg.ident_best_precision.add(r.ident_best.precision);
+    agg.ident_best_recall.add(r.ident_best.recall);
+    agg.ident_best_f1.add(r.ident_best.f1);
+  }
+  return agg;
+}
+
+}  // namespace
+
+Grid& Grid::axis(std::string name, std::vector<AxisPoint> points) {
+  RAPTEE_REQUIRE(!points.empty(), "grid axis '" << name << "' has no points");
+  axes_.push_back({std::move(name), std::move(points)});
+  return *this;
+}
+
+Grid& Grid::axis_adversary_pct(const std::vector<int>& percents) {
+  std::vector<AxisPoint> points;
+  points.reserve(percents.size());
+  for (const int f : percents) {
+    points.push_back({"f=" + std::to_string(f) + "%",
+                      [f](ScenarioSpec& spec) { spec.adversary_pct(f); }});
+  }
+  return axis("adversary", std::move(points));
+}
+
+Grid& Grid::axis_trusted_pct(const std::vector<int>& percents) {
+  std::vector<AxisPoint> points;
+  points.reserve(percents.size());
+  for (const int t : percents) {
+    points.push_back({"t=" + std::to_string(t) + "%",
+                      [t](ScenarioSpec& spec) { spec.trusted_pct(t); }});
+  }
+  return axis("trusted", std::move(points));
+}
+
+Grid& Grid::axis_eviction_pct(const std::vector<int>& percents) {
+  std::vector<AxisPoint> points;
+  points.reserve(percents.size());
+  for (const int er : percents) {
+    points.push_back({"er=" + std::to_string(er) + "%",
+                      [er](ScenarioSpec& spec) {
+                        spec.eviction(core::EvictionSpec::fixed(er / 100.0));
+                      }});
+  }
+  return axis("eviction", std::move(points));
+}
+
+std::size_t Grid::size() const {
+  std::size_t total = 1;
+  for (const Axis& axis : axes_) total *= axis.points.size();
+  return total;
+}
+
+std::vector<ScenarioSpec> Grid::cells() const {
+  std::vector<ScenarioSpec> cells;
+  const std::size_t total = size();
+  cells.reserve(total);
+  for (std::size_t flat = 0; flat < total; ++flat) {
+    ScenarioSpec cell = base_;
+    std::string label = cell.label();
+    // Row-major: the first axis varies slowest.
+    std::size_t remainder = flat;
+    std::size_t block = total;
+    for (const Axis& axis : axes_) {
+      block /= axis.points.size();
+      const AxisPoint& point = axis.points[remainder / block];
+      remainder %= block;
+      point.apply(cell);
+      if (!label.empty()) label += '/';
+      label += axis.name + "=" + point.label;
+    }
+    cell.label(label);
+    cells.push_back(std::move(cell));
+  }
+  return cells;
+}
+
+std::size_t GridResult::flat_index(std::initializer_list<std::size_t> indices) const {
+  RAPTEE_REQUIRE(indices.size() == axes.size(),
+                 "grid lookup expects " << axes.size() << " indices, got "
+                                        << indices.size());
+  std::size_t flat = 0;
+  std::size_t axis_index = 0;
+  for (const std::size_t i : indices) {
+    const Axis& axis = axes[axis_index++];
+    RAPTEE_REQUIRE(i < axis.points.size(),
+                   "index " << i << " out of range for axis '" << axis.name << "'");
+    flat = flat * axis.points.size() + i;
+  }
+  return flat;
+}
+
+const metrics::RepeatedResult& GridResult::at(
+    std::initializer_list<std::size_t> indices) const {
+  return cells[flat_index(indices)];
+}
+
+metrics::ExperimentResult Runner::run(const ScenarioSpec& spec,
+                                      IScenarioObserver* observer) const {
+  return metrics::run_experiment(spec.config(), observer);
+}
+
+metrics::RepeatedResult Runner::run_repeated(const ScenarioSpec& spec,
+                                             std::size_t reps) const {
+  return metrics::run_repeated(spec.config(), reps, threads_);
+}
+
+metrics::ComparisonResult Runner::run_comparison(const ScenarioSpec& spec,
+                                                 std::size_t reps) const {
+  return metrics::run_comparison(spec.config(), reps, threads_);
+}
+
+std::vector<metrics::RepeatedResult> Runner::run_batch(
+    const std::vector<ScenarioSpec>& specs, std::size_t reps) const {
+  RAPTEE_REQUIRE(reps >= 1, "need at least one repetition");
+  std::vector<metrics::ExperimentConfig> flat;
+  flat.reserve(specs.size() * reps);
+  for (const ScenarioSpec& spec : specs) {
+    const metrics::ExperimentConfig config = spec.config();
+    for (std::size_t rep = 0; rep < reps; ++rep) {
+      metrics::ExperimentConfig cell = config;
+      cell.seed = rep_seed(config.seed, rep);
+      flat.push_back(cell);
+    }
+  }
+  const auto results = metrics::run_batch(flat, threads_);
+
+  std::vector<metrics::RepeatedResult> out;
+  out.reserve(specs.size());
+  for (std::size_t c = 0; c < specs.size(); ++c) {
+    out.push_back(aggregate(results.data() + c * reps, reps));
+  }
+  return out;
+}
+
+GridResult Runner::run_grid(const Grid& grid, std::size_t reps) const {
+  GridResult result;
+  result.axes = grid.axes();
+  result.specs = grid.cells();
+  result.cells = run_batch(result.specs, reps);
+  return result;
+}
+
+}  // namespace raptee::scenario

@@ -1,0 +1,15 @@
+// Umbrella header for the scenario API — the one front door to the
+// simulator shared by benches, examples and tests:
+//
+//   * ScenarioSpec (spec.hpp)      — fluent, validated scenario builder
+//   * Runner/Grid (runner.hpp)     — run / repeat / compare / batch / grid
+//   * IScenarioObserver (observer.hpp) — per-round streaming snapshots
+//   * Knobs (knobs.hpp)            — RAPTEE_BENCH_* environment sizing
+//   * results:: (results.hpp)      — structured JSON documents (bench_out/)
+#pragma once
+
+#include "scenario/knobs.hpp"     // IWYU pragma: export
+#include "scenario/observer.hpp"  // IWYU pragma: export
+#include "scenario/results.hpp"   // IWYU pragma: export
+#include "scenario/runner.hpp"    // IWYU pragma: export
+#include "scenario/spec.hpp"      // IWYU pragma: export

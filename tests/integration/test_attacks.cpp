@@ -1,49 +1,46 @@
 // Security-analysis integration tests (paper §VI): trusted-node
-// identification and view-poisoned trusted-node injection.
+// identification and view-poisoned trusted-node injection. Scenarios are
+// assembled through the public scenario API.
 #include <gtest/gtest.h>
 
-#include "metrics/experiment.hpp"
+#include "scenario/scenario.hpp"
 
 namespace raptee {
 namespace {
 
-metrics::ExperimentConfig attack_config() {
-  metrics::ExperimentConfig config;
-  config.n = 150;
-  config.byzantine_fraction = 0.2;
-  config.trusted_fraction = 0.2;
-  config.brahms.l1 = 20;
-  config.brahms.l2 = 20;
-  config.rounds = 40;
-  config.seed = 77;
-  config.run_identification = true;
-  return config;
+scenario::ScenarioSpec attack_spec() {
+  return scenario::ScenarioSpec()
+      .population(150)
+      .adversary(0.2)
+      .trusted(0.2)
+      .view_size(20)
+      .rounds(40)
+      .seed(77)
+      .identification();
 }
+
+const scenario::Runner kRunner(2);
 
 TEST(IdentificationAttackE2E, HigherEvictionIsMoreDetectable) {
   // §VI-A: detectability grows with the eviction rate — ER=100 % trusted
   // nodes serve conspicuously clean views; ER=0 % are indistinguishable.
-  auto config = attack_config();
-  config.eviction = core::EvictionSpec::fixed(0.0);
-  const auto er0 = metrics::run_repeated(config, 2, 2);
-  config.eviction = core::EvictionSpec::fixed(1.0);
-  const auto er100 = metrics::run_repeated(config, 2, 2);
+  const auto er0 =
+      kRunner.run_repeated(attack_spec().eviction(core::EvictionSpec::fixed(0.0)), 2);
+  const auto er100 =
+      kRunner.run_repeated(attack_spec().eviction(core::EvictionSpec::fixed(1.0)), 2);
   EXPECT_GT(er100.ident_best_f1.mean(), er0.ident_best_f1.mean());
 }
 
 TEST(IdentificationAttackE2E, ZeroEvictionIsNearlyInvisible) {
-  auto config = attack_config();
-  config.eviction = core::EvictionSpec::fixed(0.0);
-  const auto result = metrics::run_repeated(config, 2, 2);
+  const auto result =
+      kRunner.run_repeated(attack_spec().eviction(core::EvictionSpec::fixed(0.0)), 2);
   // Without eviction, trusted views match honest views; the classifier has
   // nothing to latch onto.
   EXPECT_LT(result.ident_best_f1.mean(), 0.35);
 }
 
 TEST(IdentificationAttackE2E, ScoresAreWellFormed) {
-  auto config = attack_config();
-  config.eviction = core::EvictionSpec::adaptive();
-  const auto result = metrics::run_experiment(config);
+  const auto result = attack_spec().eviction(core::EvictionSpec::adaptive()).run();
   EXPECT_GE(result.ident_best.precision, 0.0);
   EXPECT_LE(result.ident_best.precision, 1.0);
   EXPECT_GE(result.ident_best.recall, 0.0);
@@ -52,35 +49,34 @@ TEST(IdentificationAttackE2E, ScoresAreWellFormed) {
             std::min(result.ident_final.f1, result.ident_best.f1));
 }
 
+/// The injection scenarios detach the identification attack: §VI-B studies
+/// resilience, not detectability.
+scenario::ScenarioSpec injection_spec() {
+  return scenario::ScenarioSpec()
+      .population(150)
+      .adversary(0.2)
+      .trusted(0.1)
+      .view_size(20)
+      .rounds(50)
+      .seed(77)
+      .eviction(core::EvictionSpec::adaptive());
+}
+
 TEST(InjectionAttackE2E, PoisonedTrustedNodesSelfHeal) {
   // §VI-B: poisoned trusted devices run honest code; their views start
   // 100 % Byzantine but must trend down toward the honest trusted level.
-  auto config = attack_config();
-  config.run_identification = false;
-  config.trusted_fraction = 0.1;
-  config.poisoned_extra_fraction = 0.1;
-  config.eviction = core::EvictionSpec::adaptive();
-  config.rounds = 50;
-  const auto result = metrics::run_experiment(config);
+  const auto result = injection_spec().poisoned_extra(0.1).run();
   // Trusted series includes the poisoned half; early rounds are heavily
   // polluted, late rounds must be far cleaner.
-  const auto& trusted = result.pollution_series;  // all-correct average
-  ASSERT_GE(trusted.size(), 50u);
+  ASSERT_GE(result.pollution_series.size(), 50u);
   EXPECT_LT(result.steady_pollution_trusted, 0.6);
 }
 
 TEST(InjectionAttackE2E, SmallInjectionDoesNotCollapseResilience) {
   // §VI-B headline: a +5 % poisoned-trusted injection into a t=10 % system
   // has little or no impact on system-wide resilience.
-  auto config = attack_config();
-  config.run_identification = false;
-  config.trusted_fraction = 0.1;
-  config.eviction = core::EvictionSpec::adaptive();
-  config.rounds = 50;
-
-  const auto clean = metrics::run_repeated(config, 2, 2);
-  config.poisoned_extra_fraction = 0.05;
-  const auto attacked = metrics::run_repeated(config, 2, 2);
+  const auto clean = kRunner.run_repeated(injection_spec(), 2);
+  const auto attacked = kRunner.run_repeated(injection_spec().poisoned_extra(0.05), 2);
 
   // Allow a modest degradation band; the attack must not blow pollution up.
   EXPECT_LT(attacked.pollution.mean(), clean.pollution.mean() * 1.25 + 0.02);
@@ -89,12 +85,12 @@ TEST(InjectionAttackE2E, SmallInjectionDoesNotCollapseResilience) {
 TEST(InjectionAttackE2E, PoisonedNodesStillCountAsTrustedSwapPartners) {
   // Poisoned devices hold the genuine group key, so swaps happen even in a
   // system whose only honest-trusted mass is small.
-  auto config = attack_config();
-  config.run_identification = false;
-  config.trusted_fraction = 0.05;
-  config.poisoned_extra_fraction = 0.1;
-  config.rounds = 25;
-  const auto result = metrics::run_experiment(config);
+  const auto result = injection_spec()
+                          .trusted(0.05)
+                          .poisoned_extra(0.1)
+                          .eviction(core::EvictionSpec::none())
+                          .rounds(25)
+                          .run();
   EXPECT_GT(result.swaps_completed, 0u);
 }
 

@@ -4,7 +4,7 @@
 
 #include <algorithm>
 
-#include "metrics/experiment.hpp"
+#include "scenario/scenario.hpp"
 #include "sim/churn.hpp"
 #include "sim/engine.hpp"
 #include "core/node_factory.hpp"
@@ -12,23 +12,18 @@
 namespace raptee {
 namespace {
 
-metrics::ExperimentConfig base_config() {
-  metrics::ExperimentConfig config;
-  config.n = 150;
-  config.byzantine_fraction = 0.15;
-  config.trusted_fraction = 0.0;
-  config.brahms.l1 = 20;
-  config.brahms.l2 = 20;
-  config.rounds = 50;
-  config.seed = 31;
-  return config;
+scenario::ScenarioSpec base_spec() {
+  return scenario::ScenarioSpec()
+      .population(150)
+      .adversary(0.15)
+      .trusted(0.0)
+      .view_size(20)
+      .rounds(50)
+      .seed(31);
 }
 
 TEST(EndToEnd, CleanSystemConvergesAndDiscovers) {
-  auto config = base_config();
-  config.byzantine_fraction = 0.0;
-  config.rounds = 150;
-  const auto result = metrics::run_experiment(config);
+  const auto result = base_spec().adversary(0.0).rounds(150).run();
   EXPECT_DOUBLE_EQ(result.steady_pollution, 0.0);
   ASSERT_TRUE(result.discovery_round.has_value());
   EXPECT_LT(*result.discovery_round, 140u);
@@ -41,54 +36,48 @@ TEST(EndToEnd, CleanSystemConvergesAndDiscovers) {
 TEST(EndToEnd, BalancedAttackOverRepresentsByzantineIds) {
   // The defining Brahms threat: adversarial over-representation. With
   // f=15 % of nodes, well over 15 % of view slots become Byzantine.
-  const auto result = metrics::run_experiment(base_config());
+  const auto result = base_spec().run();
   EXPECT_GT(result.steady_pollution, 0.15);
   EXPECT_LT(result.steady_pollution, 0.95);
 }
 
 TEST(EndToEnd, PollutionGrowsWithByzantineFraction) {
-  auto config = base_config();
-  config.byzantine_fraction = 0.10;
-  const double p10 = metrics::run_experiment(config).steady_pollution;
-  config.byzantine_fraction = 0.25;
-  const double p25 = metrics::run_experiment(config).steady_pollution;
+  const double p10 = base_spec().adversary(0.10).run().steady_pollution;
+  const double p25 = base_spec().adversary(0.25).run().steady_pollution;
   EXPECT_GT(p25, p10);
 }
 
 TEST(EndToEnd, RapteeImprovesTrustedViewQuality) {
-  auto config = base_config();
-  config.trusted_fraction = 0.15;
-  config.eviction = core::EvictionSpec::adaptive();
-  config.rounds = 60;
-  const auto result = metrics::run_experiment(config);
+  const auto result = base_spec()
+                          .trusted(0.15)
+                          .eviction(core::EvictionSpec::adaptive())
+                          .rounds(60)
+                          .run();
   // The §IV-C defence: trusted views clearly cleaner than honest views.
   EXPECT_LT(result.steady_pollution_trusted, result.steady_pollution_honest * 0.95);
 }
 
 TEST(EndToEnd, RapteeReducesSystemPollutionAtHighTrustedShare) {
-  auto config = base_config();
-  config.rounds = 60;
-  config.trusted_fraction = 0.3;
-  config.eviction = core::EvictionSpec::adaptive();
-  const auto cmp = metrics::run_comparison(config, /*reps=*/2, /*threads=*/2);
+  const auto cmp = scenario::Runner(2).run_comparison(
+      base_spec().rounds(60).trusted(0.3).eviction(core::EvictionSpec::adaptive()),
+      /*reps=*/2);
   EXPECT_GT(cmp.resilience_improvement_pct, 0.0);
 }
 
 TEST(EndToEnd, AuthModesProduceIdenticalProtocolOutcome) {
   // D5: Full / Fingerprint / Oracle transports are behaviourally identical —
   // same seeds must give identical pollution series and swap counts.
-  auto config = base_config();
-  config.n = 80;
-  config.trusted_fraction = 0.2;
-  config.rounds = 15;
-  config.eviction = core::EvictionSpec::adaptive();
+  const auto spec = base_spec()
+                        .population(80)
+                        .trusted(0.2)
+                        .rounds(15)
+                        .eviction(core::EvictionSpec::adaptive());
 
-  config.auth_mode = brahms::AuthMode::kFingerprint;
-  const auto fingerprint = metrics::run_experiment(config);
-  config.auth_mode = brahms::AuthMode::kFull;
-  const auto full = metrics::run_experiment(config);
-  config.auth_mode = brahms::AuthMode::kOracle;
-  const auto oracle = metrics::run_experiment(config);
+  const auto fingerprint =
+      scenario::ScenarioSpec(spec).auth_mode(brahms::AuthMode::kFingerprint).run();
+  const auto full = scenario::ScenarioSpec(spec).auth_mode(brahms::AuthMode::kFull).run();
+  const auto oracle =
+      scenario::ScenarioSpec(spec).auth_mode(brahms::AuthMode::kOracle).run();
 
   EXPECT_EQ(full.swaps_completed, fingerprint.swaps_completed);
   EXPECT_EQ(oracle.swaps_completed, fingerprint.swaps_completed);
@@ -128,10 +117,6 @@ TEST(EndToEnd, ChurnRecoveryWithSamplerValidation) {
 }
 
 TEST(EndToEnd, ViewsRemainFullAndSelfFree) {
-  auto config = base_config();
-  config.trusted_fraction = 0.1;
-  config.eviction = core::EvictionSpec::adaptive();
-  config.rounds = 30;
   // Use a direct engine world to inspect views.
   core::NodeFactory factory(23, brahms::AuthMode::kFingerprint);
   sim::Engine engine({23});

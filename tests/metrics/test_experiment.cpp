@@ -2,20 +2,23 @@
 
 #include <gtest/gtest.h>
 
+#include "scenario/spec.hpp"
+
 namespace raptee::metrics {
 namespace {
 
+// The metrics layer is exercised through configs materialized by the
+// public builder — the same path every bench and test takes.
 ExperimentConfig tiny_config() {
-  ExperimentConfig config;
-  config.n = 80;
-  config.byzantine_fraction = 0.10;
-  config.trusted_fraction = 0.10;
-  config.brahms.l1 = 16;
-  config.brahms.l2 = 16;
-  config.eviction = core::EvictionSpec::adaptive();
-  config.rounds = 20;
-  config.seed = 5;
-  return config;
+  return scenario::ScenarioSpec()
+      .population(80)
+      .adversary(0.10)
+      .trusted(0.10)
+      .view_size(16)
+      .eviction(core::EvictionSpec::adaptive())
+      .rounds(20)
+      .seed(5)
+      .config();
 }
 
 TEST(ExperimentConfig, CountsAreRounded) {

@@ -1,0 +1,95 @@
+// The dependency-free JSON writer: escaping, deterministic number
+// formatting, object/array composition and the strict validator.
+#include "metrics/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace raptee::metrics {
+namespace {
+
+TEST(JsonEscape, PassesPlainTextThrough) {
+  EXPECT_EQ(json_escape("hello world"), "hello world");
+  EXPECT_EQ(json_escape(""), "");
+}
+
+TEST(JsonEscape, EscapesQuotesBackslashesAndControls) {
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("line1\nline2\ttab"), "line1\\nline2\\ttab");
+  EXPECT_EQ(json_escape(std::string(1, '\x01')), "\\u0001");
+  EXPECT_EQ(json_escape("\r\b\f"), "\\r\\b\\f");
+}
+
+TEST(JsonNumber, ShortestRoundTripForm) {
+  EXPECT_EQ(json_number(0.0), "0");
+  EXPECT_EQ(json_number(1.0), "1");
+  EXPECT_EQ(json_number(0.1), "0.1");
+  EXPECT_EQ(json_number(-2.5), "-2.5");
+  // Shortest form that round-trips: 1/3 needs all 17 significant digits.
+  EXPECT_EQ(std::stod(json_number(1.0 / 3.0)), 1.0 / 3.0);
+}
+
+TEST(JsonNumber, NonFiniteBecomesNull) {
+  EXPECT_EQ(json_number(std::numeric_limits<double>::quiet_NaN()), "null");
+  EXPECT_EQ(json_number(std::numeric_limits<double>::infinity()), "null");
+  EXPECT_EQ(json_number(-std::numeric_limits<double>::infinity()), "null");
+}
+
+TEST(JsonObject, ComposesTypedFields) {
+  const std::string doc = JsonObject()
+                              .field("name", "raptee")
+                              .field("n", std::uint64_t{600})
+                              .field("f", 0.1)
+                              .field("full", false)
+                              .field("missing", std::optional<double>{})
+                              .field("present", std::optional<double>{2.0})
+                              .str();
+  EXPECT_EQ(doc,
+            R"({"name":"raptee","n":600,"f":0.1,"full":false,"missing":null,"present":2})");
+  EXPECT_TRUE(json_valid(doc));
+}
+
+TEST(JsonObject, NestsRawFragments) {
+  const std::string inner = JsonObject().field("x", 1).str();
+  const std::string doc = JsonObject()
+                              .field_raw("inner", inner)
+                              .field_raw("list", JsonArray().item(1.0).item(2.0).str())
+                              .str();
+  EXPECT_EQ(doc, R"({"inner":{"x":1},"list":[1,2]})");
+  EXPECT_TRUE(json_valid(doc));
+}
+
+TEST(JsonArray, EmptyAndSeries) {
+  EXPECT_EQ(JsonArray().str(), "[]");
+  EXPECT_EQ(json_series({0.5, 1.0, 0.25}), "[0.5,1,0.25]");
+  EXPECT_TRUE(json_valid(json_series({})));
+}
+
+TEST(JsonValid, AcceptsWellFormedDocuments) {
+  EXPECT_TRUE(json_valid("{}"));
+  EXPECT_TRUE(json_valid("[]"));
+  EXPECT_TRUE(json_valid("null"));
+  EXPECT_TRUE(json_valid("-1.5e-3"));
+  EXPECT_TRUE(json_valid(R"({"a":[1,2,{"b":"c\n"}],"d":null,"e":true})"));
+  EXPECT_TRUE(json_valid("  { \"k\" : [ 1 , 2 ] }  "));
+}
+
+TEST(JsonValid, RejectsMalformedDocuments) {
+  EXPECT_FALSE(json_valid(""));
+  EXPECT_FALSE(json_valid("{"));
+  EXPECT_FALSE(json_valid("{\"a\":}"));
+  EXPECT_FALSE(json_valid("{\"a\":1,}"));
+  EXPECT_FALSE(json_valid("[1 2]"));
+  EXPECT_FALSE(json_valid("{'a':1}"));
+  EXPECT_FALSE(json_valid("01"));
+  EXPECT_FALSE(json_valid("1. "));
+  EXPECT_FALSE(json_valid("\"unterminated"));
+  EXPECT_FALSE(json_valid("{\"a\":1} trailing"));
+  EXPECT_FALSE(json_valid("{\"bad\\q\":1}"));
+}
+
+}  // namespace
+}  // namespace raptee::metrics

@@ -1,0 +1,130 @@
+// Delivery contract of the IScenarioObserver streaming interface: per-round
+// callbacks fire exactly `rounds` times, in order, with snapshot values
+// bit-identical to the corresponding entries of the final ExperimentResult
+// series — and attaching an observer never changes the simulation outcome.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "scenario/scenario.hpp"
+#include "sim/engine.hpp"
+#include "support/scenario.hpp"
+
+namespace raptee::scenario {
+namespace {
+
+class RecordingObserver final : public IScenarioObserver {
+ public:
+  void on_run_start(const metrics::ExperimentConfig& config,
+                    const sim::Engine& engine) override {
+    ++starts;
+    population_at_start = engine.size();
+    configured_rounds = config.rounds;
+  }
+
+  void on_round(const RoundSnapshot& snapshot, const sim::Engine& engine) override {
+    snapshots.push_back(snapshot);
+    engine_round_at_callback.push_back(engine.now());
+  }
+
+  void on_run_end(const metrics::ExperimentResult& result,
+                  const sim::Engine& engine) override {
+    ++ends;
+    rounds_before_end = static_cast<Round>(snapshots.size());
+    final_pulls = engine.counters().pulls_completed;
+    final_result_pollution = result.steady_pollution;
+  }
+
+  int starts = 0;
+  int ends = 0;
+  std::size_t population_at_start = 0;
+  Round configured_rounds = 0;
+  Round rounds_before_end = 0;
+  std::uint64_t final_pulls = 0;
+  double final_result_pollution = -1.0;
+  std::vector<RoundSnapshot> snapshots;
+  std::vector<Round> engine_round_at_callback;
+};
+
+bool bit_equal(double a, double b) { return std::memcmp(&a, &b, sizeof a) == 0; }
+
+TEST(ScenarioObserver, FiresExactlyOncePerRoundAndMatchesSeries) {
+  constexpr Round kRounds = 48;
+  const ScenarioSpec spec = test::Scenario()
+                                .adversary(0.2)
+                                .trusted_share(0.3)
+                                .eviction_pct(40)
+                                .rounds(kRounds);
+
+  RecordingObserver observer;
+  const metrics::ExperimentResult result = Runner().run(spec, &observer);
+
+  EXPECT_EQ(observer.starts, 1);
+  EXPECT_EQ(observer.ends, 1);
+  EXPECT_EQ(observer.configured_rounds, kRounds);
+  ASSERT_EQ(observer.snapshots.size(), kRounds);
+  EXPECT_EQ(observer.rounds_before_end, kRounds);
+
+  // Rounds arrive in order, 0-based, while the engine clock already
+  // advanced past the completed round.
+  for (Round r = 0; r < kRounds; ++r) {
+    EXPECT_EQ(observer.snapshots[r].round, r);
+    EXPECT_EQ(observer.engine_round_at_callback[r], r + 1);
+  }
+
+  // The streamed pollution values ARE the final series, bit for bit.
+  ASSERT_EQ(result.pollution_series.size(), kRounds);
+  ASSERT_EQ(result.pollution_series_trusted.size(), kRounds);
+  ASSERT_EQ(result.min_knowledge_series.size(), kRounds);
+  for (Round r = 0; r < kRounds; ++r) {
+    EXPECT_TRUE(bit_equal(observer.snapshots[r].pollution, result.pollution_series[r]))
+        << "pollution diverged at round " << r;
+    EXPECT_TRUE(bit_equal(observer.snapshots[r].pollution_trusted,
+                          result.pollution_series_trusted[r]))
+        << "trusted pollution diverged at round " << r;
+    EXPECT_TRUE(bit_equal(observer.snapshots[r].min_knowledge,
+                          result.min_knowledge_series[r]))
+        << "min knowledge diverged at round " << r;
+  }
+
+  // Counters are cumulative and end at the result's totals.
+  for (Round r = 1; r < kRounds; ++r) {
+    EXPECT_GE(observer.snapshots[r].pulls_completed,
+              observer.snapshots[r - 1].pulls_completed);
+    EXPECT_GE(observer.snapshots[r].swaps_completed,
+              observer.snapshots[r - 1].swaps_completed);
+  }
+  EXPECT_EQ(observer.snapshots.back().pulls_completed, result.pulls_completed);
+  EXPECT_EQ(observer.snapshots.back().swaps_completed, result.swaps_completed);
+  EXPECT_EQ(observer.final_pulls, result.pulls_completed);
+  EXPECT_EQ(observer.final_result_pollution, result.steady_pollution);
+
+  // The population at on_run_start is the full build (base + injected).
+  EXPECT_EQ(observer.population_at_start, spec.config().n);
+}
+
+TEST(ScenarioObserver, FixedEvictionRateIsStreamedPerRound) {
+  RecordingObserver observer;
+  (void)Runner().run(
+      test::Scenario().adversary(0.2).trusted_share(0.5).eviction_pct(60).rounds(20),
+      &observer);
+  ASSERT_EQ(observer.snapshots.size(), 20u);
+  for (const RoundSnapshot& snapshot : observer.snapshots) {
+    EXPECT_NEAR(snapshot.eviction_rate, 0.60, 1e-12);
+    EXPECT_GE(snapshot.trusted_ratio, 0.0);
+    EXPECT_LE(snapshot.trusted_ratio, 1.0);
+  }
+}
+
+TEST(ScenarioObserver, AttachingAnObserverDoesNotPerturbTheRun) {
+  const ScenarioSpec spec =
+      test::Scenario().adversary(0.3).trusted_share(0.2).eviction_pct(100).churn(true);
+  RecordingObserver observer;
+  const auto observed = Runner().run(spec, &observer);
+  const auto plain = spec.run();
+  EXPECT_TRUE(test::same_metric_streams(observed, plain));
+}
+
+}  // namespace
+}  // namespace raptee::scenario

@@ -1,0 +1,104 @@
+// results::to_json round-trip properties: every document parses under the
+// strict validator, embeds config + seed provenance, and — the acceptance
+// bar for the bench trajectory — a fixed seed emits bit-identical JSON
+// across independent runs.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "scenario/scenario.hpp"
+#include "support/scenario.hpp"
+
+namespace raptee::scenario {
+namespace {
+
+ScenarioSpec fixed_spec() {
+  return test::Scenario()
+      .adversary(0.2)
+      .trusted_share(0.3)
+      .eviction_pct(40)
+      .identification()
+      .rounds(32)
+      .seed(20220308)
+      .label("roundtrip-fixture");
+}
+
+TEST(ResultsJson, ExperimentDocumentIsBitIdenticalAcrossRuns) {
+  const ScenarioSpec spec = fixed_spec();
+  const std::string first = results::experiment_document(spec, spec.run());
+  const std::string second = results::experiment_document(spec, spec.run());
+  EXPECT_EQ(first, second) << "fixed-seed JSON must be byte-stable";
+  EXPECT_TRUE(metrics::json_valid(first));
+}
+
+TEST(ResultsJson, RepeatedDocumentIsBitIdenticalAcrossRuns) {
+  const ScenarioSpec spec = fixed_spec();
+  const Runner runner(2);
+  const std::string first =
+      results::repeated_document(spec, 3, runner.run_repeated(spec, 3));
+  const std::string second =
+      results::repeated_document(spec, 3, runner.run_repeated(spec, 3));
+  EXPECT_EQ(first, second);
+  EXPECT_TRUE(metrics::json_valid(first));
+}
+
+TEST(ResultsJson, DocumentsCarryProvenance) {
+  const ScenarioSpec spec = fixed_spec();
+  const std::string doc = results::experiment_document(spec, spec.run());
+  EXPECT_NE(doc.find("\"schema\":\"raptee.scenario.experiment/1\""), std::string::npos);
+  EXPECT_NE(doc.find("\"label\":\"roundtrip-fixture\""), std::string::npos);
+  EXPECT_NE(doc.find("\"seed\":20220308"), std::string::npos);
+  EXPECT_NE(doc.find("\"byzantine_fraction\":0.2"), std::string::npos);
+  EXPECT_NE(doc.find("\"rounds\":32"), std::string::npos);
+  EXPECT_NE(doc.find("\"pollution_series\":["), std::string::npos);
+}
+
+TEST(ResultsJson, ComparisonDocumentParses) {
+  const ScenarioSpec spec = fixed_spec().rounds(20);
+  const auto cmp = Runner(2).run_comparison(spec, 2);
+  const std::string doc = results::comparison_document(spec, 2, cmp);
+  EXPECT_TRUE(metrics::json_valid(doc));
+  EXPECT_NE(doc.find("\"baseline\":{"), std::string::npos);
+  EXPECT_NE(doc.find("\"raptee\":{"), std::string::npos);
+}
+
+TEST(ResultsJson, GridDocumentIndexesCellsRowMajor) {
+  Grid grid(test::Scenario().rounds(12));
+  grid.axis_adversary_pct({10, 30}).axis_trusted_pct({0, 20});
+  const Runner runner(2);
+  const GridResult sweep = runner.run_grid(grid, 1);
+
+  ASSERT_EQ(sweep.cells.size(), 4u);
+  ASSERT_EQ(sweep.axes.size(), 2u);
+  EXPECT_EQ(sweep.flat_index({0, 0}), 0u);
+  EXPECT_EQ(sweep.flat_index({0, 1}), 1u);
+  EXPECT_EQ(sweep.flat_index({1, 0}), 2u);
+  EXPECT_EQ(sweep.flat_index({1, 1}), 3u);
+  EXPECT_EQ(sweep.specs[2].config().byzantine_fraction, 0.3);
+  EXPECT_EQ(sweep.specs[2].config().trusted_fraction, 0.0);
+  EXPECT_EQ(sweep.specs[3].config().trusted_fraction, 0.2);
+
+  const std::string doc = results::grid_document(sweep, 1);
+  EXPECT_TRUE(metrics::json_valid(doc));
+  EXPECT_NE(doc.find("\"schema\":\"raptee.scenario.grid/1\""), std::string::npos);
+  EXPECT_NE(doc.find("adversary=f=10%"), std::string::npos);
+
+  // Determinism holds for grids too.
+  EXPECT_EQ(doc, results::grid_document(runner.run_grid(grid, 1), 1));
+}
+
+TEST(ResultsJson, BenchReportDocumentParses) {
+  Knobs knobs;  // defaults; no env reads, keeps the test hermetic
+  results::BenchReport report("unit_test_bench", knobs);
+  report.add_row(metrics::JsonObject().field("f_pct", 10).field("pollution", 0.25));
+  report.add_row(metrics::JsonObject()
+                     .field("f_pct", 30)
+                     .field("discovery_overhead_pct", std::optional<double>{}));
+  const std::string doc = report.document();
+  EXPECT_TRUE(metrics::json_valid(doc));
+  EXPECT_NE(doc.find("\"bench\":\"unit_test_bench\""), std::string::npos);
+  EXPECT_NE(doc.find("\"discovery_overhead_pct\":null"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace raptee::scenario

@@ -10,6 +10,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <type_traits>
 #include <vector>
 
 namespace raptee::test {
@@ -41,6 +42,8 @@ TEST_P(ScenarioMatrix, PaperInvariantsHold) {
   const MatrixCell cell = GetParam();
   const ExperimentResult result = cell.scenario().run();
   const metrics::ExperimentConfig config = cell.scenario().config();
+  static_assert(std::is_same_v<decltype(cell.scenario()), scenario::ScenarioSpec>,
+                "cells build on the public scenario API");
 
   // The metric streams cover every executed round and stay in range.
   ASSERT_EQ(result.pollution_series.size(), config.rounds);
@@ -106,19 +109,19 @@ INSTANTIATE_TEST_SUITE_P(Grid, ScenarioMatrix, ::testing::ValuesIn(matrix_cells(
 class ScenarioDeterminism : public ::testing::TestWithParam<MatrixCell> {};
 
 TEST_P(ScenarioDeterminism, SameSeedReplaysBitExactly) {
-  Scenario scenario = GetParam().scenario();
-  scenario.identification().seed(99);
-  const ExperimentResult first = scenario.run();
-  const ExperimentResult second = scenario.run();
+  scenario::ScenarioSpec spec = GetParam().scenario();
+  spec.identification().seed(99);
+  const ExperimentResult first = spec.run();
+  const ExperimentResult second = spec.run();
   EXPECT_TRUE(same_metric_streams(first, second));
   EXPECT_EQ(first.ident_best.flagged, second.ident_best.flagged);
   EXPECT_EQ(first.ident_best.f1, second.ident_best.f1);
 }
 
 TEST_P(ScenarioDeterminism, DifferentSeedsDiverge) {
-  Scenario scenario = GetParam().scenario();
-  const ExperimentResult first = scenario.seed(1).run();
-  const ExperimentResult second = scenario.seed(2).run();
+  scenario::ScenarioSpec spec = GetParam().scenario();
+  const ExperimentResult first = spec.seed(1).run();
+  const ExperimentResult second = spec.seed(2).run();
   // Two seeds agreeing on every counter would mean the seed is ignored.
   EXPECT_FALSE(first.swaps_completed == second.swaps_completed &&
                first.pollution_series == second.pollution_series &&
@@ -151,10 +154,9 @@ TEST(ScenarioIdentification, EvictionLeaksTrustedIdentityWithoutCountermeasures)
 // Churn integration: nodes that leave stop exchanging, rejoiners recover,
 // and the run keeps its full metric streams.
 TEST(ScenarioChurn, ChurnReducesThroughputButNotCorrectness) {
-  Scenario stable = Scenario().adversary(0.1).trusted_share(0.2);
-  Scenario churny = stable;
-  metrics::ChurnSpec spec = metrics::ChurnSpec::steady(0.05, 8, true);
-  churny.churn(spec);
+  const scenario::ScenarioSpec stable = Scenario().adversary(0.1).trusted_share(0.2);
+  scenario::ScenarioSpec churny = stable;
+  churny.churn(metrics::ChurnSpec::steady(0.05, 8, true));
 
   const metrics::ExperimentResult calm = stable.run();
   const metrics::ExperimentResult stormy = churny.run();

@@ -9,91 +9,9 @@
 
 namespace raptee::test {
 
-Scenario::Scenario() {
-  base_.n = 128;
-  base_.brahms.l1 = 16;
-  base_.brahms.l2 = 16;
-  base_.rounds = 64;
-  base_.seed = 20220308;
+scenario::ScenarioSpec Scenario() {
+  return scenario::ScenarioSpec().population(128).view_size(16).rounds(64).seed(20220308);
 }
-
-Scenario& Scenario::population(std::size_t n) {
-  base_.n = n;
-  return *this;
-}
-Scenario& Scenario::view_size(std::size_t l1) {
-  base_.brahms.l1 = l1;
-  base_.brahms.l2 = l1;
-  return *this;
-}
-Scenario& Scenario::rounds(Round rounds) {
-  base_.rounds = rounds;
-  return *this;
-}
-Scenario& Scenario::seed(std::uint64_t seed) {
-  base_.seed = seed;
-  return *this;
-}
-Scenario& Scenario::adversary(double fraction) {
-  base_.byzantine_fraction = fraction;
-  return *this;
-}
-Scenario& Scenario::trusted_share(double share) {
-  trusted_share_ = share;
-  return *this;
-}
-Scenario& Scenario::poisoned_extra(double fraction) {
-  base_.poisoned_extra_fraction = fraction;
-  return *this;
-}
-Scenario& Scenario::eviction_pct(int percent) {
-  base_.eviction = percent == 0 ? core::EvictionSpec::none()
-                                : core::EvictionSpec::fixed(percent / 100.0);
-  return *this;
-}
-Scenario& Scenario::eviction(const core::EvictionSpec& spec) {
-  base_.eviction = spec;
-  return *this;
-}
-Scenario& Scenario::trusted_overlay(bool enabled) {
-  base_.trusted_overlay = enabled;
-  return *this;
-}
-Scenario& Scenario::churn(bool enabled) {
-  metrics::ChurnSpec spec = metrics::ChurnSpec::steady(0.02);
-  spec.enabled = enabled;
-  base_.churn = spec;
-  return *this;
-}
-Scenario& Scenario::churn(const metrics::ChurnSpec& spec) {
-  base_.churn = spec;
-  return *this;
-}
-Scenario& Scenario::identification(double threshold) {
-  base_.run_identification = true;
-  base_.identification_threshold = threshold;
-  return *this;
-}
-Scenario& Scenario::wire_roundtrip(bool enabled) {
-  base_.wire_roundtrip = enabled;
-  return *this;
-}
-Scenario& Scenario::encrypt_links(bool enabled) {
-  base_.encrypt_links = enabled;
-  return *this;
-}
-Scenario& Scenario::message_loss(double probability) {
-  base_.message_loss = probability;
-  return *this;
-}
-
-metrics::ExperimentConfig Scenario::config() const {
-  metrics::ExperimentConfig config = base_;
-  config.trusted_fraction = trusted_share_ * (1.0 - base_.byzantine_fraction);
-  return config;
-}
-
-metrics::ExperimentResult Scenario::run() const { return metrics::run_experiment(config()); }
 
 std::string MatrixCell::name() const {
   std::ostringstream oss;
@@ -103,11 +21,12 @@ std::string MatrixCell::name() const {
   return oss.str();
 }
 
-Scenario MatrixCell::scenario() const {
-  Scenario s;
-  s.adversary(adversary).trusted_share(trusted_share).churn(churn).eviction_pct(
-      eviction_pct);
-  return s;
+scenario::ScenarioSpec MatrixCell::scenario() const {
+  return Scenario()
+      .adversary(adversary)
+      .trusted_share(trusted_share)
+      .churn(churn)
+      .eviction_pct(eviction_pct);
 }
 
 std::ostream& operator<<(std::ostream& os, const MatrixCell& cell) {

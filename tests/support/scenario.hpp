@@ -1,11 +1,9 @@
-// Scenario fixture/builder for end-to-end simulation tests.
+// Test-side glue over the public scenario API.
 //
-// Wraps metrics::ExperimentConfig (and through it sim::Engine) behind a
-// fluent builder sized for ctest budgets: BASALT- and Honeybee-style
-// seeded scenario sweeps need dozens of cells per suite, so the defaults
-// here are a small-but-representative population (128 nodes, view 16,
-// 64 rounds) that exhibits every qualitative regime of the paper's grids
-// in a few milliseconds per cell.
+// The fluent builder itself is library code now — raptee::scenario::
+// ScenarioSpec (scenario/spec.hpp). What remains here is test-specific:
+// a factory applying ctest-sized defaults, the scenario-matrix cell type,
+// and the gtest bit-exactness assertion helper.
 //
 //   auto result = test::Scenario()
 //                     .adversary(0.3)
@@ -15,63 +13,22 @@
 //                     .seed(7)
 //                     .run();
 //
-// `trusted_share` is denominated in the *correct* population (so 1.0 means
-// "every correct node is trusted" at any adversary fraction), unlike
-// ExperimentConfig::trusted_fraction which is a share of everyone and
-// cannot exceed 1 - f.
+// The defaults are a small-but-representative population (128 nodes,
+// view 16, 64 rounds) that exhibits every qualitative regime of the
+// paper's grids in a few milliseconds per cell — BASALT- and
+// Honeybee-style seeded scenario sweeps need dozens of cells per suite.
 #pragma once
 
-#include <cstdint>
 #include <iosfwd>
 #include <string>
 
-#include "metrics/experiment.hpp"
+#include "scenario/spec.hpp"
 
 namespace raptee::test {
 
-class Scenario {
- public:
-  Scenario();
-
-  Scenario& population(std::size_t n);
-  Scenario& view_size(std::size_t l1);
-  Scenario& rounds(Round rounds);
-  Scenario& seed(std::uint64_t seed);
-
-  /// Byzantine fraction f of the base population.
-  Scenario& adversary(double fraction);
-  /// Fraction of the *correct* population that is trusted (0..1); mapped to
-  /// ExperimentConfig::trusted_fraction = share * (1 - f) at build time.
-  Scenario& trusted_share(double share);
-  /// Injected poisoned-trusted nodes, as a fraction of the base population.
-  Scenario& poisoned_extra(double fraction);
-
-  /// Fixed Byzantine-eviction rate in percent; 0 disables eviction.
-  Scenario& eviction_pct(int percent);
-  Scenario& eviction(const core::EvictionSpec& spec);
-  Scenario& trusted_overlay(bool enabled);
-
-  /// Steady background churn (default spec: 2 %/round, 5-round downtime,
-  /// rejoin) — or a custom spec.
-  Scenario& churn(bool enabled);
-  Scenario& churn(const metrics::ChurnSpec& spec);
-
-  /// Attaches the §VI-A identification attack.
-  Scenario& identification(double threshold = 0.10);
-
-  Scenario& wire_roundtrip(bool enabled);
-  Scenario& encrypt_links(bool enabled);
-  Scenario& message_loss(double probability);
-
-  /// The fully-resolved ExperimentConfig (share -> fraction mapping applied).
-  [[nodiscard]] metrics::ExperimentConfig config() const;
-  /// Builds and runs the experiment.
-  [[nodiscard]] metrics::ExperimentResult run() const;
-
- private:
-  metrics::ExperimentConfig base_;
-  double trusted_share_ = 0.0;
-};
+/// A ScenarioSpec with test-sized defaults (128 nodes, view 16, 64 rounds,
+/// fixed seed).
+[[nodiscard]] scenario::ScenarioSpec Scenario();
 
 /// One cell of the scenario matrix; the TEST_P parameter type.
 struct MatrixCell {
@@ -82,8 +39,8 @@ struct MatrixCell {
 
   /// "f30_t100_churn_ev40"-style name, usable as a gtest parameter name.
   [[nodiscard]] std::string name() const;
-  /// A Scenario preconfigured for this cell.
-  [[nodiscard]] Scenario scenario() const;
+  /// A test-sized ScenarioSpec preconfigured for this cell.
+  [[nodiscard]] scenario::ScenarioSpec scenario() const;
 };
 
 std::ostream& operator<<(std::ostream& os, const MatrixCell& cell);

@@ -33,6 +33,7 @@ int main() {
       specs.push_back(raptee);
     }
   }
+  const bench::WallTimer timer;
   const auto cells = scenario::Runner(knobs.threads).run_batch(specs, knobs.reps);
 
   metrics::TablePrinter table(
@@ -75,6 +76,7 @@ int main() {
     }
   }
   std::cout << table.render() << '\n';
+  bench::report_timing(report, timer, knobs, specs.size() * knobs.reps);
   bench::write_csv("ablation_adaptive_bounds.csv", csv);
   report.write();
   return 0;

@@ -29,6 +29,7 @@ int main() {
       specs.push_back(on);
     }
   }
+  const bench::WallTimer timer;
   const auto cells = scenario::Runner(knobs.threads).run_batch(specs, knobs.reps);
 
   metrics::TablePrinter table({"f%", "t%", "improvement off %", "improvement on %",
@@ -67,6 +68,7 @@ int main() {
     }
   }
   std::cout << table.render() << '\n';
+  bench::report_timing(report, timer, knobs, specs.size() * knobs.reps);
   bench::write_csv("ablation_trusted_overlay.csv", csv);
   report.write();
   return 0;

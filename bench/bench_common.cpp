@@ -3,6 +3,8 @@
 #include <iostream>
 #include <vector>
 
+#include "exec/thread_pool.hpp"
+
 namespace raptee::bench {
 
 void write_csv(const std::string& file_name, const metrics::CsvWriter& csv) {
@@ -18,7 +20,27 @@ void print_header(const char* bench_name, const scenario::Knobs& knobs) {
   std::cout << "==== " << bench_name << " ====\n"
             << "mode=" << (knobs.full ? "FULL (paper-scale)" : "quick")
             << "  N=" << knobs.n << "  view=" << knobs.l1 << "  rounds=" << knobs.rounds
-            << "  reps=" << knobs.reps << "  threads=" << knobs.threads << "\n\n";
+            << "  reps=" << knobs.reps << "  threads=";
+  if (knobs.threads == 0) {
+    std::cout << "auto(" << exec::hardware_threads() << ")";
+  } else {
+    std::cout << knobs.threads;
+  }
+  std::cout << "\n\n";
+}
+
+void report_timing(scenario::results::BenchReport& report, const WallTimer& timer,
+                   const scenario::Knobs& knobs, std::size_t runs) {
+  const double seconds = timer.seconds();
+  const std::size_t threads = exec::resolve_threads(knobs.threads, runs);
+  std::cout << "wall-clock " << metrics::fmt(seconds, 2) << " s for " << runs
+            << " runs on " << threads << " thread(s)";
+  if (seconds > 0.0) {
+    std::cout << " (" << metrics::fmt(static_cast<double>(runs) / seconds, 2)
+              << " runs/s)";
+  }
+  std::cout << "\n\n";
+  report.set_timing(seconds, threads);
 }
 
 std::string fmt_opt(const std::optional<double>& value, int precision) {
@@ -71,6 +93,7 @@ void run_eviction_figure(const char* fig_name, const char* title,
     }
   }
   const scenario::Runner runner(knobs.threads);
+  const WallTimer timer;
   const auto cells = runner.run_batch(specs, knobs.reps);
 
   std::vector<std::string> headers{"f%\\t%"};
@@ -131,6 +154,7 @@ void run_eviction_figure(const char* fig_name, const char* title,
             << '\n';
   std::cout << "(c) Round overhead to reach view stability (%)\n" << stability.render()
             << '\n';
+  report_timing(report, timer, knobs, specs.size() * knobs.reps);
   write_csv(std::string(fig_name) + ".csv", csv);
   report.write();
 }

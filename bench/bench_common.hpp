@@ -8,6 +8,7 @@
 // improvement, round overheads) and the Figures 5-9 eviction-sweep driver.
 #pragma once
 
+#include <chrono>
 #include <optional>
 #include <string>
 
@@ -21,6 +22,25 @@ void write_csv(const std::string& file_name, const metrics::CsvWriter& csv);
 
 /// Prints the run header (grid sizes, mode) for reproducibility.
 void print_header(const char* bench_name, const scenario::Knobs& knobs);
+
+/// Monotonic stopwatch for the per-bench wall-clock rows (BenchReport::
+/// set_timing); starts at construction.
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Prints the batch wall-clock + throughput line and records it on the
+/// report. `runs` = total simulation runs in the batch (cells × reps).
+void report_timing(scenario::results::BenchReport& report, const WallTimer& timer,
+                   const scenario::Knobs& knobs, std::size_t runs);
 
 /// "12.3" or "-" for missing optionals.
 [[nodiscard]] std::string fmt_opt(const std::optional<double>& value, int precision = 1);

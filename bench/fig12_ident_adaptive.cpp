@@ -17,6 +17,7 @@ int main() {
   scenario::Grid grid(
       knobs.base_spec().eviction(core::EvictionSpec::adaptive()).identification());
   grid.axis_adversary_pct(fs).axis_trusted_pct(ts);
+  const bench::WallTimer timer;
   const auto sweep = scenario::Runner(knobs.threads).run_grid(grid, knobs.reps);
 
   std::vector<std::string> headers{"f%\\t%"};
@@ -54,6 +55,7 @@ int main() {
   std::cout << "(a) Identification recall\n" << recall.render() << '\n';
   std::cout << "(b) Identification precision\n" << precision.render() << '\n';
   std::cout << "(c) Identification F1-score\n" << f1.render() << '\n';
+  bench::report_timing(report, timer, knobs, grid.size() * knobs.reps);
   bench::write_csv("fig12_ident_adaptive.csv", csv);
   report.write();
   return 0;

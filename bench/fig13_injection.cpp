@@ -32,6 +32,7 @@ int main() {
       }
     }
   }
+  const bench::WallTimer timer;
   const auto cells = scenario::Runner(knobs.threads).run_batch(specs, knobs.reps);
 
   metrics::CsvWriter csv({"t_pct", "injected_pct", "f_pct", "baseline_pollution_pct",
@@ -74,6 +75,7 @@ int main() {
     }
     std::cout << table.render() << '\n';
   }
+  bench::report_timing(report, timer, knobs, specs.size() * knobs.reps);
   bench::write_csv("fig13_injection.csv", csv);
   report.write();
   return 0;

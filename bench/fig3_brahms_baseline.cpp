@@ -15,6 +15,7 @@ int main() {
   const auto fs = knobs.f_grid();
   scenario::Grid grid(knobs.base_spec());
   grid.axis_adversary_pct(fs);
+  const bench::WallTimer timer;
   const auto sweep = scenario::Runner(knobs.threads).run_grid(grid, knobs.reps);
 
   metrics::TablePrinter table(
@@ -44,6 +45,7 @@ int main() {
   }
 
   std::cout << table.render() << '\n';
+  bench::report_timing(report, timer, knobs, grid.size() * knobs.reps);
   bench::write_csv("fig3_brahms_baseline.csv", csv);
   report.write();
   return 0;

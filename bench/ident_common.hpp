@@ -22,6 +22,7 @@ inline void run_ident_fixed_f_figure(const char* fig_name, int f_pct,
 
   scenario::Grid grid(knobs.base_spec().adversary_pct(f_pct).identification());
   grid.axis_eviction_pct(ers).axis_trusted_pct(ts);
+  const WallTimer timer;
   const auto sweep = scenario::Runner(knobs.threads).run_grid(grid, knobs.reps);
 
   std::vector<std::string> headers{"ER%\\t%"};
@@ -61,6 +62,7 @@ inline void run_ident_fixed_f_figure(const char* fig_name, int f_pct,
   std::cout << "(a) Recall\n" << recall.render() << '\n';
   std::cout << "(b) Precision\n" << precision.render() << '\n';
   std::cout << "(c) F1-score\n" << f1.render() << '\n';
+  report_timing(report, timer, knobs, grid.size() * knobs.reps);
   write_csv(std::string(fig_name) + ".csv", csv);
   report.write();
 }

@@ -213,7 +213,7 @@ void print_table1() {
                "sd 2-4%.\n";
   const std::string path = "bench_out/table1_sgx_overhead.csv";
   if (csv.write(path)) std::cout << "[csv] " << path << '\n';
-  // Own schema id: unlike the figure benches (raptee.bench/1) this document
+  // Own schema id: unlike the figure benches (raptee.bench/2) this document
   // has no scenario knobs — its provenance is the cycle-sampling count.
   const std::string json = metrics::JsonObject()
                                .field("schema", "raptee.bench.table1/1")

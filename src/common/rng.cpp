@@ -4,6 +4,22 @@
 
 namespace raptee {
 
+Rng Rng::fork(std::string_view label) const {
+  // SplitMix-style chain over the label bytes, then folded with the full
+  // 256-bit state so distinct parents (or the same parent at different
+  // points of its stream) derive unrelated children.
+  std::uint64_t h = 0x53706C6974526E67ull;  // "SplitRng"
+  for (const char c : label) h = mix64(h, static_cast<unsigned char>(c));
+  return split(h);
+}
+
+Rng Rng::split(std::uint64_t index) const {
+  std::uint64_t s = mix64(state_[0], state_[1]);
+  s = mix64(s, state_[2]);
+  s = mix64(s, state_[3]);
+  return Rng(mix64(s, index));
+}
+
 std::uint64_t Rng::below(std::uint64_t bound) {
   RAPTEE_ASSERT_MSG(bound > 0, "Rng::below requires a positive bound");
   // Lemire 2019: multiply-shift with rejection of the biased low range.

@@ -12,6 +12,7 @@
 
 #include <array>
 #include <cstdint>
+#include <string_view>
 #include <vector>
 
 #include "common/assert.hpp"
@@ -46,10 +47,23 @@ class Rng {
   }
 
   /// Derives an independent generator; `salt` distinguishes streams forked
-  /// from the same parent (e.g. per-node, per-repetition).
+  /// from the same parent (e.g. per-node, per-repetition). Advances this
+  /// generator by one step, so successive forks with the same salt differ.
   [[nodiscard]] Rng fork(std::uint64_t salt) {
     return Rng(mix64(next(), salt));
   }
+
+  /// Splittable label-based derivation (SplitMix-style): a child stream is
+  /// a pure function of the parent's CURRENT state and `label`, and the
+  /// parent is NOT advanced — so any number of tasks may derive their
+  /// streams concurrently from a shared parent, in any order, and the
+  /// same (parent state, label) pair always yields the same child. This is
+  /// what makes the exec subsystem's parallel fan-out reproducible.
+  [[nodiscard]] Rng fork(std::string_view label) const;
+
+  /// Indexed variant of the splittable fork for hot paths (per-node streams
+  /// in the engine's sharded phases); same contract, no string handling.
+  [[nodiscard]] Rng split(std::uint64_t index) const;
 
   result_type next() {
     const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;

@@ -1,0 +1,44 @@
+// Parallel algorithms over exec::ThreadPool.
+//
+// parallel_map is the workhorse of the scenario Runner: every repetition /
+// batch cell / grid cell is one independent task whose result lands in its
+// own output slot, so the map over a pool of any width is bit-identical to
+// the sequential loop (same results, same order) — scheduling only decides
+// wall-clock, never bytes.
+#pragma once
+
+#include <cstddef>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "exec/thread_pool.hpp"
+
+namespace raptee::exec {
+
+/// Maps fn over [0, n) on the pool; out[i] = fn(i). The result type must be
+/// default-constructible (slots are pre-built, then filled by index).
+/// `grain` as in ThreadPool::parallel_for; the default of 1 suits the
+/// coarse tasks (whole simulation runs) this is built for.
+template <typename F>
+[[nodiscard]] auto parallel_map(ThreadPool& pool, std::size_t n, F&& fn,
+                                std::size_t grain = 1)
+    -> std::vector<std::decay_t<decltype(fn(std::size_t{0}))>> {
+  using Result = std::decay_t<decltype(fn(std::size_t{0}))>;
+  std::vector<Result> out(n);
+  pool.parallel_for(
+      n, [&out, &fn](std::size_t i) { out[i] = fn(i); }, grain);
+  return out;
+}
+
+/// One-shot convenience: builds a pool of resolve_threads(threads, n) and
+/// maps over it. `threads` follows the knob convention (0 = hardware
+/// concurrency, 1 = inline sequential).
+template <typename F>
+[[nodiscard]] auto parallel_map(std::size_t threads, std::size_t n, F&& fn)
+    -> std::vector<std::decay_t<decltype(fn(std::size_t{0}))>> {
+  ThreadPool pool(resolve_threads(threads, n));
+  return parallel_map(pool, n, std::forward<F>(fn));
+}
+
+}  // namespace raptee::exec

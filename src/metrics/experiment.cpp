@@ -3,9 +3,10 @@
 #include <algorithm>
 #include <cmath>
 #include <memory>
-#include <thread>
+#include <utility>
 
 #include "adversary/byzantine.hpp"
+#include "exec/parallel.hpp"
 #include "adversary/injection.hpp"
 #include "common/assert.hpp"
 #include "core/node_factory.hpp"
@@ -60,6 +61,8 @@ void ExperimentConfig::validate() const {
                  "identification threshold out of [0,1]");
   RAPTEE_REQUIRE(rounds >= 1, "need at least one round");
   RAPTEE_REQUIRE(stability_window >= 1, "stability window must be >= 1");
+  RAPTEE_REQUIRE(engine_threads <= 4096,
+                 "engine_threads implausibly large: " << engine_threads);
   brahms.validate();
   eviction.validate();
   churn.validate();
@@ -102,6 +105,7 @@ ExperimentResult run_experiment(const ExperimentConfig& config,
   engine_config.wire_roundtrip = config.wire_roundtrip;
   engine_config.encrypt_links = config.encrypt_links;
   engine_config.message_loss = config.message_loss;
+  engine_config.push_threads = config.engine_threads;
   sim::Engine engine(engine_config);
 
   std::shared_ptr<adversary::Coordinator> coordinator;
@@ -266,42 +270,15 @@ ExperimentResult run_experiment(const ExperimentConfig& config,
   return result;
 }
 
-std::vector<ExperimentResult> run_batch(const std::vector<ExperimentConfig>& configs,
-                                        std::size_t threads) {
-  if (threads == 0) {
-    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
-  }
-  threads = std::min(threads, configs.empty() ? std::size_t{1} : configs.size());
-  std::vector<ExperimentResult> results(configs.size());
-  std::atomic<std::size_t> next{0};
-  auto worker = [&]() {
-    for (;;) {
-      const std::size_t i = next.fetch_add(1);
-      if (i >= configs.size()) return;
-      results[i] = run_experiment(configs[i]);
-    }
-  };
-  std::vector<std::thread> pool;
-  pool.reserve(threads);
-  for (std::size_t t = 0; t < threads; ++t) pool.emplace_back(worker);
-  for (auto& t : pool) t.join();
-  return results;
+std::uint64_t repetition_seed(std::uint64_t base_seed, std::size_t rep) {
+  return mix64(base_seed, 0x5265705Aull + rep);
 }
 
-RepeatedResult run_repeated(ExperimentConfig config, std::size_t reps,
-                            std::size_t threads) {
-  std::vector<ExperimentConfig> configs;
-  configs.reserve(reps);
-  for (std::size_t r = 0; r < reps; ++r) {
-    ExperimentConfig c = config;
-    c.seed = mix64(config.seed, 0x5265705Aull + r);
-    configs.push_back(c);
-  }
-  const auto results = run_batch(configs, threads);
-
+RepeatedResult aggregate_runs(const ExperimentResult* results, std::size_t count) {
   RepeatedResult agg;
-  agg.runs = results.size();
-  for (const auto& r : results) {
+  agg.runs = count;
+  for (std::size_t i = 0; i < count; ++i) {
+    const ExperimentResult& r = results[i];
     agg.pollution.add(r.steady_pollution);
     agg.pollution_honest.add(r.steady_pollution_honest);
     agg.pollution_trusted.add(r.steady_pollution_trusted);
@@ -322,18 +299,42 @@ RepeatedResult run_repeated(ExperimentConfig config, std::size_t reps,
   return agg;
 }
 
-ComparisonResult run_comparison(const ExperimentConfig& raptee_config, std::size_t reps,
-                                std::size_t threads) {
+std::vector<ExperimentResult> run_batch(const std::vector<ExperimentConfig>& configs,
+                                        std::size_t threads) {
+  // One work-stealing task per run; each run derives every random stream
+  // from its own config.seed, so the map is bit-identical to the
+  // sequential loop for any pool width.
+  return exec::parallel_map(threads, configs.size(),
+                            [&configs](std::size_t i) { return run_experiment(configs[i]); });
+}
+
+RepeatedResult run_repeated(ExperimentConfig config, std::size_t reps,
+                            std::size_t threads) {
+  std::vector<ExperimentConfig> configs;
+  configs.reserve(reps);
+  for (std::size_t r = 0; r < reps; ++r) {
+    ExperimentConfig c = config;
+    c.seed = repetition_seed(config.seed, r);
+    configs.push_back(c);
+  }
+  const auto results = run_batch(configs, threads);
+  return aggregate_runs(results.data(), results.size());
+}
+
+ExperimentConfig comparison_baseline(const ExperimentConfig& raptee_config) {
   ExperimentConfig baseline = raptee_config;
   baseline.trusted_fraction = 0.0;
   baseline.poisoned_extra_fraction = 0.0;
   baseline.eviction = core::EvictionSpec::none();
   baseline.trusted_overlay = false;
   baseline.run_identification = false;
+  return baseline;
+}
 
+ComparisonResult finalize_comparison(RepeatedResult raptee, RepeatedResult baseline) {
   ComparisonResult cmp;
-  cmp.raptee = run_repeated(raptee_config, reps, threads);
-  cmp.baseline = run_repeated(baseline, reps, threads);
+  cmp.raptee = std::move(raptee);
+  cmp.baseline = std::move(baseline);
 
   const double base_all = cmp.baseline.pollution.mean();
   if (base_all > 0.0) {
@@ -356,6 +357,12 @@ ComparisonResult run_comparison(const ExperimentConfig& raptee_config, std::size
         100.0 * (cmp.raptee.stability.mean() / cmp.baseline.stability.mean() - 1.0);
   }
   return cmp;
+}
+
+ComparisonResult run_comparison(const ExperimentConfig& raptee_config, std::size_t reps,
+                                std::size_t threads) {
+  return finalize_comparison(run_repeated(raptee_config, reps, threads),
+                             run_repeated(comparison_baseline(raptee_config), reps, threads));
 }
 
 }  // namespace raptee::metrics

@@ -85,6 +85,14 @@ struct ExperimentConfig {
   bool encrypt_links = false;    ///< AES-CTR+HMAC every leg
   double message_loss = 0.0;
 
+  /// Engine-internal parallelism (sim::EngineConfig::push_threads): 1 =
+  /// legacy sequential rounds (the default), 0 = shard over hardware
+  /// concurrency, n > 1 = shard over n workers. Opting in (any value != 1)
+  /// switches the push phase to splittable per-node random streams, so
+  /// sharded runs differ from legacy runs — but are bit-identical across
+  /// worker counts and machines. ScenarioSpec::threads() sets this.
+  std::size_t engine_threads = 1;
+
   [[nodiscard]] std::size_t byzantine_count() const;
   [[nodiscard]] std::size_t trusted_count() const;
   [[nodiscard]] std::size_t poisoned_count() const;
@@ -154,8 +162,31 @@ struct ComparisonResult {
 [[nodiscard]] ComparisonResult run_comparison(const ExperimentConfig& raptee_config,
                                               std::size_t reps, std::size_t threads = 0);
 
-/// Runs a batch of experiments across a worker pool, preserving order.
+/// The matched-f Brahms baseline run_comparison measures against: same
+/// config with the trusted population, eviction, overlay and injection
+/// stripped.
+[[nodiscard]] ExperimentConfig comparison_baseline(const ExperimentConfig& raptee_config);
+
+/// Derived comparison percentages from two already-aggregated sides
+/// (shared by run_comparison and the scenario Runner's fused batch path).
+[[nodiscard]] ComparisonResult finalize_comparison(RepeatedResult raptee,
+                                                   RepeatedResult baseline);
+
+/// Runs a batch of experiments over an exec::ThreadPool (work-stealing,
+/// one task per run), preserving order. Results are bit-identical to the
+/// sequential loop for any `threads` (0 = hardware concurrency).
 [[nodiscard]] std::vector<ExperimentResult> run_batch(
     const std::vector<ExperimentConfig>& configs, std::size_t threads = 0);
+
+/// The seed-decorrelation stream used by run_repeated and every scenario
+/// batch: repetition `rep` of a spec with base seed `base_seed` always runs
+/// with this derived seed, so a batch cell and a standalone repetition of
+/// the same spec agree bit for bit.
+[[nodiscard]] std::uint64_t repetition_seed(std::uint64_t base_seed, std::size_t rep);
+
+/// Aggregates a contiguous slice of per-run results into mean/σ form (the
+/// reduction step under run_repeated and the scenario batch/grid paths).
+[[nodiscard]] RepeatedResult aggregate_runs(const ExperimentResult* results,
+                                            std::size_t count);
 
 }  // namespace raptee::metrics

@@ -1,49 +1,66 @@
 #include "scenario/knobs.hpp"
 
+#include <cerrno>
 #include <cstdlib>
+
+#include "common/assert.hpp"
 
 namespace raptee::scenario {
 
 namespace {
 
-std::size_t env_size(const char* name, std::size_t fallback) {
-  if (const char* value = std::getenv(name)) {
-    const long parsed = std::atol(value);
-    if (parsed > 0) return static_cast<std::size_t>(parsed);
+/// Strict decimal parse of an environment variable: digits only (no sign,
+/// no trailing garbage — `RAPTEE_BENCH_SEED=12abc` is an error, not a
+/// silent 12), range-checked against [min, max]. Unset returns `fallback`.
+std::uint64_t env_u64(const char* name, std::uint64_t fallback, std::uint64_t min,
+                      std::uint64_t max) {
+  const char* value = std::getenv(name);
+  if (!value) return fallback;
+  bool digits_only = *value != '\0';
+  for (const char* c = value; *c != '\0'; ++c) {
+    if (*c < '0' || *c > '9') {
+      digits_only = false;
+      break;
+    }
   }
-  return fallback;
+  RAPTEE_REQUIRE(digits_only, name << " must be an unsigned decimal integer, got '"
+                                   << value << "'");
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(value, &end, 10);
+  RAPTEE_REQUIRE(errno != ERANGE, name << "=" << value
+                                       << " does not fit in 64 bits");
+  const auto result = static_cast<std::uint64_t>(parsed);
+  RAPTEE_REQUIRE(result >= min && result <= max,
+                 name << "=" << value << " out of range [" << min << ", " << max
+                      << "]");
+  return result;
 }
 
-/// Unlike the sizing knobs, 0 is a legitimate seed and the full uint64
-/// range must survive the parse.
-std::uint64_t env_seed(const char* name, std::uint64_t fallback) {
-  if (const char* value = std::getenv(name)) {
-    char* end = nullptr;
-    const unsigned long long parsed = std::strtoull(value, &end, 10);
-    if (end != value && *end == '\0') return static_cast<std::uint64_t>(parsed);
-  }
-  return fallback;
+std::size_t env_size(const char* name, std::size_t fallback, std::size_t min = 1,
+                     std::size_t max = 1u << 30) {
+  return static_cast<std::size_t>(env_u64(name, fallback, min, max));
 }
 
 }  // namespace
 
 Knobs Knobs::from_env() {
   Knobs knobs;
-  if (const char* full = std::getenv("RAPTEE_BENCH_FULL")) {
-    knobs.full = std::atoi(full) != 0;
-  }
+  knobs.full = env_u64("RAPTEE_BENCH_FULL", 0, 0, 1) != 0;
   if (knobs.full) {
     knobs.n = 10000;
     knobs.l1 = 200;
     knobs.rounds = 200;
     knobs.reps = 10;
   }
-  knobs.n = env_size("RAPTEE_BENCH_N", knobs.n);
+  knobs.n = env_size("RAPTEE_BENCH_N", knobs.n, 8);
   knobs.l1 = env_size("RAPTEE_BENCH_L1", knobs.l1);
   knobs.rounds = static_cast<Round>(env_size("RAPTEE_BENCH_ROUNDS", knobs.rounds));
   knobs.reps = env_size("RAPTEE_BENCH_REPS", knobs.reps);
-  knobs.threads = env_size("RAPTEE_BENCH_THREADS", knobs.threads);
-  knobs.seed = env_seed("RAPTEE_BENCH_SEED", knobs.seed);
+  // 0 would be ambiguous with the "auto" default — unset the variable to
+  // get hardware concurrency, or pass an explicit 1..4096.
+  knobs.threads = env_size("RAPTEE_BENCH_THREADS", knobs.threads, 1, 4096);
+  knobs.seed = env_u64("RAPTEE_BENCH_SEED", knobs.seed, 0, ~0ull);
   return knobs;
 }
 

@@ -5,6 +5,11 @@
 // f in 10..30 step 2, t in {1,5,10,20,30,50}, ER in {0,20,...,100}), and
 // individual knobs are overridden with RAPTEE_BENCH_N / _L1 / _ROUNDS /
 // _REPS / _THREADS / _SEED. README.md documents the full table.
+//
+// Parsing is strict: a knob must be a plain unsigned decimal in range —
+// signs, trailing garbage (`RAPTEE_BENCH_SEED=12abc`), overlong or
+// out-of-range values raise std::invalid_argument instead of silently
+// falling back.
 #pragma once
 
 #include <cstdint>
@@ -20,10 +25,12 @@ struct Knobs {
   std::size_t l1 = 40;
   Round rounds = 150;
   std::size_t reps = 1;
-  std::size_t threads = 2;
+  /// Runner pool width for cell batches: 0 = hardware concurrency (the
+  /// default), 1 = sequential. RAPTEE_BENCH_THREADS accepts 1..4096.
+  std::size_t threads = 0;
   std::uint64_t seed = 20220308;  // arXiv date of the paper
 
-  /// Reads RAPTEE_BENCH_* from the environment.
+  /// Reads RAPTEE_BENCH_* from the environment (strict parse, see above).
   [[nodiscard]] static Knobs from_env();
 
   /// The base spec shared by all figure benches (fingerprint auth, no

@@ -87,6 +87,7 @@ std::string to_json(const metrics::ExperimentConfig& config) {
       .field("wire_roundtrip", config.wire_roundtrip)
       .field("encrypt_links", config.encrypt_links)
       .field("message_loss", config.message_loss)
+      .field("engine_threads", config.engine_threads)
       .str();
 }
 
@@ -167,7 +168,7 @@ std::string to_json(const metrics::ComparisonResult& result) {
 std::string experiment_document(const ScenarioSpec& spec,
                                 const metrics::ExperimentResult& result) {
   return JsonObject()
-      .field("schema", "raptee.scenario.experiment/1")
+      .field("schema", "raptee.scenario.experiment/2")
       .field("label", spec.label())
       .field_raw("config", to_json(spec.config()))
       .field_raw("result", to_json(result))
@@ -177,7 +178,7 @@ std::string experiment_document(const ScenarioSpec& spec,
 std::string repeated_document(const ScenarioSpec& spec, std::size_t reps,
                               const metrics::RepeatedResult& result) {
   return JsonObject()
-      .field("schema", "raptee.scenario.repeated/1")
+      .field("schema", "raptee.scenario.repeated/2")
       .field("label", spec.label())
       .field("reps", reps)
       .field_raw("config", to_json(spec.config()))
@@ -188,7 +189,7 @@ std::string repeated_document(const ScenarioSpec& spec, std::size_t reps,
 std::string comparison_document(const ScenarioSpec& spec, std::size_t reps,
                                 const metrics::ComparisonResult& result) {
   return JsonObject()
-      .field("schema", "raptee.scenario.comparison/1")
+      .field("schema", "raptee.scenario.comparison/2")
       .field("label", spec.label())
       .field("reps", reps)
       .field_raw("config", to_json(spec.config()))
@@ -213,7 +214,7 @@ std::string grid_document(const GridResult& sweep, std::size_t reps) {
     cells.item_raw(cell.str());
   }
   return JsonObject()
-      .field("schema", "raptee.scenario.grid/1")
+      .field("schema", "raptee.scenario.grid/2")
       .field("reps", reps)
       .field_raw("axes", axes.str())
       .field_raw("cells", cells.str())
@@ -234,13 +235,24 @@ BenchReport::BenchReport(std::string bench_name, const Knobs& knobs)
 
 void BenchReport::add_row(const JsonObject& row) { rows_.item_raw(row.str()); }
 
+BenchReport& BenchReport::set_timing(double wall_seconds, std::size_t threads,
+                                     std::optional<double> speedup_vs_serial) {
+  timing_json_ = JsonObject()
+                     .field("wall_seconds", wall_seconds)
+                     .field("threads", threads)
+                     .field("speedup_vs_serial", speedup_vs_serial)
+                     .str();
+  return *this;
+}
+
 std::string BenchReport::document() const {
-  return JsonObject()
-      .field("schema", "raptee.bench/1")
+  JsonObject doc;
+  doc.field("schema", "raptee.bench/2")
       .field("bench", bench_name_)
-      .field_raw("knobs", knobs_json_)
-      .field_raw("rows", rows_.str())
-      .str();
+      .field_raw("knobs", knobs_json_);
+  if (!timing_json_.empty()) doc.field_raw("timing", timing_json_);
+  doc.field_raw("rows", rows_.str());
+  return doc.str();
 }
 
 bool BenchReport::write(const std::string& dir) const {

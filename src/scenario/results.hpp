@@ -8,11 +8,12 @@
 // bench trajectory diffable.
 //
 // Document shapes ("schema" field, versioned):
-//   raptee.scenario.experiment/1  — one run: config + full result series
-//   raptee.scenario.repeated/1    — mean/σ aggregate over reps
-//   raptee.scenario.comparison/1  — RAPTEE vs Brahms at matched f
-//   raptee.scenario.grid/1        — axes + one aggregate per cell
-//   raptee.bench/1                — a figure bench: knobs + derived rows
+//   raptee.scenario.experiment/2  — one run: config + full result series
+//   raptee.scenario.repeated/2    — mean/σ aggregate over reps
+//   raptee.scenario.comparison/2  — RAPTEE vs Brahms at matched f
+//   raptee.scenario.grid/2        — axes + one aggregate per cell
+//   raptee.bench/2                — a figure bench: knobs + derived rows +
+//                                   optional wall-clock timing
 #pragma once
 
 #include <string>
@@ -58,6 +59,14 @@ class BenchReport {
   /// Adds one row; build it with metrics::JsonObject.
   void add_row(const metrics::JsonObject& row);
 
+  /// Records the bench's execution timing: wall-clock seconds for the cell
+  /// batch, the resolved exec worker count, and (when measured against a
+  /// 1-thread run, as bench/scale_threads.cpp does) the speedup. Timing is
+  /// the one machine-dependent part of a document — every other byte of a
+  /// fixed-seed bench file is deterministic.
+  BenchReport& set_timing(double wall_seconds, std::size_t threads,
+                          std::optional<double> speedup_vs_serial = std::nullopt);
+
   [[nodiscard]] std::string document() const;
   /// Writes <dir>/<bench_name>.json; returns false on I/O failure.
   bool write(const std::string& dir = "bench_out") const;
@@ -66,6 +75,7 @@ class BenchReport {
   std::string bench_name_;
   std::string knobs_json_;
   metrics::JsonArray rows_;
+  std::string timing_json_;  // empty until set_timing
 };
 
 }  // namespace raptee::scenario::results

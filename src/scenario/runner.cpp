@@ -4,43 +4,49 @@
 
 #include "common/assert.hpp"
 #include "common/rng.hpp"
+#include "exec/parallel.hpp"
 #include "scenario/observer.hpp"
 
 namespace raptee::scenario {
 
 namespace {
 
-/// The seed-decorrelation stream shared with metrics::run_repeated, so a
-/// batch cell and a standalone repetition of the same spec agree bit for
-/// bit.
-std::uint64_t rep_seed(std::uint64_t base_seed, std::size_t rep) {
-  return mix64(base_seed, 0x5265705Aull + rep);
+/// Flattens (specs × reps) into one run list with decorrelated seeds —
+/// metrics::repetition_seed, so a batch cell and a standalone repetition of
+/// the same spec agree bit for bit.
+std::vector<metrics::ExperimentConfig> flatten_reps(
+    const std::vector<metrics::ExperimentConfig>& configs, std::size_t reps) {
+  std::vector<metrics::ExperimentConfig> flat;
+  flat.reserve(configs.size() * reps);
+  for (const metrics::ExperimentConfig& config : configs) {
+    for (std::size_t rep = 0; rep < reps; ++rep) {
+      metrics::ExperimentConfig cell = config;
+      cell.seed = metrics::repetition_seed(config.seed, rep);
+      flat.push_back(cell);
+    }
+  }
+  return flat;
 }
 
-metrics::RepeatedResult aggregate(const metrics::ExperimentResult* results,
-                                  std::size_t count) {
-  metrics::RepeatedResult agg;
-  for (std::size_t i = 0; i < count; ++i) {
-    const metrics::ExperimentResult& r = results[i];
-    ++agg.runs;
-    agg.pollution.add(r.steady_pollution);
-    agg.pollution_honest.add(r.steady_pollution_honest);
-    agg.pollution_trusted.add(r.steady_pollution_trusted);
-    if (r.discovery_round) {
-      agg.discovery.add(static_cast<double>(*r.discovery_round));
-      ++agg.discovery_reached;
-    }
-    if (r.stability_round) {
-      agg.stability.add(static_cast<double>(*r.stability_round));
-      ++agg.stability_reached;
-    }
-    agg.eviction_rate.add(r.mean_eviction_rate);
-    agg.trusted_ratio.add(r.mean_trusted_ratio);
-    agg.ident_best_precision.add(r.ident_best.precision);
-    agg.ident_best_recall.add(r.ident_best.recall);
-    agg.ident_best_f1.add(r.ident_best.f1);
+/// Runs every flattened cell as one exec::parallel_map task and reduces
+/// each consecutive `reps`-sized slice back to its aggregate. This is the
+/// multi-core backbone under run_repeated / run_batch / run_grid /
+/// run_comparison; parallel output is bit-identical to threads == 1.
+std::vector<metrics::RepeatedResult> run_flattened(
+    const std::vector<metrics::ExperimentConfig>& configs, std::size_t reps,
+    std::size_t threads) {
+  RAPTEE_REQUIRE(reps >= 1, "need at least one repetition");
+  const std::vector<metrics::ExperimentConfig> flat = flatten_reps(configs, reps);
+  const auto results = exec::parallel_map(
+      threads, flat.size(),
+      [&flat](std::size_t i) { return metrics::run_experiment(flat[i]); });
+
+  std::vector<metrics::RepeatedResult> out;
+  out.reserve(configs.size());
+  for (std::size_t c = 0; c < configs.size(); ++c) {
+    out.push_back(metrics::aggregate_runs(results.data() + c * reps, reps));
   }
-  return agg;
+  return out;
 }
 
 }  // namespace
@@ -140,35 +146,26 @@ metrics::ExperimentResult Runner::run(const ScenarioSpec& spec,
 
 metrics::RepeatedResult Runner::run_repeated(const ScenarioSpec& spec,
                                              std::size_t reps) const {
-  return metrics::run_repeated(spec.config(), reps, threads_);
+  return run_flattened({spec.config()}, reps, threads_).front();
 }
 
 metrics::ComparisonResult Runner::run_comparison(const ScenarioSpec& spec,
                                                  std::size_t reps) const {
-  return metrics::run_comparison(spec.config(), reps, threads_);
+  // Both sides run as ONE fused batch so the pool never idles between the
+  // RAPTEE and Brahms halves; aggregation per half is unchanged, so the
+  // result is bit-identical to two standalone run_repeated calls.
+  const metrics::ExperimentConfig raptee_config = spec.config();
+  auto halves = run_flattened(
+      {raptee_config, metrics::comparison_baseline(raptee_config)}, reps, threads_);
+  return metrics::finalize_comparison(std::move(halves[0]), std::move(halves[1]));
 }
 
 std::vector<metrics::RepeatedResult> Runner::run_batch(
     const std::vector<ScenarioSpec>& specs, std::size_t reps) const {
-  RAPTEE_REQUIRE(reps >= 1, "need at least one repetition");
-  std::vector<metrics::ExperimentConfig> flat;
-  flat.reserve(specs.size() * reps);
-  for (const ScenarioSpec& spec : specs) {
-    const metrics::ExperimentConfig config = spec.config();
-    for (std::size_t rep = 0; rep < reps; ++rep) {
-      metrics::ExperimentConfig cell = config;
-      cell.seed = rep_seed(config.seed, rep);
-      flat.push_back(cell);
-    }
-  }
-  const auto results = metrics::run_batch(flat, threads_);
-
-  std::vector<metrics::RepeatedResult> out;
-  out.reserve(specs.size());
-  for (std::size_t c = 0; c < specs.size(); ++c) {
-    out.push_back(aggregate(results.data() + c * reps, reps));
-  }
-  return out;
+  std::vector<metrics::ExperimentConfig> configs;
+  configs.reserve(specs.size());
+  for (const ScenarioSpec& spec : specs) configs.push_back(spec.config());
+  return run_flattened(configs, reps, threads_);
 }
 
 GridResult Runner::run_grid(const Grid& grid, std::size_t reps) const {

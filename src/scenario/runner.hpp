@@ -9,7 +9,7 @@
 //
 //   scenario::Grid grid(knobs.base_spec());
 //   grid.axis_eviction_pct(knobs.er_grid()).axis_trusted_pct(knobs.t_grid());
-//   const auto sweep = scenario::Runner().run_grid(grid, reps, threads);
+//   const auto sweep = scenario::Runner(knobs.threads).run_grid(grid, reps);
 //   sweep.at({er_index, t_index}).pollution.mean();
 #pragma once
 
@@ -76,8 +76,11 @@ struct GridResult {
 
 class Runner {
  public:
-  /// `threads` — default worker-pool width for repeated/batch/grid runs;
-  /// 0 = hardware concurrency.
+  /// `threads` — exec::ThreadPool width for repeated/batch/grid/comparison
+  /// runs; 0 = hardware concurrency, 1 = fully sequential. Every cell
+  /// derives its seeds independently, so the parallel output (including
+  /// results::to_json bytes) is bit-identical to threads == 1 — asserted
+  /// by scenario_test_parallel_determinism.
   explicit Runner(std::size_t threads = 0) : threads_(threads) {}
 
   /// One run; `observer` (optional) streams per-round snapshots.

@@ -75,6 +75,10 @@ ScenarioSpec& ScenarioSpec::auth_mode(brahms::AuthMode mode) {
   base_.auth_mode = mode;
   return *this;
 }
+ScenarioSpec& ScenarioSpec::threads(std::size_t n) {
+  base_.engine_threads = n;
+  return *this;
+}
 ScenarioSpec& ScenarioSpec::stability_window(std::size_t rounds) {
   base_.stability_window = rounds;
   return *this;

@@ -72,6 +72,13 @@ class ScenarioSpec {
   ScenarioSpec& churn(bool enabled);
   ScenarioSpec& churn(const metrics::ChurnSpec& spec);
   ScenarioSpec& auth_mode(brahms::AuthMode mode);
+  /// Engine-internal parallelism for THIS run (sharded push generation):
+  /// 1 = legacy sequential rounds (default), 0 = hardware concurrency,
+  /// n > 1 = shard over n workers. Opting in (any value != 1) switches the
+  /// push phase onto splittable per-node streams — deterministic and
+  /// worker-count-independent, but a different stream than the legacy
+  /// path. Batch-level fan-out lives on Runner, not here.
+  ScenarioSpec& threads(std::size_t n);
   ScenarioSpec& stability_window(std::size_t rounds);
   ScenarioSpec& cycle_model(bool enabled);
   ScenarioSpec& wire_roundtrip(bool enabled);

@@ -76,12 +76,20 @@ void Engine::set_alive(NodeId id, bool alive) {
 
 std::vector<NodeId> Engine::alive_ids(const std::function<bool(NodeKind)>& pred) const {
   std::vector<NodeId> out;
+  out.reserve(size());
+  alive_ids(out, pred);
+  return out;
+}
+
+void Engine::alive_ids(std::vector<NodeId>& out,
+                       const std::function<bool(NodeKind)>& pred) const {
+  out.clear();
+  if (out.capacity() < nodes_.size()) out.reserve(nodes_.size());
   for (std::size_t i = 0; i < nodes_.size(); ++i) {
     if (!alive_[i]) continue;
     if (pred && !pred(kinds_[i])) continue;
     out.push_back(NodeId{static_cast<std::uint32_t>(i)});
   }
-  return out;
 }
 
 void Engine::bootstrap_uniform(std::size_t view_size) {
@@ -115,28 +123,91 @@ void Engine::remove_listener(ITrafficListener* listener) {
                    listeners_.end());
 }
 
+namespace {
+
+/// One generated push awaiting delivery.
+struct Delivery {
+  NodeId to;
+  NodeId from;
+  wire::PushMessage payload;
+};
+
+/// Per-sender generation output of the sharded phase: a private delivery
+/// list plus the sender's share of the leg counters, merged in node-index
+/// order once every shard finished.
+struct PushSlot {
+  std::vector<Delivery> deliveries;
+  std::uint64_t sent = 0;
+  std::uint64_t dropped = 0;
+};
+
+}  // namespace
+
 void Engine::deliver_pushes() {
   // Collect (target, payload) pairs from all alive nodes, then deliver in a
   // shuffled order so no node systematically observes pushes first.
-  struct Delivery {
-    NodeId to;
-    NodeId from;
-    wire::PushMessage payload;
-  };
   std::vector<Delivery> deliveries;
-  for (std::size_t i = 0; i < nodes_.size(); ++i) {
-    if (!alive_[i]) continue;
-    INode& sender = *nodes_[i];
-    for (NodeId target : sender.push_targets()) {
-      ++counters_.pushes_sent;
-      if (config_.message_loss > 0.0 && rng_.chance(config_.message_loss)) {
-        ++counters_.legs_dropped;
-        continue;
+  alive_ids(alive_scratch_);
+
+  if (config_.push_threads == 1) {
+    // Legacy sequential path: loss draws interleave on the engine stream.
+    for (const NodeId id : alive_scratch_) {
+      INode& sender = *nodes_[id.value];
+      for (NodeId target : sender.push_targets()) {
+        ++counters_.pushes_sent;
+        if (config_.message_loss > 0.0 && rng_.chance(config_.message_loss)) {
+          ++counters_.legs_dropped;
+          continue;
+        }
+        if (!is_alive(target)) continue;
+        deliveries.push_back({target, sender.id(), sender.make_push()});
       }
-      if (!is_alive(target)) continue;
-      deliveries.push_back({target, sender.id(), sender.make_push()});
+    }
+  } else {
+    // Sharded generation: each alive node owns an output slot and a
+    // splittable loss stream, so the result is independent of how the
+    // partition maps to workers (see the declaration comment).
+    if (!pool_) {
+      // Never wider than one worker per node — oversized thread() knobs
+      // would otherwise spawn thousands of idle OS threads per engine.
+      pool_ = std::make_unique<exec::ThreadPool>(
+          exec::resolve_threads(config_.push_threads, nodes_.size()));
+    }
+    const Rng phase_base = rng_.fork("push-phase");
+    std::vector<PushSlot> slots(alive_scratch_.size());
+    const auto collect = [&](std::size_t k) {
+      const NodeId id = alive_scratch_[k];
+      INode& sender = *nodes_[id.value];
+      PushSlot& slot = slots[k];
+      Rng loss_rng = phase_base.split(id.value);
+      for (NodeId target : sender.push_targets()) {
+        ++slot.sent;
+        if (config_.message_loss > 0.0 && loss_rng.chance(config_.message_loss)) {
+          ++slot.dropped;
+          continue;
+        }
+        if (!is_alive(target)) continue;
+        slot.deliveries.push_back({target, sender.id(), sender.make_push()});
+      }
+    };
+    // Byzantine senders route through the shared adversary Coordinator, so
+    // they generate on this thread (index order); everyone else shards.
+    for (std::size_t k = 0; k < alive_scratch_.size(); ++k) {
+      if (kinds_[alive_scratch_[k].value] == NodeKind::kByzantine) collect(k);
+    }
+    pool_->parallel_for(alive_scratch_.size(), [&](std::size_t k) {
+      if (kinds_[alive_scratch_[k].value] != NodeKind::kByzantine) collect(k);
+    });
+    std::size_t total = 0;
+    for (const PushSlot& slot : slots) total += slot.deliveries.size();
+    deliveries.reserve(total);
+    for (PushSlot& slot : slots) {
+      counters_.pushes_sent += slot.sent;
+      counters_.legs_dropped += slot.dropped;
+      for (Delivery& d : slot.deliveries) deliveries.push_back(std::move(d));
     }
   }
+
   rng_.shuffle(deliveries);
   for (const Delivery& d : deliveries) {
     nodes_[d.to.value]->on_push(d.payload);
@@ -221,10 +292,10 @@ void Engine::run_pull_exchanges() {
     NodeId target;
   };
   std::vector<PendingPull> pulls;
-  for (std::size_t i = 0; i < nodes_.size(); ++i) {
-    if (!alive_[i]) continue;
-    for (NodeId target : nodes_[i]->pull_targets()) {
-      pulls.push_back({NodeId{static_cast<std::uint32_t>(i)}, target});
+  alive_ids(alive_scratch_);
+  for (const NodeId id : alive_scratch_) {
+    for (NodeId target : nodes_[id.value]->pull_targets()) {
+      pulls.push_back({id, target});
     }
   }
   // Randomized global order: exchanges within a round interleave across

@@ -23,6 +23,7 @@
 #include "common/rng.hpp"
 #include "common/types.hpp"
 #include "crypto/key.hpp"
+#include "exec/thread_pool.hpp"
 #include "sim/node.hpp"
 #include "sim/traffic.hpp"
 
@@ -33,6 +34,12 @@ struct EngineConfig {
   bool wire_roundtrip = false;
   bool encrypt_links = false;
   double message_loss = 0.0;
+  /// Width of the sharded push-generation phase (see Engine::step):
+  /// 1 = legacy sequential path (the default), 0 = hardware concurrency,
+  /// n > 1 = shard over n workers. Any value > 1 (or 0) opts into the
+  /// sharded random stream; given that, results are bit-identical for
+  /// every worker count — see the determinism note on deliver_pushes.
+  std::size_t push_threads = 1;
 };
 
 class Engine {
@@ -56,6 +63,10 @@ class Engine {
   /// IDs of alive nodes satisfying `pred` (defaults to all alive).
   [[nodiscard]] std::vector<NodeId> alive_ids(
       const std::function<bool(NodeKind)>& pred = {}) const;
+  /// Allocation-free variant for hot loops: clears and fills a caller-owned
+  /// scratch vector (its capacity amortizes across rounds).
+  void alive_ids(std::vector<NodeId>& out,
+                 const std::function<bool(NodeKind)>& pred = {}) const;
 
   /// Gives every alive node a uniform random bootstrap view of size
   /// `view_size` drawn from the other alive nodes.
@@ -95,6 +106,16 @@ class Engine {
   [[nodiscard]] const Counters& counters() const { return counters_; }
 
  private:
+  // Push generation: collects every alive node's (targets, payload) pairs.
+  // With push_threads == 1 this is the legacy sequential loop (loss draws
+  // interleaved on the engine stream). With push_threads != 1 the alive
+  // nodes are partitioned across an exec::ThreadPool, every node draws its
+  // loss decisions from a private splittable stream (rng().fork("push-
+  // phase").split(node)), and the per-node delivery lists are merged in
+  // node-index order — so sharded results are a deterministic function of
+  // (seed, sharded-or-not) and never of the worker count. Byzantine nodes
+  // share the adversary Coordinator and therefore always generate on the
+  // coordinating thread, in index order, with the same per-node streams.
   void deliver_pushes();
   void run_pull_exchanges();
   /// Runs one five-leg exchange; returns false on timeout.
@@ -113,6 +134,9 @@ class Engine {
   std::vector<std::uint8_t> alive_;
   std::vector<ITrafficListener*> listeners_;
   Counters counters_;
+
+  std::vector<NodeId> alive_scratch_;        // reused by the round phases
+  std::unique_ptr<exec::ThreadPool> pool_;   // lazily built, push_threads != 1
 };
 
 }  // namespace raptee::sim

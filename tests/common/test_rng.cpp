@@ -284,5 +284,71 @@ TEST(Rng, ForkDifferentSaltsDiverge) {
   EXPECT_LT(same, 2);
 }
 
+// --- splittable (label/index) forks: the exec-subsystem contract ---
+
+TEST(Rng, SplittableForkIsDeterministicAndOrderIndependent) {
+  const Rng parent(97);  // const: fork(label)/split must not need mutation
+  Rng a1 = parent.fork("push-phase");
+  Rng b1 = parent.fork("bootstrap");
+  // Deriving again — in the opposite order — yields the same streams.
+  Rng b2 = parent.fork("bootstrap");
+  Rng a2 = parent.fork("push-phase");
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ(a1.next(), a2.next());
+    EXPECT_EQ(b1.next(), b2.next());
+  }
+}
+
+TEST(Rng, SplittableForkDoesNotAdvanceTheParent) {
+  Rng parent(98);
+  Rng witness(98);
+  (void)parent.fork("anything");
+  (void)parent.split(7);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(parent.next(), witness.next());
+}
+
+TEST(Rng, SplittableForkDistinctLabelsDiverge) {
+  const Rng parent(99);
+  Rng a = parent.fork("alpha");
+  Rng b = parent.fork("beta");
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, SplitDistinctIndicesDiverge) {
+  const Rng parent(100);
+  std::set<std::uint64_t> first_draws;
+  for (std::uint64_t i = 0; i < 128; ++i) {
+    Rng child = parent.split(i);
+    first_draws.insert(child.next());
+  }
+  EXPECT_EQ(first_draws.size(), 128u);
+}
+
+TEST(Rng, SplittableForkDependsOnParentState) {
+  Rng parent(101);
+  Rng before = parent.fork("label");
+  (void)parent.next();  // advance the parent stream
+  Rng after = parent.fork("label");
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (before.next() == after.next()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, SplittableForkDistinguishesParentSeeds) {
+  Rng a = Rng(102).fork("x");
+  Rng b = Rng(103).fork("x");
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
 }  // namespace
 }  // namespace raptee

@@ -1,0 +1,131 @@
+// Knobs::from_env strict parsing: RAPTEE_BENCH_* values must be plain
+// in-range unsigned decimals — signs, trailing garbage, overlong and
+// out-of-range values raise std::invalid_argument instead of silently
+// falling back (the old behaviour accepted `RAPTEE_BENCH_SEED=12abc` as
+// 12).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "scenario/knobs.hpp"
+
+namespace raptee::scenario {
+namespace {
+
+const char* const kVars[] = {"RAPTEE_BENCH_FULL", "RAPTEE_BENCH_N",
+                             "RAPTEE_BENCH_L1",   "RAPTEE_BENCH_ROUNDS",
+                             "RAPTEE_BENCH_REPS", "RAPTEE_BENCH_THREADS",
+                             "RAPTEE_BENCH_SEED"};
+
+/// Clears every RAPTEE_BENCH_* variable for the test and restores the
+/// ambient values afterwards (CI exports RAPTEE_BENCH_THREADS, so the
+/// suite must not leak or depend on it).
+struct KnobsEnvFixture : public ::testing::Test {
+  void SetUp() override {
+    for (const char* var : kVars) {
+      if (const char* value = std::getenv(var)) saved_[var] = value;
+      ::unsetenv(var);
+    }
+  }
+  void TearDown() override {
+    for (const char* var : kVars) {
+      const auto it = saved_.find(var);
+      if (it == saved_.end()) {
+        ::unsetenv(var);
+      } else {
+        ::setenv(var, it->second.c_str(), 1);
+      }
+    }
+  }
+  static void set(const char* var, const char* value) { ::setenv(var, value, 1); }
+
+ private:
+  std::map<std::string, std::string> saved_;
+};
+
+TEST_F(KnobsEnvFixture, DefaultsWhenUnset) {
+  const Knobs knobs = Knobs::from_env();
+  EXPECT_FALSE(knobs.full);
+  EXPECT_EQ(knobs.n, 400u);
+  EXPECT_EQ(knobs.l1, 40u);
+  EXPECT_EQ(knobs.rounds, 150u);
+  EXPECT_EQ(knobs.reps, 1u);
+  EXPECT_EQ(knobs.threads, 0u);  // 0 = hardware concurrency
+  EXPECT_EQ(knobs.seed, 20220308u);
+}
+
+TEST_F(KnobsEnvFixture, ParsesValidOverrides) {
+  set("RAPTEE_BENCH_N", "1234");
+  set("RAPTEE_BENCH_THREADS", "4");
+  set("RAPTEE_BENCH_SEED", "0");  // 0 is a legitimate seed
+  const Knobs knobs = Knobs::from_env();
+  EXPECT_EQ(knobs.n, 1234u);
+  EXPECT_EQ(knobs.threads, 4u);
+  EXPECT_EQ(knobs.seed, 0u);
+}
+
+TEST_F(KnobsEnvFixture, SeedUsesTheFullUint64Range) {
+  set("RAPTEE_BENCH_SEED", "18446744073709551615");
+  EXPECT_EQ(Knobs::from_env().seed, ~0ull);
+}
+
+TEST_F(KnobsEnvFixture, RejectsTrailingGarbage) {
+  set("RAPTEE_BENCH_SEED", "12abc");
+  EXPECT_THROW((void)Knobs::from_env(), std::invalid_argument);
+}
+
+TEST_F(KnobsEnvFixture, RejectsNonNumericSizing) {
+  set("RAPTEE_BENCH_N", "lots");
+  EXPECT_THROW((void)Knobs::from_env(), std::invalid_argument);
+}
+
+TEST_F(KnobsEnvFixture, RejectsEmptyValue) {
+  set("RAPTEE_BENCH_ROUNDS", "");
+  EXPECT_THROW((void)Knobs::from_env(), std::invalid_argument);
+}
+
+TEST_F(KnobsEnvFixture, ThreadsZeroIsRejected) {
+  // 0 would be ambiguous with the auto default; unset means auto.
+  set("RAPTEE_BENCH_THREADS", "0");
+  EXPECT_THROW((void)Knobs::from_env(), std::invalid_argument);
+}
+
+TEST_F(KnobsEnvFixture, ThreadsNegativeIsRejected) {
+  set("RAPTEE_BENCH_THREADS", "-4");
+  EXPECT_THROW((void)Knobs::from_env(), std::invalid_argument);
+}
+
+TEST_F(KnobsEnvFixture, ThreadsNonNumericIsRejected) {
+  set("RAPTEE_BENCH_THREADS", "four");
+  EXPECT_THROW((void)Knobs::from_env(), std::invalid_argument);
+}
+
+TEST_F(KnobsEnvFixture, ThreadsHugeIsRejected) {
+  set("RAPTEE_BENCH_THREADS", "100000");  // cap is 4096
+  EXPECT_THROW((void)Knobs::from_env(), std::invalid_argument);
+  set("RAPTEE_BENCH_THREADS", "99999999999999999999999999");  // > uint64
+  EXPECT_THROW((void)Knobs::from_env(), std::invalid_argument);
+}
+
+TEST_F(KnobsEnvFixture, ThreadsAtTheCapParses) {
+  set("RAPTEE_BENCH_THREADS", "4096");
+  EXPECT_EQ(Knobs::from_env().threads, 4096u);
+}
+
+TEST_F(KnobsEnvFixture, FullMustBeZeroOrOne) {
+  set("RAPTEE_BENCH_FULL", "1");
+  EXPECT_TRUE(Knobs::from_env().full);
+  set("RAPTEE_BENCH_FULL", "yes");
+  EXPECT_THROW((void)Knobs::from_env(), std::invalid_argument);
+}
+
+TEST_F(KnobsEnvFixture, PopulationBelowTheSimulatorMinimumIsRejected) {
+  set("RAPTEE_BENCH_N", "4");  // ExperimentConfig requires n >= 8
+  EXPECT_THROW((void)Knobs::from_env(), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace raptee::scenario

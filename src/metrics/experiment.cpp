@@ -57,6 +57,8 @@ void ExperimentConfig::validate() const {
   RAPTEE_REQUIRE(byzantine_count() < n, "no correct node left in the population");
   RAPTEE_REQUIRE(message_loss >= 0.0 && message_loss < 1.0,
                  "message loss out of [0,1): " << message_loss);
+  RAPTEE_REQUIRE(std::isfinite(tamper_rate) && tamper_rate >= 0.0 && tamper_rate <= 1.0,
+                 "tamper rate out of [0,1]: " << tamper_rate);
   RAPTEE_REQUIRE(identification_threshold >= 0.0 && identification_threshold <= 1.0,
                  "identification threshold out of [0,1]");
   RAPTEE_REQUIRE(rounds >= 1, "need at least one round");
@@ -105,6 +107,8 @@ ExperimentResult run_experiment(const ExperimentConfig& config,
   engine_config.wire_roundtrip = config.wire_roundtrip;
   engine_config.encrypt_links = config.encrypt_links;
   engine_config.message_loss = config.message_loss;
+  engine_config.tamper_rate = config.tamper_rate;
+  engine_config.link_sessions = config.link_sessions;
   engine_config.push_threads = config.engine_threads;
   sim::Engine engine(engine_config);
 
@@ -240,6 +244,9 @@ ExperimentResult run_experiment(const ExperimentConfig& config,
       snapshot.pulls_completed = engine.counters().pulls_completed;
       snapshot.pushes_delivered = engine.counters().pushes_delivered;
       snapshot.wire_bytes = engine.counters().wire_bytes;
+      snapshot.legs_dropped = engine.counters().legs_dropped;
+      snapshot.legs_tampered = engine.counters().legs_tampered;
+      snapshot.legs_corrupted = engine.counters().legs_corrupted;
       observer->on_round(snapshot, engine);
     }
   }
@@ -266,6 +273,10 @@ ExperimentResult run_experiment(const ExperimentConfig& config,
   }
   result.swaps_completed = engine.counters().swaps_completed;
   result.pulls_completed = engine.counters().pulls_completed;
+  result.legs_dropped = engine.counters().legs_dropped;
+  result.legs_tampered = engine.counters().legs_tampered;
+  result.legs_corrupted = engine.counters().legs_corrupted;
+  result.wire_bytes = engine.counters().wire_bytes;
   if (observer) observer->on_run_end(result, engine);
   return result;
 }

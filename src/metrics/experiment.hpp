@@ -84,6 +84,15 @@ struct ExperimentConfig {
   bool wire_roundtrip = false;   ///< encode/decode every leg
   bool encrypt_links = false;    ///< AES-CTR+HMAC every leg
   double message_loss = 0.0;
+  /// Per-leg probability that an on-path adversary flips one bit of the
+  /// serialized leg (implies the byte round-trip). With encrypt_links the
+  /// AEAD rejects every flip; without it only what fails typed decoding is
+  /// dropped — the rest models undetected corruption reaching the protocol.
+  double tamper_rate = 0.0;
+  /// Persistent per-pair link sessions (sim::EngineConfig::link_sessions);
+  /// false = the per-exchange-derivation baseline (bench ablation only —
+  /// observable results are identical either way).
+  bool link_sessions = true;
 
   /// Engine-internal parallelism (sim::EngineConfig::push_threads): 1 =
   /// legacy sequential rounds (the default), 0 = shard over hardware
@@ -115,6 +124,10 @@ struct ExperimentResult {
   Cycles enclave_cycles_total = 0;              ///< summed over trusted nodes
   std::uint64_t swaps_completed = 0;
   std::uint64_t pulls_completed = 0;
+  std::uint64_t legs_dropped = 0;    ///< loss + corruption, all legs
+  std::uint64_t legs_tampered = 0;   ///< on-path flips (tamper_rate draws)
+  std::uint64_t legs_corrupted = 0;  ///< legs the receiver rejected
+  std::uint64_t wire_bytes = 0;      ///< serialized bytes put on the wire
 };
 
 /// Runs one experiment. `observer`, when given, receives one RoundSnapshot

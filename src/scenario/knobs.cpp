@@ -61,6 +61,7 @@ Knobs Knobs::from_env() {
   // get hardware concurrency, or pass an explicit 1..4096.
   knobs.threads = env_size("RAPTEE_BENCH_THREADS", knobs.threads, 1, 4096);
   knobs.seed = env_u64("RAPTEE_BENCH_SEED", knobs.seed, 0, ~0ull);
+  knobs.tamper_pct = env_size("RAPTEE_BENCH_TAMPER_PCT", knobs.tamper_pct, 0, 100);
   return knobs;
 }
 

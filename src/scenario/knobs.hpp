@@ -29,6 +29,9 @@ struct Knobs {
   /// default), 1 = sequential. RAPTEE_BENCH_THREADS accepts 1..4096.
   std::size_t threads = 0;
   std::uint64_t seed = 20220308;  // arXiv date of the paper
+  /// Strongest tamper_rate point (percent) of the tamper-sweep bench;
+  /// RAPTEE_BENCH_TAMPER_PCT accepts 0..100.
+  std::size_t tamper_pct = 25;
 
   /// Reads RAPTEE_BENCH_* from the environment (strict parse, see above).
   [[nodiscard]] static Knobs from_env();

@@ -53,6 +53,9 @@ struct RoundSnapshot {
   std::uint64_t pulls_completed = 0;
   std::uint64_t pushes_delivered = 0;
   std::uint64_t wire_bytes = 0;
+  std::uint64_t legs_dropped = 0;
+  std::uint64_t legs_tampered = 0;   ///< on-path flips (tamper_rate)
+  std::uint64_t legs_corrupted = 0;  ///< receiver-rejected legs
 };
 
 /// Per-round streaming hook attached to Runner::run / metrics::run_experiment.

@@ -44,6 +44,7 @@ std::string to_json(const Knobs& knobs) {
       .field("reps", knobs.reps)
       .field("threads", knobs.threads)
       .field("seed", knobs.seed)
+      .field("tamper_pct", knobs.tamper_pct)
       .str();
 }
 
@@ -87,6 +88,8 @@ std::string to_json(const metrics::ExperimentConfig& config) {
       .field("wire_roundtrip", config.wire_roundtrip)
       .field("encrypt_links", config.encrypt_links)
       .field("message_loss", config.message_loss)
+      .field("tamper_rate", config.tamper_rate)
+      .field("link_sessions", config.link_sessions)
       .field("engine_threads", config.engine_threads)
       .str();
 }
@@ -127,6 +130,10 @@ std::string to_json(const metrics::ExperimentResult& result) {
       .field("enclave_cycles_total", result.enclave_cycles_total)
       .field("swaps_completed", result.swaps_completed)
       .field("pulls_completed", result.pulls_completed)
+      .field("legs_dropped", result.legs_dropped)
+      .field("legs_tampered", result.legs_tampered)
+      .field("legs_corrupted", result.legs_corrupted)
+      .field("wire_bytes", result.wire_bytes)
       .field_raw("pollution_series", metrics::json_series(result.pollution_series))
       .field_raw("pollution_series_trusted",
                  metrics::json_series(result.pollution_series_trusted))

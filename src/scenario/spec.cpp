@@ -99,6 +99,14 @@ ScenarioSpec& ScenarioSpec::message_loss(double probability) {
   base_.message_loss = probability;
   return *this;
 }
+ScenarioSpec& ScenarioSpec::tamper_rate(double probability) {
+  base_.tamper_rate = probability;
+  return *this;
+}
+ScenarioSpec& ScenarioSpec::link_sessions(bool enabled) {
+  base_.link_sessions = enabled;
+  return *this;
+}
 ScenarioSpec& ScenarioSpec::label(std::string text) {
   label_ = std::move(text);
   return *this;

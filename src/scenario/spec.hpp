@@ -84,6 +84,13 @@ class ScenarioSpec {
   ScenarioSpec& wire_roundtrip(bool enabled);
   ScenarioSpec& encrypt_links(bool enabled);
   ScenarioSpec& message_loss(double probability);
+  /// Per-leg on-path bit-flip probability (implies the byte round-trip);
+  /// with encrypt_links the AEAD rejects every flip, without it only
+  /// structural corruption is caught by the typed-leg validator.
+  ScenarioSpec& tamper_rate(double probability);
+  /// Persistent per-pair link sessions (default); false re-derives per
+  /// exchange — the bench/scale_links ablation baseline.
+  ScenarioSpec& link_sessions(bool enabled);
 
   /// Free-form label carried into result provenance (JSON "label" field).
   ScenarioSpec& label(std::string text);

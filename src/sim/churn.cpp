@@ -13,9 +13,14 @@ ChurnSchedule ChurnSchedule::random_churn(const std::vector<NodeId>& population,
   std::vector<NodeId> pool = population;
   rng.shuffle(pool);
   std::size_t cursor = 0;
-  const auto per_round = static_cast<std::size_t>(
-      rate_per_round * static_cast<double>(population.size()));
+  // Accumulate the fractional per-round quota instead of truncating it:
+  // rate 0.0005 over 1000 nodes must churn one node every other round, not
+  // silently nobody — the total tracks rate × N × rounds (pool permitting).
+  double quota = 0.0;
   for (Round r = from; r < to; ++r) {
+    quota += rate_per_round * static_cast<double>(population.size());
+    const auto per_round = static_cast<std::size_t>(quota);
+    quota -= static_cast<double>(per_round);
     for (std::size_t i = 0; i < per_round && cursor < pool.size(); ++i, ++cursor) {
       const NodeId victim = pool[cursor];
       schedule.add({r, ChurnEvent::Kind::kLeave, victim});
@@ -33,12 +38,18 @@ void ChurnSchedule::apply(Engine& engine, std::size_t bootstrap_view_size) {
   const Round now = engine.now();
   while (cursor_ < events_.size() && events_[cursor_].at_round <= now) {
     const ChurnEvent& event = events_[cursor_++];
-    if (event.at_round < now) continue;  // missed (engine stepped past); skip
+    // A leave whose round the engine stepped past is skipped — crashing the
+    // node late would stretch its downtime arbitrarily. A missed rejoin
+    // must still fire, or the node stays dead forever.
+    if (event.at_round < now && event.kind == ChurnEvent::Kind::kLeave) continue;
     switch (event.kind) {
       case ChurnEvent::Kind::kLeave:
         engine.set_alive(event.node, false);
         break;
       case ChurnEvent::Kind::kRejoin: {
+        // Pairs the rejoin with its leave: if the leave was itself missed
+        // (node still up), reviving would wipe a healthy node's view.
+        if (engine.is_alive(event.node)) break;
         engine.set_alive(event.node, true);
         // Fresh bootstrap handout, as a rejoining node would receive.
         std::vector<NodeId> candidates = engine.alive_ids();

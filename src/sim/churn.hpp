@@ -26,12 +26,16 @@ class ChurnSchedule {
 
   /// Builds a schedule where each round in [from, to) removes
   /// `rate` fraction of `population` (chosen uniformly, no repeats) and
-  /// optionally rejoins them `downtime` rounds later.
+  /// optionally rejoins them `downtime` rounds later. Fractional per-round
+  /// quotas accumulate across rounds, so small rates still churn (e.g.
+  /// 0.0005 × 1000 nodes = one leave every other round).
   static ChurnSchedule random_churn(const std::vector<NodeId>& population, Round from,
                                     Round to, double rate_per_round, Round downtime,
                                     bool rejoin, Rng& rng);
 
-  /// Fires all events scheduled at the engine's current round.
+  /// Fires all events scheduled at the engine's current round. Missed
+  /// rejoins (the engine stepped past their round without an apply) are
+  /// applied late rather than discarded; missed leaves are skipped.
   /// `bootstrap_view_size` controls the view handed to rejoining nodes.
   void apply(Engine& engine, std::size_t bootstrap_view_size);
 

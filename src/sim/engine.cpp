@@ -3,41 +3,25 @@
 #include <algorithm>
 
 #include "common/assert.hpp"
-#include "wire/link_cipher.hpp"
 
 namespace raptee::sim {
-
-namespace {
-
-/// Per-exchange transport state: optional duplex cipher pair covering the
-/// five legs of one pull exchange.
-struct ExchangeTransport {
-  ExchangeTransport(const EngineConfig& config, const crypto::SymmetricKey& master,
-                    NodeId initiator, NodeId responder)
-      : roundtrip(config.wire_roundtrip || config.encrypt_links) {
-    if (config.encrypt_links) {
-      // Both endpoints of a deployed link would run a key agreement; the
-      // simulator models the result: a per-exchange link secret known to
-      // both (and only both) endpoints.
-      auto label = "link-" + std::to_string(initiator.value) + "-" +
-                   std::to_string(responder.value);
-      const crypto::SymmetricKey secret = master.derive(label);
-      initiator_side.emplace(secret, /*initiator=*/true);
-      responder_side.emplace(secret, /*initiator=*/false);
-    }
-  }
-
-  bool roundtrip;
-  std::optional<wire::DuplexLink> initiator_side;
-  std::optional<wire::DuplexLink> responder_side;
-};
-
-}  // namespace
 
 Engine::Engine(EngineConfig config)
     : config_(config), rng_(mix64(config.seed, 0x656E67696E65ull)) {
   crypto::Drbg key_rng(mix64(config.seed, 0x6C696E6B6Dull));
   link_master_ = key_rng.generate_key();
+  if (config_.encrypt_links) {
+    link_table_ =
+        std::make_unique<wire::LinkTable>(link_master_, config_.link_sessions);
+  }
+}
+
+std::uint64_t Engine::link_derivations() const {
+  return link_table_ ? link_table_->derivations() : 0;
+}
+
+std::size_t Engine::link_active_sessions() const {
+  return link_table_ ? link_table_->active_sessions() : 0;
 }
 
 void Engine::add_node(std::unique_ptr<INode> node, NodeKind node_kind) {
@@ -72,6 +56,10 @@ bool Engine::is_alive(NodeId id) const {
 void Engine::set_alive(NodeId id, bool alive) {
   RAPTEE_REQUIRE(id.value < alive_.size(), "unknown node " << id.value);
   alive_[id.value] = alive ? 1 : 0;
+  // Churn tears link sessions down: a crashed endpoint loses its cipher
+  // state, and a rejoining one re-handshakes — either way the pair must
+  // re-establish with a fresh key rather than resume stale sequence state.
+  if (link_table_) link_table_->invalidate(id);
 }
 
 std::vector<NodeId> Engine::alive_ids(const std::function<bool(NodeKind)>& pred) const {
@@ -94,6 +82,13 @@ void Engine::alive_ids(std::vector<NodeId>& out,
 
 void Engine::bootstrap_uniform(std::size_t view_size) {
   const std::vector<NodeId> everyone = alive_ids();
+  // Empty/singleton population: there is nobody (or only oneself) to draw
+  // from. Hand out empty views instead of letting `everyone.size() - 1`
+  // underflow to SIZE_MAX in the reserve below.
+  if (everyone.size() <= 1) {
+    bootstrap_with([](NodeId, NodeKind) { return std::vector<NodeId>{}; });
+    return;
+  }
   bootstrap_with([&](NodeId self, NodeKind) {
     std::vector<NodeId> candidates;
     candidates.reserve(everyone.size() - 1);
@@ -217,68 +212,104 @@ void Engine::deliver_pushes() {
 }
 
 bool Engine::run_exchange(INode& initiator, INode& responder) {
-  ExchangeTransport transport(config_, link_master_, initiator.id(), responder.id());
+  const NodeId init_id = initiator.id();
+  const NodeId resp_id = responder.id();
+  // Tampering needs bytes on a wire, so a nonzero tamper_rate implies the
+  // byte round-trip even when wire_roundtrip was left off.
+  const bool roundtrip =
+      config_.wire_roundtrip || config_.encrypt_links || config_.tamper_rate > 0.0;
+  wire::LinkSession* session =
+      link_table_ ? &link_table_->session(init_id, resp_id, round_) : nullptr;
 
-  auto transfer = [&](wire::Message& message, bool forward) -> bool {
+  // On-path adversary: flips one uniformly chosen bit of a serialized leg.
+  auto tamper = [&](std::vector<std::uint8_t>& bytes) {
+    if (config_.tamper_rate <= 0.0 || bytes.empty()) return;
+    if (!rng_.chance(config_.tamper_rate)) return;
+    const auto byte = static_cast<std::size_t>(rng_.below(bytes.size()));
+    bytes[byte] ^= static_cast<std::uint8_t>(1u << rng_.below(8));
+    ++counters_.legs_tampered;
+  };
+
+  // A leg the receiver rejected (AEAD failure, malformed bytes, or a
+  // type-confused decode) is dropped, never fatal.
+  auto corrupted = [&]() -> bool {
+    ++counters_.legs_dropped;
+    ++counters_.legs_corrupted;
+    return false;
+  };
+
+  auto transfer = [&](wire::Message& message, wire::MsgType expected,
+                      bool forward) -> bool {
     if (config_.message_loss > 0.0 && rng_.chance(config_.message_loss)) {
       ++counters_.legs_dropped;
       return false;
     }
-    if (!transport.roundtrip) return true;
-    std::vector<std::uint8_t> bytes = wire::encode(message);
-    if (transport.initiator_side) {
-      wire::LinkCipher& tx = forward ? transport.initiator_side->tx
-                                     : transport.responder_side->tx;
-      wire::LinkCipher& rx = forward ? transport.responder_side->rx
-                                     : transport.initiator_side->rx;
-      bytes = tx.seal(bytes);
-      counters_.wire_bytes += bytes.size();
-      auto opened = rx.open(bytes);
-      if (!opened) {
-        ++counters_.legs_dropped;
-        return false;
+    if (roundtrip) {
+      wire::encode_into(message, wire_plain_);
+      const std::uint8_t* data = wire_plain_.data();
+      std::size_t len = wire_plain_.size();
+      if (session) {
+        // One cipher per direction carries both sequence counters; sealing
+        // and opening the same leg keeps them in lockstep (in-order net).
+        wire::LinkCipher& channel = session->channel_from(forward ? init_id : resp_id);
+        channel.seal_into(wire_plain_.data(), wire_plain_.size(), wire_frame_);
+        counters_.wire_bytes += wire_frame_.size();
+        tamper(wire_frame_);
+        if (!channel.open_into(wire_frame_.data(), wire_frame_.size(), wire_opened_)) {
+          // Integrity alarm: a deployed endpoint aborts the connection; the
+          // pair re-establishes a fresh session on its next exchange.
+          link_table_->invalidate_pair(init_id, resp_id);
+          session = nullptr;
+          return corrupted();
+        }
+        data = wire_opened_.data();
+        len = wire_opened_.size();
+      } else {
+        counters_.wire_bytes += wire_plain_.size();
+        tamper(wire_plain_);
       }
-      bytes = std::move(*opened);
-    } else {
-      counters_.wire_bytes += bytes.size();
+      try {
+        wire::decode_into(data, len, message);
+      } catch (const wire::WireError&) {
+        return corrupted();
+      }
     }
-    try {
-      message = wire::decode(bytes);
-    } catch (const wire::WireError&) {
-      ++counters_.legs_dropped;
-      return false;
-    }
+    // Typed-leg validation: tampered plaintext can decode cleanly as a
+    // *different* message type; std::get on it would terminate the engine
+    // (std::bad_variant_access), so mismatches are counted and dropped.
+    if (wire::type_of(message) != expected) return corrupted();
     return true;
   };
 
   // Leg 1: pull request (auth challenge).
-  wire::Message leg = initiator.open_pull(responder.id());
-  if (!transfer(leg, /*forward=*/true)) return false;
+  wire::Message leg = initiator.open_pull(resp_id);
+  if (!transfer(leg, wire::MsgType::kPullRequest, /*forward=*/true)) return false;
 
   // Leg 2: pull reply (auth response + full view).
   leg = responder.answer_pull(std::get<wire::PullRequest>(leg));
-  if (!transfer(leg, /*forward=*/false)) return false;
-  const wire::PullReply reply = std::get<wire::PullReply>(leg);
+  if (!transfer(leg, wire::MsgType::kPullReply, /*forward=*/false)) return false;
+  const wire::PullReply reply = std::get<wire::PullReply>(std::move(leg));
 
   // Leg 3: auth confirm (+ possible swap offer).
   leg = initiator.process_pull_reply(reply);
   for (auto* l : listeners_)
-    l->on_pull_reply_delivered(round_, responder.id(), initiator.id(), reply.view);
-  if (!transfer(leg, /*forward=*/true)) return true;  // pull itself completed
+    l->on_pull_reply_delivered(round_, resp_id, init_id, reply.view);
+  if (!transfer(leg, wire::MsgType::kAuthConfirm, /*forward=*/true))
+    return true;  // pull itself completed
 
   // Leg 4: swap reply, only for a mutually-trusted exchange.
-  const wire::AuthConfirm confirm = std::get<wire::AuthConfirm>(leg);
+  const wire::AuthConfirm confirm = std::get<wire::AuthConfirm>(std::move(leg));
   std::optional<wire::SwapReply> swap = responder.process_confirm(confirm);
   if (!swap) return true;
 
   // Leg 5: close the trusted exchange.
-  leg = *swap;
-  if (!transfer(leg, /*forward=*/false)) return true;
-  const wire::SwapReply swap_reply = std::get<wire::SwapReply>(leg);
+  leg = std::move(*swap);
+  if (!transfer(leg, wire::MsgType::kSwapReply, /*forward=*/false)) return true;
+  const wire::SwapReply swap_reply = std::get<wire::SwapReply>(std::move(leg));
   initiator.process_swap_reply(swap_reply);
   ++counters_.swaps_completed;
   for (auto* l : listeners_) {
-    l->on_swap_completed(round_, initiator.id(), responder.id(),
+    l->on_swap_completed(round_, init_id, resp_id,
                          confirm.swap_offer ? *confirm.swap_offer
                                             : std::vector<NodeId>{},
                          swap_reply.swap_half);
@@ -328,6 +359,7 @@ void Engine::step() {
     if (alive_[i]) nodes_[i]->end_round(round_);
   }
   for (auto* l : listeners_) l->on_round_end(round_, *this);
+  if (link_table_) link_table_->retire_idle(round_, config_.link_idle_rounds);
   ++round_;
 }
 

@@ -12,8 +12,15 @@
 //  * wire_roundtrip — every exchange leg is encoded to bytes and decoded
 //    back (exercises the codecs; malformed bytes == drop).
 //  * encrypt_links — additionally seals/opens each leg with AES-CTR+HMAC
-//    (paper §III-B requires symmetric link encryption).
+//    (paper §III-B requires symmetric link encryption), through persistent
+//    per-pair link sessions (wire::LinkTable) with nonce continuity across
+//    rounds and rekeying on churn.
 //  * message_loss — iid per-leg drop probability.
+//  * tamper_rate — iid per-leg probability that an on-path adversary flips
+//    one bit of the serialized leg. Implies the byte round-trip. With
+//    encrypt_links the AEAD rejects every flip; without it the typed-leg
+//    validator drops what fails to decode (and the rest models undetected
+//    corruption reaching the protocol).
 #pragma once
 
 #include <functional>
@@ -26,6 +33,7 @@
 #include "exec/thread_pool.hpp"
 #include "sim/node.hpp"
 #include "sim/traffic.hpp"
+#include "wire/link_session.hpp"
 
 namespace raptee::sim {
 
@@ -34,6 +42,16 @@ struct EngineConfig {
   bool wire_roundtrip = false;
   bool encrypt_links = false;
   double message_loss = 0.0;
+  /// Per-leg probability of an on-path single-bit flip (see header note).
+  double tamper_rate = 0.0;
+  /// Cache one link session per node pair across exchanges and rounds
+  /// (the deployment model). false = re-derive per exchange — the
+  /// pre-cache baseline kept for the bench/scale_links ablation. Either
+  /// way every observable metric is identical; only ciphertext differs.
+  bool link_sessions = true;
+  /// Encrypted sessions idle for more than this many rounds are retired
+  /// (and re-derived on next use), bounding cipher-state memory.
+  Round link_idle_rounds = 64;
   /// Width of the sharded push-generation phase (see Engine::step):
   /// 1 = legacy sequential path (the default), 0 = hardware concurrency,
   /// n > 1 = shard over n workers. Any value > 1 (or 0) opts into the
@@ -101,9 +119,21 @@ class Engine {
     std::uint64_t pulls_timed_out = 0;
     std::uint64_t swaps_completed = 0;
     std::uint64_t legs_dropped = 0;
+    /// Legs the on-path adversary flipped a bit of (tamper_rate draws).
+    std::uint64_t legs_tampered = 0;
+    /// Legs rejected by the receiver — AEAD failure, malformed bytes, or a
+    /// type-confused decode. Each is also counted in legs_dropped.
+    std::uint64_t legs_corrupted = 0;
     std::uint64_t wire_bytes = 0;
   };
   [[nodiscard]] const Counters& counters() const { return counters_; }
+
+  /// Link-session statistics (both 0 unless encrypt_links): total link
+  /// secrets derived, and sessions currently cached. With link_sessions
+  /// the former tracks the number of active pairs; without it, the number
+  /// of encrypted exchanges.
+  [[nodiscard]] std::uint64_t link_derivations() const;
+  [[nodiscard]] std::size_t link_active_sessions() const;
 
  private:
   // Push generation: collects every alive node's (targets, payload) pairs.
@@ -120,13 +150,10 @@ class Engine {
   void run_pull_exchanges();
   /// Runs one five-leg exchange; returns false on timeout.
   bool run_exchange(INode& initiator, INode& responder);
-  /// Round-trips a message through encode/[seal/open]/decode; returns false
-  /// if the leg is lost. `forward` selects the link direction.
-  bool transfer_leg(wire::Message& message, NodeId a, NodeId b, bool forward);
 
   EngineConfig config_;
   Rng rng_;
-  crypto::SymmetricKey link_master_;  // per-link subkeys derived on demand
+  crypto::SymmetricKey link_master_;  // link-session secrets derived on demand
   Round round_ = 0;
 
   std::vector<std::unique_ptr<INode>> nodes_;
@@ -137,6 +164,16 @@ class Engine {
 
   std::vector<NodeId> alive_scratch_;        // reused by the round phases
   std::unique_ptr<exec::ThreadPool> pool_;   // lazily built, push_threads != 1
+
+  // Encrypted-link session cache (encrypt_links only) and the wire-path
+  // scratch buffers: encode/seal/open/decode reuse these every leg, so the
+  // steady-state wire path of an encrypted exchange performs zero heap
+  // allocations (the INode-produced messages themselves are the only
+  // remaining allocator traffic in run_exchange).
+  std::unique_ptr<wire::LinkTable> link_table_;
+  std::vector<std::uint8_t> wire_plain_;
+  std::vector<std::uint8_t> wire_frame_;
+  std::vector<std::uint8_t> wire_opened_;
 };
 
 }  // namespace raptee::sim

@@ -99,13 +99,18 @@ std::vector<std::uint8_t> Reader::bytes_field() {
 }
 
 std::vector<NodeId> Reader::node_ids(std::size_t max_count) {
+  std::vector<NodeId> ids;
+  node_ids_into(ids, max_count);
+  return ids;
+}
+
+void Reader::node_ids_into(std::vector<NodeId>& out, std::size_t max_count) {
   const std::uint64_t count = varint();
   if (count > max_count) throw WireError("node id list exceeds bound");
   if (count * 4 > remaining()) throw WireError("node id list longer than input");
-  std::vector<NodeId> ids;
-  ids.reserve(static_cast<std::size_t>(count));
-  for (std::uint64_t i = 0; i < count; ++i) ids.push_back(node_id());
-  return ids;
+  out.clear();
+  out.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) out.push_back(node_id());
 }
 
 void Reader::expect_done() const {

@@ -26,9 +26,20 @@ class WireError : public std::runtime_error {
 
 class Writer {
  public:
+  Writer() = default;
+  /// Adopts `storage` as the output buffer (cleared, capacity kept) so hot
+  /// paths can reuse one scratch vector across messages: move a vector in,
+  /// encode, take() it back — zero heap allocations in steady state.
+  explicit Writer(std::vector<std::uint8_t> storage) : buf_(std::move(storage)) {
+    buf_.clear();
+  }
+
   [[nodiscard]] const std::vector<std::uint8_t>& bytes() const { return buf_; }
   [[nodiscard]] std::vector<std::uint8_t> take() { return std::move(buf_); }
   [[nodiscard]] std::size_t size() const { return buf_.size(); }
+
+  /// Drops the content, keeps the capacity.
+  void clear() { buf_.clear(); }
 
   void u8(std::uint8_t v) { buf_.push_back(v); }
   void u16(std::uint16_t v);
@@ -82,6 +93,9 @@ class Reader {
   /// Reads a count-prefixed NodeId list; `max_count` guards against a
   /// Byzantine length bomb.
   std::vector<NodeId> node_ids(std::size_t max_count = 1 << 20);
+  /// Allocation-free variant: clears and refills `out`, whose capacity
+  /// amortizes across messages on the decode hot path.
+  void node_ids_into(std::vector<NodeId>& out, std::size_t max_count = 1 << 20);
 
   /// Throws unless the whole input has been consumed (trailing garbage is
   /// treated as malformed).

@@ -30,45 +30,59 @@ crypto::Block LinkCipher::counter_block_for(std::uint64_t seq) const {
 }
 
 std::vector<std::uint8_t> LinkCipher::seal(const std::vector<std::uint8_t>& plaintext) {
-  const std::uint64_t seq = send_seq_++;
   std::vector<std::uint8_t> frame;
-  frame.reserve(8 + plaintext.size() + 32);
+  seal_into(plaintext.data(), plaintext.size(), frame);
+  return frame;
+}
+
+void LinkCipher::seal_into(const std::uint8_t* plaintext, std::size_t len,
+                           std::vector<std::uint8_t>& frame) {
+  const std::uint64_t seq = send_seq_++;
+  frame.clear();
+  frame.reserve(8 + len + 32);
   for (int i = 0; i < 8; ++i) frame.push_back(static_cast<std::uint8_t>(seq >> (8 * i)));
 
-  std::vector<std::uint8_t> ct = plaintext;
+  // Encrypt straight into the frame: append the plaintext, then XOR the
+  // keystream over it in place.
+  frame.insert(frame.end(), plaintext, plaintext + len);
   crypto::AesCtr ctr(aes_, counter_block_for(seq));
-  ctr.process(ct);
-  frame.insert(frame.end(), ct.begin(), ct.end());
+  ctr.process(frame.data() + 8, len);
 
   crypto::HmacSha256 mac(mac_key_);
   mac.update(frame.data(), frame.size());
   const crypto::Digest256 tag = mac.finish();
   frame.insert(frame.end(), tag.begin(), tag.end());
-  return frame;
 }
 
 std::optional<std::vector<std::uint8_t>> LinkCipher::open(
     const std::vector<std::uint8_t>& frame) {
-  if (frame.size() < 8 + 32) return std::nullopt;
-  const std::size_t body_len = frame.size() - 32;
+  std::vector<std::uint8_t> pt;
+  if (!open_into(frame.data(), frame.size(), pt)) return std::nullopt;
+  return pt;
+}
+
+bool LinkCipher::open_into(const std::uint8_t* frame, std::size_t len,
+                           std::vector<std::uint8_t>& plaintext) {
+  if (len < 8 + 32) return false;
+  const std::size_t body_len = len - 32;
 
   crypto::HmacSha256 mac(mac_key_);
-  mac.update(frame.data(), body_len);
+  mac.update(frame, body_len);
   const crypto::Digest256 expected = mac.finish();
   std::uint8_t diff = 0;
   for (std::size_t i = 0; i < 32; ++i) diff |= frame[body_len + i] ^ expected[i];
-  if (diff != 0) return std::nullopt;
+  if (diff != 0) return false;
 
   std::uint64_t seq = 0;
   for (int i = 0; i < 8; ++i) seq |= static_cast<std::uint64_t>(frame[i]) << (8 * i);
   // Strictly in-order delivery: anything else is a replay or reorder.
-  if (seq != recv_seq_) return std::nullopt;
+  if (seq != recv_seq_) return false;
   ++recv_seq_;
 
-  std::vector<std::uint8_t> pt(frame.begin() + 8, frame.begin() + static_cast<std::ptrdiff_t>(body_len));
+  plaintext.assign(frame + 8, frame + body_len);
   crypto::AesCtr ctr(aes_, counter_block_for(seq));
-  ctr.process(pt);
-  return pt;
+  ctr.process(plaintext);
+  return true;
 }
 
 }  // namespace raptee::wire

@@ -30,11 +30,21 @@ class LinkCipher {
 
   /// Seals a plaintext frame; consumes one sequence number.
   [[nodiscard]] std::vector<std::uint8_t> seal(const std::vector<std::uint8_t>& plaintext);
+  /// Allocation-free variant: clears and refills the caller-owned `frame`
+  /// (its capacity amortizes across legs — in steady state sealing
+  /// allocates nothing).
+  void seal_into(const std::uint8_t* plaintext, std::size_t len,
+                 std::vector<std::uint8_t>& frame);
 
   /// Opens a frame; returns nullopt on any authenticity/ordering failure
   /// (bad tag, truncated frame, replayed or reordered sequence number).
   [[nodiscard]] std::optional<std::vector<std::uint8_t>> open(
       const std::vector<std::uint8_t>& frame);
+  /// Allocation-free variant: on success fills the caller-owned `plaintext`
+  /// and returns true; on failure returns false and leaves `plaintext`
+  /// unspecified. Never allocates once `plaintext` has warmed capacity.
+  [[nodiscard]] bool open_into(const std::uint8_t* frame, std::size_t len,
+                               std::vector<std::uint8_t>& plaintext);
 
   [[nodiscard]] std::uint64_t sent() const { return send_seq_; }
   [[nodiscard]] std::uint64_t received() const { return recv_seq_; }

@@ -1,0 +1,76 @@
+#include "wire/link_session.hpp"
+
+#include <string>
+#include <utility>
+
+namespace raptee::wire {
+
+namespace {
+
+std::uint64_t pair_key(NodeId lo, NodeId hi) {
+  return (static_cast<std::uint64_t>(lo.value) << 32) | hi.value;
+}
+
+}  // namespace
+
+LinkTable::LinkTable(const crypto::SymmetricKey& master, bool cache)
+    : master_(master), cache_(cache) {}
+
+std::uint32_t LinkTable::epoch_of(NodeId node) const {
+  return node.value < epochs_.size() ? epochs_[node.value] : 0;
+}
+
+LinkSession LinkTable::make_session(NodeId lo, NodeId hi) {
+  // Both endpoints of a deployed link would run a key agreement; the
+  // simulator models the result: a per-establishment link secret known to
+  // both (and only both) endpoints. The establishment counter uniquifies
+  // re-established pairs so a rekeyed session never reuses a keystream.
+  ++derivations_;
+  const std::string label = "link-" + std::to_string(lo.value) + "-" +
+                            std::to_string(hi.value) + "#" +
+                            std::to_string(derivations_);
+  LinkSession session(master_.derive(label), lo);
+  session.epoch_lo = epoch_of(lo);
+  session.epoch_hi = epoch_of(hi);
+  return session;
+}
+
+LinkSession& LinkTable::session(NodeId a, NodeId b, std::uint64_t round) {
+  const NodeId lo = a.value < b.value ? a : b;
+  const NodeId hi = a.value < b.value ? b : a;
+  if (!cache_) {
+    transient_.emplace(make_session(lo, hi));
+    return *transient_;
+  }
+  const std::uint64_t key = pair_key(lo, hi);
+  const auto it = sessions_.find(key);
+  if (it != sessions_.end() && it->second.epoch_lo == epoch_of(lo) &&
+      it->second.epoch_hi == epoch_of(hi)) {
+    it->second.last_used = round;
+    return it->second;
+  }
+  if (it != sessions_.end()) sessions_.erase(it);
+  LinkSession& fresh = sessions_.emplace(key, make_session(lo, hi)).first->second;
+  fresh.last_used = round;
+  return fresh;
+}
+
+void LinkTable::invalidate(NodeId node) {
+  if (node.value >= epochs_.size()) epochs_.resize(node.value + 1, 0);
+  ++epochs_[node.value];
+}
+
+void LinkTable::invalidate_pair(NodeId a, NodeId b) {
+  const NodeId lo = a.value < b.value ? a : b;
+  const NodeId hi = a.value < b.value ? b : a;
+  sessions_.erase(pair_key(lo, hi));
+  transient_.reset();
+}
+
+void LinkTable::retire_idle(std::uint64_t round, std::uint64_t max_idle) {
+  std::erase_if(sessions_, [&](const auto& entry) {
+    return entry.second.last_used + max_idle < round;
+  });
+}
+
+}  // namespace raptee::wire

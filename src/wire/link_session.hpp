@@ -1,0 +1,105 @@
+// Persistent per-pair link sessions.
+//
+// The paper's §III-B link encryption is a *session* property in a real
+// deployment: two nodes run one key agreement, then amortize the derived
+// cipher state over every exchange they perform. The simulator used to
+// model the opposite — a fresh label allocation, HKDF derivation and two
+// DuplexLink constructions for every exchange of every round — which made
+// the encrypted exchange phase the hottest allocation site in the engine.
+//
+// LinkTable caches exactly one LinkSession per unordered node pair:
+//
+//   * session(a, b, round) establishes (or returns) the pair's session;
+//     establishment derives a fresh link secret from the engine's master
+//     key, uniquified by an establishment counter so a re-established pair
+//     never reuses a keystream. Derivation cost drops from
+//     O(exchanges × rounds) to O(active pairs).
+//   * Sequence numbers run continuously across exchanges and rounds (nonce
+//     continuity); the session is torn down and re-established on churn
+//     (invalidate(node)) and on AEAD failure (invalidate_pair), exactly as
+//     a deployed endpoint would rekey after a crash or an integrity alarm.
+//   * retire_idle(round, max_idle) bounds memory on large populations:
+//     pairs that stopped exchanging are dropped and re-derive on next use.
+//
+// Determinism: the table draws no simulation randomness — session keys are
+// a pure function of (master key, pair, establishment index) — so caching
+// is invisible to every observable metric; only ciphertext bytes change.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+#include "crypto/key.hpp"
+#include "wire/link_cipher.hpp"
+
+namespace raptee::wire {
+
+/// One cached duplex session between an unordered node pair. Each direction
+/// is a single LinkCipher carrying both the send and the receive sequence
+/// counter — the round-synchronous simulator delivers in order, so sealing
+/// and opening one leg advance the two counters in lockstep.
+struct LinkSession {
+  LinkSession(const crypto::SymmetricKey& secret, NodeId lo)
+      : lo_to_hi(secret, 0), hi_to_lo(secret, 1), lo_(lo) {}
+
+  /// The channel that transmits from `from` (one of the pair's endpoints).
+  [[nodiscard]] LinkCipher& channel_from(NodeId from) {
+    return from == lo_ ? lo_to_hi : hi_to_lo;
+  }
+
+  LinkCipher lo_to_hi;
+  LinkCipher hi_to_lo;
+  NodeId lo_;  ///< the pair's lower id (direction anchor)
+  std::uint32_t epoch_lo = 0;  ///< endpoint epochs at establishment
+  std::uint32_t epoch_hi = 0;
+  std::uint64_t last_used = 0;  ///< round of last session() hit
+};
+
+class LinkTable {
+ public:
+  /// `cache = false` is the per-exchange-derivation baseline (the pre-cache
+  /// behaviour, kept for the bench/scale_links ablation): every session()
+  /// call establishes a fresh transient session.
+  explicit LinkTable(const crypto::SymmetricKey& master, bool cache = true);
+
+  /// The session for the unordered pair {a, b}, establishing it on first
+  /// use, after invalidation, or after idle retirement. The reference stays
+  /// valid until the next invalidate/retire_idle/session call for the pair.
+  [[nodiscard]] LinkSession& session(NodeId a, NodeId b, std::uint64_t round);
+
+  /// Invalidates every session involving `node` (O(1): epoch bump); the
+  /// next exchange with each peer re-establishes with a fresh key. Called
+  /// by the engine on churn transitions (crash and rejoin).
+  void invalidate(NodeId node);
+
+  /// Tears down one pair's session (AEAD failure: a deployed endpoint
+  /// aborts the connection and re-handshakes).
+  void invalidate_pair(NodeId a, NodeId b);
+
+  /// Drops sessions not used for more than `max_idle` rounds, bounding
+  /// memory to the working set of actively exchanging pairs.
+  void retire_idle(std::uint64_t round, std::uint64_t max_idle);
+
+  /// Cached sessions currently held (excludes the transient scratch).
+  [[nodiscard]] std::size_t active_sessions() const { return sessions_.size(); }
+  /// Total link-secret derivations performed — the bench/scale_links gate:
+  /// with caching this tracks O(active pairs), without it O(exchanges).
+  [[nodiscard]] std::uint64_t derivations() const { return derivations_; }
+
+ private:
+  [[nodiscard]] LinkSession make_session(NodeId lo, NodeId hi);
+  [[nodiscard]] std::uint32_t epoch_of(NodeId node) const;
+
+  crypto::SymmetricKey master_;
+  bool cache_;
+  std::unordered_map<std::uint64_t, LinkSession> sessions_;  // key: lo << 32 | hi
+  std::vector<std::uint32_t> epochs_;  // per-node invalidation epochs
+  std::uint64_t derivations_ = 0;
+  std::optional<LinkSession> transient_;  // cache == false scratch
+};
+
+}  // namespace raptee::wire

@@ -10,22 +10,16 @@ constexpr std::size_t kMaxViewEntries = 1 << 16;
 
 void put_push(Writer& w, const PushMessage& m) { w.node_id(m.sender); }
 
-PushMessage get_push(Reader& r) {
-  PushMessage m;
-  m.sender = r.node_id();
-  return m;
-}
+void get_push(Reader& r, PushMessage& m) { m.sender = r.node_id(); }
 
 void put_pull_request(Writer& w, const PullRequest& m) {
   w.node_id(m.sender);
   w.fixed(m.challenge.r_a);
 }
 
-PullRequest get_pull_request(Reader& r) {
-  PullRequest m;
+void get_pull_request(Reader& r, PullRequest& m) {
   m.sender = r.node_id();
   m.challenge.r_a = r.fixed<16>();
-  return m;
 }
 
 void put_pull_reply(Writer& w, const PullReply& m) {
@@ -35,13 +29,11 @@ void put_pull_reply(Writer& w, const PullReply& m) {
   w.node_ids(m.view);
 }
 
-PullReply get_pull_reply(Reader& r) {
-  PullReply m;
+void get_pull_reply(Reader& r, PullReply& m) {
   m.sender = r.node_id();
   m.auth.r_b = r.fixed<16>();
   m.auth.proof_b = r.fixed<32>();
-  m.view = r.node_ids(kMaxViewEntries);
-  return m;
+  r.node_ids_into(m.view, kMaxViewEntries);
 }
 
 void put_auth_confirm(Writer& w, const AuthConfirm& m) {
@@ -51,14 +43,17 @@ void put_auth_confirm(Writer& w, const AuthConfirm& m) {
   if (m.swap_offer) w.node_ids(*m.swap_offer);
 }
 
-AuthConfirm get_auth_confirm(Reader& r) {
-  AuthConfirm m;
+void get_auth_confirm(Reader& r, AuthConfirm& m) {
   m.sender = r.node_id();
   m.confirm.proof_a = r.fixed<32>();
   const std::uint8_t has_offer = r.u8();
   if (has_offer > 1) throw WireError("invalid swap_offer flag");
-  if (has_offer) m.swap_offer = r.node_ids(kMaxViewEntries);
-  return m;
+  if (has_offer) {
+    if (!m.swap_offer) m.swap_offer.emplace();
+    r.node_ids_into(*m.swap_offer, kMaxViewEntries);
+  } else {
+    m.swap_offer.reset();
+  }
 }
 
 void put_swap_reply(Writer& w, const SwapReply& m) {
@@ -66,11 +61,17 @@ void put_swap_reply(Writer& w, const SwapReply& m) {
   w.node_ids(m.swap_half);
 }
 
-SwapReply get_swap_reply(Reader& r) {
-  SwapReply m;
+void get_swap_reply(Reader& r, SwapReply& m) {
   m.sender = r.node_id();
-  m.swap_half = r.node_ids(kMaxViewEntries);
-  return m;
+  r.node_ids_into(m.swap_half, kMaxViewEntries);
+}
+
+/// Gets a mutable reference to the `T` alternative of `out`, reusing the
+/// held value (and thus its vectors' capacity) when the type matches.
+template <typename T>
+T& alternative_of(Message& out) {
+  if (auto* held = std::get_if<T>(&out)) return *held;
+  return out.emplace<T>();
 }
 
 }  // namespace
@@ -87,7 +88,13 @@ MsgType type_of(const Message& m) {
 }
 
 std::vector<std::uint8_t> encode(const Message& m) {
-  Writer w;
+  std::vector<std::uint8_t> out;
+  encode_into(m, out);
+  return out;
+}
+
+void encode_into(const Message& m, std::vector<std::uint8_t>& out) {
+  Writer w(std::move(out));
   w.u8(static_cast<std::uint8_t>(type_of(m)));
   std::visit(
       [&w](const auto& msg) {
@@ -99,22 +106,30 @@ std::vector<std::uint8_t> encode(const Message& m) {
         else if constexpr (std::is_same_v<T, SwapReply>) put_swap_reply(w, msg);
       },
       m);
-  return w.take();
+  out = w.take();
 }
 
-Message decode(const std::uint8_t* data, std::size_t len) {
+void decode_into(const std::uint8_t* data, std::size_t len, Message& out) {
   Reader r(data, len);
   const auto type = static_cast<MsgType>(r.u8());
-  Message m;
   switch (type) {
-    case MsgType::kPush: m = get_push(r); break;
-    case MsgType::kPullRequest: m = get_pull_request(r); break;
-    case MsgType::kPullReply: m = get_pull_reply(r); break;
-    case MsgType::kAuthConfirm: m = get_auth_confirm(r); break;
-    case MsgType::kSwapReply: m = get_swap_reply(r); break;
+    case MsgType::kPush: get_push(r, alternative_of<PushMessage>(out)); break;
+    case MsgType::kPullRequest:
+      get_pull_request(r, alternative_of<PullRequest>(out));
+      break;
+    case MsgType::kPullReply: get_pull_reply(r, alternative_of<PullReply>(out)); break;
+    case MsgType::kAuthConfirm:
+      get_auth_confirm(r, alternative_of<AuthConfirm>(out));
+      break;
+    case MsgType::kSwapReply: get_swap_reply(r, alternative_of<SwapReply>(out)); break;
     default: throw WireError("unknown message type " + std::to_string(static_cast<int>(type)));
   }
   r.expect_done();
+}
+
+Message decode(const std::uint8_t* data, std::size_t len) {
+  Message m;
+  decode_into(data, len, m);
   return m;
 }
 

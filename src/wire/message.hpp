@@ -88,8 +88,19 @@ using Message = std::variant<PushMessage, PullRequest, PullReply, AuthConfirm, S
 /// Serializes a message with its type tag.
 [[nodiscard]] std::vector<std::uint8_t> encode(const Message& m);
 
+/// Allocation-free encode for hot paths: clears `out` (keeping capacity)
+/// and serializes into it. In steady state — once `out` has grown to the
+/// largest message it carries — this performs zero heap allocations.
+void encode_into(const Message& m, std::vector<std::uint8_t>& out);
+
 /// Parses a message; throws WireError on malformed input.
 [[nodiscard]] Message decode(const std::vector<std::uint8_t>& bytes);
 [[nodiscard]] Message decode(const std::uint8_t* data, std::size_t len);
+
+/// Allocation-free decode for hot paths: parses into `out`, reusing the
+/// held alternative's vector capacity when the wire type matches what `out`
+/// already holds (the common round-trip case). On WireError `out` may be
+/// left partially overwritten — callers must treat the message as dropped.
+void decode_into(const std::uint8_t* data, std::size_t len, Message& out);
 
 }  // namespace raptee::wire

@@ -15,10 +15,10 @@
 namespace raptee::scenario {
 namespace {
 
-const char* const kVars[] = {"RAPTEE_BENCH_FULL", "RAPTEE_BENCH_N",
-                             "RAPTEE_BENCH_L1",   "RAPTEE_BENCH_ROUNDS",
-                             "RAPTEE_BENCH_REPS", "RAPTEE_BENCH_THREADS",
-                             "RAPTEE_BENCH_SEED"};
+const char* const kVars[] = {"RAPTEE_BENCH_FULL",    "RAPTEE_BENCH_N",
+                             "RAPTEE_BENCH_L1",      "RAPTEE_BENCH_ROUNDS",
+                             "RAPTEE_BENCH_REPS",    "RAPTEE_BENCH_THREADS",
+                             "RAPTEE_BENCH_SEED",    "RAPTEE_BENCH_TAMPER_PCT"};
 
 /// Clears every RAPTEE_BENCH_* variable for the test and restores the
 /// ambient values afterwards (CI exports RAPTEE_BENCH_THREADS, so the
@@ -124,6 +124,18 @@ TEST_F(KnobsEnvFixture, FullMustBeZeroOrOne) {
 
 TEST_F(KnobsEnvFixture, PopulationBelowTheSimulatorMinimumIsRejected) {
   set("RAPTEE_BENCH_N", "4");  // ExperimentConfig requires n >= 8
+  EXPECT_THROW((void)Knobs::from_env(), std::invalid_argument);
+}
+
+TEST_F(KnobsEnvFixture, TamperPctParsesWithinItsPercentRange) {
+  EXPECT_EQ(Knobs::from_env().tamper_pct, 25u);  // default
+  set("RAPTEE_BENCH_TAMPER_PCT", "0");
+  EXPECT_EQ(Knobs::from_env().tamper_pct, 0u);
+  set("RAPTEE_BENCH_TAMPER_PCT", "100");
+  EXPECT_EQ(Knobs::from_env().tamper_pct, 100u);
+  set("RAPTEE_BENCH_TAMPER_PCT", "101");
+  EXPECT_THROW((void)Knobs::from_env(), std::invalid_argument);
+  set("RAPTEE_BENCH_TAMPER_PCT", "25%");
   EXPECT_THROW((void)Knobs::from_env(), std::invalid_argument);
 }
 

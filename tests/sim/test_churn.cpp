@@ -92,6 +92,78 @@ TEST(ChurnSchedule, RandomChurnBuildsBoundedUniqueLeaves) {
   EXPECT_EQ(rejoins, leaves);
 }
 
+TEST(ChurnSchedule, FractionalRatesAccumulateAcrossRounds) {
+  // 0.0005 × 1000 nodes = half a node per round: the old truncation churned
+  // nobody, silently. The accumulated quota must hit the expected total.
+  Rng rng(8);
+  std::vector<NodeId> population;
+  for (std::uint32_t i = 0; i < 1000; ++i) population.emplace_back(i);
+  const auto schedule = ChurnSchedule::random_churn(population, 0, 100, 0.0005, 5,
+                                                    /*rejoin=*/false, rng);
+  EXPECT_EQ(schedule.events().size(), 50u);  // 0.0005 * 1000 * 100
+}
+
+TEST(ChurnSchedule, SubUnitQuotaSpreadsLeavesAcrossRounds) {
+  Rng rng(9);
+  std::vector<NodeId> population;
+  for (std::uint32_t i = 0; i < 16; ++i) population.emplace_back(i);
+  // 0.03125 × 16 = exactly half a node per round over 6 rounds: 3 leaves,
+  // one whenever the quota crosses an integer — never two in one round.
+  const auto schedule = ChurnSchedule::random_churn(population, 0, 6, 0.03125, 1,
+                                                    /*rejoin=*/false, rng);
+  ASSERT_EQ(schedule.events().size(), 3u);
+  Round previous_round = 0;
+  for (const auto& event : schedule.events()) {
+    if (&event != &schedule.events().front()) {
+      EXPECT_GT(event.at_round, previous_round);
+    }
+    previous_round = event.at_round;
+  }
+}
+
+TEST_F(ChurnFixture, MissedRejoinsAreAppliedLate) {
+  Engine engine = make_engine(4);
+  ChurnSchedule schedule;
+  schedule.add({1, ChurnEvent::Kind::kLeave, NodeId{1}});
+  schedule.add({3, ChurnEvent::Kind::kRejoin, NodeId{1}});
+
+  engine.step();
+  schedule.apply(engine, 2);  // round 1: leave fires on time
+  EXPECT_FALSE(engine.is_alive(NodeId{1}));
+  // The engine steps past round 3 without an apply (an experiment stepping
+  // multiple rounds per schedule poll); the rejoin must still fire.
+  for (int i = 0; i < 5; ++i) engine.step();
+  schedule.apply(engine, 2);
+  EXPECT_TRUE(engine.is_alive(NodeId{1}));
+  EXPECT_EQ(fakes[1]->bootstraps, 1);
+  EXPECT_EQ(fakes[1]->view_.size(), 2u);
+}
+
+TEST_F(ChurnFixture, OrphanedRejoinDoesNotResetAHealthyNode) {
+  // Both the leave and its paired rejoin were missed: the leave is skipped
+  // (node never went down), so the late rejoin must be a no-op too — not a
+  // spurious fresh bootstrap wiping a healthy node's view.
+  Engine engine = make_engine(4);
+  fakes[1]->view_ = {NodeId{2}, NodeId{3}};
+  ChurnSchedule schedule;
+  schedule.add({1, ChurnEvent::Kind::kLeave, NodeId{1}});
+  schedule.add({3, ChurnEvent::Kind::kRejoin, NodeId{1}});
+  for (int i = 0; i < 5; ++i) engine.step();
+  schedule.apply(engine, 2);
+  EXPECT_TRUE(engine.is_alive(NodeId{1}));
+  EXPECT_EQ(fakes[1]->bootstraps, 0);
+  EXPECT_EQ(fakes[1]->view_, (std::vector<NodeId>{NodeId{2}, NodeId{3}}));
+}
+
+TEST_F(ChurnFixture, MissedLeavesAreStillSkipped) {
+  Engine engine = make_engine(3);
+  ChurnSchedule schedule;
+  schedule.add({1, ChurnEvent::Kind::kLeave, NodeId{2}});
+  for (int i = 0; i < 4; ++i) engine.step();
+  schedule.apply(engine, 2);  // round 4: the leave window has passed
+  EXPECT_TRUE(engine.is_alive(NodeId{2}));
+}
+
 TEST(ChurnSchedule, NoRejoinMode) {
   Rng rng(6);
   std::vector<NodeId> population;

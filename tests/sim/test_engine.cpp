@@ -167,6 +167,23 @@ TEST_F(EngineFixture, BootstrapUniformRespectsSizeAndExcludesSelf) {
   }
 }
 
+TEST_F(EngineFixture, BootstrapUniformWithNobodyAliveIsANoOp) {
+  Engine engine = make_engine(3);
+  for (auto* f : fakes) engine.set_alive(f->id(), false);
+  engine.bootstrap_uniform(4);  // must not underflow everyone.size() - 1
+  for (auto* f : fakes) EXPECT_EQ(f->bootstraps, 0);
+}
+
+TEST_F(EngineFixture, BootstrapUniformSingletonGetsEmptyView) {
+  Engine engine = make_engine(3);
+  engine.set_alive(NodeId{1}, false);
+  engine.set_alive(NodeId{2}, false);
+  engine.bootstrap_uniform(4);
+  EXPECT_EQ(fakes[0]->bootstraps, 1);
+  EXPECT_TRUE(fakes[0]->view_.empty());
+  EXPECT_EQ(fakes[1]->bootstraps, 0);
+}
+
 TEST_F(EngineFixture, BootstrapWithProviderControlsViews) {
   Engine engine = make_engine(3);
   engine.bootstrap_with([](NodeId id, NodeKind) {

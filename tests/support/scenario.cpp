@@ -75,6 +75,15 @@ bool same_metric_streams(const metrics::ExperimentResult& a,
                   << b.pulls_completed;
     ok = false;
   }
+  if (a.legs_dropped != b.legs_dropped || a.legs_tampered != b.legs_tampered ||
+      a.legs_corrupted != b.legs_corrupted || a.wire_bytes != b.wire_bytes) {
+    ADD_FAILURE() << "wire counters diverged: dropped " << a.legs_dropped << '/'
+                  << b.legs_dropped << ", tampered " << a.legs_tampered << '/'
+                  << b.legs_tampered << ", corrupted " << a.legs_corrupted << '/'
+                  << b.legs_corrupted << ", bytes " << a.wire_bytes << '/'
+                  << b.wire_bytes;
+    ok = false;
+  }
   if (a.enclave_cycles_total != b.enclave_cycles_total) {
     ADD_FAILURE() << "enclave cycle ledgers diverged: " << a.enclave_cycles_total
                   << " vs " << b.enclave_cycles_total;

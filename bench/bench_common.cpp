@@ -26,6 +26,7 @@ void print_header(const char* bench_name, const scenario::Knobs& knobs) {
   } else {
     std::cout << knobs.threads;
   }
+  if (knobs.attack != "balanced") std::cout << "  attack=" << knobs.attack;
   std::cout << "\n\n";
 }
 

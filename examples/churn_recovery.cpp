@@ -8,6 +8,7 @@
 //   ./build/examples/churn_recovery [N] [churn%]
 #include <cstdlib>
 #include <iostream>
+#include <stdexcept>
 
 #include "brahms/node.hpp"
 #include "metrics/report.hpp"
@@ -58,11 +59,27 @@ class DeadEntryScanner final : public scenario::IScenarioObserver {
   metrics::TablePrinter& table_;
 };
 
+[[noreturn]] void usage_exit(const char* error) {
+  std::cerr << "error: " << error << "\n"
+            << "usage: churn_recovery [N] [churn%]\n"
+            << "  N       population size, 8..1000000 (default 250)\n"
+            << "  churn%  crashing fraction at round 25, 0..100 (default 20)\n";
+  std::exit(2);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::size_t n = argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 250;
-  const double churn = argc > 2 ? std::atof(argv[2]) / 100.0 : 0.20;
+  std::size_t n = 250;
+  double churn = 0.20;
+  try {
+    if (argc > 1) {
+      n = static_cast<std::size_t>(scenario::parse_u64("N", argv[1], 8, 1000000));
+    }
+    if (argc > 2) churn = scenario::parse_double("churn%", argv[2], 0.0, 100.0) / 100.0;
+  } catch (const std::invalid_argument& error) {
+    usage_exit(error.what());
+  }
 
   std::cout << "Churn recovery: " << churn * 100 << "% of " << n
             << " nodes crash at round 25 and rejoin at round 55\n\n";

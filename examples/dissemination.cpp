@@ -16,6 +16,7 @@
 #include <algorithm>
 #include <cstdlib>
 #include <iostream>
+#include <stdexcept>
 
 #include "common/rng.hpp"
 #include "metrics/report.hpp"
@@ -106,13 +107,35 @@ std::vector<double> spread(const Overlay& overlay, std::size_t fanout,
   return coverage;
 }
 
+[[noreturn]] void usage_exit(const char* error) {
+  std::cerr << "error: " << error << "\n"
+            << "usage: dissemination [N] [f%] [t%] [fanout]\n"
+            << "  N       population size, 8..1000000 (default 300)\n"
+            << "  f%      Byzantine percent, 0..99 (default 20)\n"
+            << "  t%      trusted percent, 0..100 (default 10)\n"
+            << "  fanout  forwards per infected node per round, 1..64 (default 2)\n";
+  std::exit(2);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::size_t n = argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 300;
-  const double f = argc > 2 ? std::atof(argv[2]) / 100.0 : 0.20;
-  const double t = argc > 3 ? std::atof(argv[3]) / 100.0 : 0.10;
-  const std::size_t fanout = argc > 4 ? static_cast<std::size_t>(std::atoi(argv[4])) : 2;
+  std::size_t n = 300;
+  double f = 0.20;
+  double t = 0.10;
+  std::size_t fanout = 2;
+  try {
+    if (argc > 1) {
+      n = static_cast<std::size_t>(scenario::parse_u64("N", argv[1], 8, 1000000));
+    }
+    if (argc > 2) f = scenario::parse_double("f%", argv[2], 0.0, 99.0) / 100.0;
+    if (argc > 3) t = scenario::parse_double("t%", argv[3], 0.0, 100.0) / 100.0;
+    if (argc > 4) {
+      fanout = static_cast<std::size_t>(scenario::parse_u64("fanout", argv[4], 1, 64));
+    }
+  } catch (const std::invalid_argument& error) {
+    usage_exit(error.what());
+  }
 
   std::cout << "Epidemic dissemination over converged overlays (N=" << n
             << ", f=" << f * 100 << "%, t=" << t * 100 << "%, fanout=" << fanout

@@ -6,22 +6,49 @@
 //   ./build/examples/quickstart [N] [f%] [t%] [rounds]
 #include <cstdlib>
 #include <iostream>
+#include <stdexcept>
 
 #include "metrics/report.hpp"
 #include "scenario/scenario.hpp"
 
+namespace {
+
+[[noreturn]] void usage_exit(const char* error) {
+  std::cerr << "error: " << error << "\n"
+            << "usage: quickstart [N] [f%] [t%] [rounds]\n"
+            << "  N       population size, 8..1000000 (default 500)\n"
+            << "  f%      Byzantine percent, 0..99 (default 10)\n"
+            << "  t%      trusted percent, 0..100 (default 10)\n"
+            << "  rounds  rounds to simulate, 1..100000 (default 80)\n";
+  std::exit(2);
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   using namespace raptee;
 
-  const auto spec =
-      scenario::ScenarioSpec()
-          .population(argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 500)
-          .adversary((argc > 2 ? std::atof(argv[2]) : 10.0) / 100.0)
-          .trusted((argc > 3 ? std::atof(argv[3]) : 10.0) / 100.0)
-          .rounds(argc > 4 ? static_cast<Round>(std::atoi(argv[4])) : 80)
-          .view_size(40)
-          .eviction(core::EvictionSpec::adaptive())
-          .seed(7);
+  scenario::ScenarioSpec spec;
+  try {
+    spec = scenario::ScenarioSpec()
+               .population(argc > 1 ? static_cast<std::size_t>(
+                                          scenario::parse_u64("N", argv[1], 8, 1000000))
+                                    : 500)
+               .adversary((argc > 2 ? scenario::parse_double("f%", argv[2], 0.0, 99.0)
+                                    : 10.0) /
+                          100.0)
+               .trusted((argc > 3 ? scenario::parse_double("t%", argv[3], 0.0, 100.0)
+                                  : 10.0) /
+                        100.0)
+               .rounds(argc > 4 ? static_cast<Round>(
+                                      scenario::parse_u64("rounds", argv[4], 1, 100000))
+                                : 80)
+               .view_size(40)
+               .eviction(core::EvictionSpec::adaptive())
+               .seed(7);
+  } catch (const std::invalid_argument& error) {
+    usage_exit(error.what());
+  }
   const auto config = spec.config();
 
   std::cout << "RAPTEE quickstart: N=" << config.n << "  f="

@@ -1,0 +1,67 @@
+#include "adversary/attack.hpp"
+
+#include <cmath>
+
+#include "adversary/strategy.hpp"
+#include "common/assert.hpp"
+
+namespace raptee::adversary {
+
+AttackSpec AttackSpec::balanced() { return {}; }
+
+AttackSpec AttackSpec::eclipse(double victim_fraction) {
+  AttackSpec spec;
+  spec.strategy = "eclipse";
+  spec.victim_fraction = victim_fraction;
+  return spec;
+}
+
+AttackSpec AttackSpec::oscillating(Round on_rounds, Round off_rounds) {
+  AttackSpec spec;
+  spec.strategy = "oscillating";
+  spec.on_rounds = on_rounds;
+  spec.off_rounds = off_rounds;
+  return spec;
+}
+
+AttackSpec AttackSpec::omission() {
+  AttackSpec spec;
+  spec.strategy = "omission";
+  return spec;
+}
+
+AttackSpec AttackSpec::bogus_swap() {
+  AttackSpec spec;
+  spec.strategy = "bogus_swap";
+  spec.attach_bogus_swap_offer = true;
+  return spec;
+}
+
+AttackSpec AttackSpec::named(const std::string& name) {
+  if (name == "balanced") return balanced();
+  if (name == "eclipse") return eclipse();
+  if (name == "oscillating") return oscillating();
+  if (name == "omission") return omission();
+  if (name == "bogus_swap") return bogus_swap();
+  AttackSpec spec;
+  spec.strategy = name;  // custom registered strategy with default knobs
+  return spec;
+}
+
+void AttackSpec::validate() const {
+  RAPTEE_REQUIRE(!strategy.empty(), "attack strategy name must not be empty");
+  RAPTEE_REQUIRE(StrategyRegistry::instance().contains(strategy),
+                 "attack strategy '" << strategy << "' is not registered");
+  RAPTEE_REQUIRE(std::isfinite(victim_fraction) && victim_fraction >= 0.0 &&
+                     victim_fraction <= 1.0,
+                 "victim fraction out of [0,1]: " << victim_fraction);
+  RAPTEE_REQUIRE(std::isfinite(push_cap_fraction) && push_cap_fraction >= 0.0 &&
+                     push_cap_fraction <= 1.0,
+                 "push cap fraction out of [0,1]: " << push_cap_fraction);
+  RAPTEE_REQUIRE(std::isfinite(isolation_threshold) && isolation_threshold > 0.0 &&
+                     isolation_threshold <= 1.0,
+                 "isolation threshold out of (0,1]: " << isolation_threshold);
+  RAPTEE_REQUIRE(on_rounds >= 1, "oscillating on_rounds must be >= 1");
+}
+
+}  // namespace raptee::adversary

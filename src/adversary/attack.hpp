@@ -1,0 +1,87 @@
+// AttackSpec: the declarative, validated description of the adversary —
+// a registered strategy name plus per-strategy parameters, playing the same
+// role for the attack axis that core::EvictionSpec plays for the defence
+// axis. The spec is pure data: resolution to behaviour happens through the
+// adversary::StrategyRegistry (strategy.hpp) when an experiment builds its
+// Coordinator.
+//
+// Built-in strategies (see strategy.cpp for the behaviours):
+//   balanced     — the Brahms-optimal balanced attack the paper assumes
+//                  (push budget spread evenly, poisoned pull answers,
+//                  camouflaged pulls). The default; observable results are
+//                  bit-identical to the pre-registry hardcoded adversary.
+//   eclipse      — the targeted attack BASALT evaluates against: the whole
+//                  push budget focuses on a victim subset (capped per
+//                  victim to stay under Brahms' flood detection) and pulls
+//                  harvest the victims.
+//   oscillating  — BASALT's adaptive adversary: an on/off duty cycle that
+//                  attacks in bursts and camouflages as honest in between,
+//                  evading window-smoothed eviction and identification.
+//   omission     — a liveness attacker: sends nothing and refuses to answer
+//                  pulls, burning the initiators' round slots (the engine
+//                  counts the suppressed legs).
+//   bogus_swap   — balanced plus a forged swap offer on every AuthConfirm,
+//                  probing the trusted-swap authentication defence.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace raptee::adversary {
+
+struct AttackSpec {
+  /// Registered strategy name (StrategyRegistry); "balanced" is the
+  /// paper's default adversary.
+  std::string strategy = "balanced";
+
+  /// Victim-targeting strategies (eclipse): share of the correct population
+  /// under attack, used when victim_count == 0. At least one victim is
+  /// drawn whenever the strategy wants victims.
+  double victim_fraction = 0.05;
+  /// Explicit victim count (overrides victim_fraction when > 0; clamped to
+  /// the correct population).
+  std::size_t victim_count = 0;
+  /// Which slice of the correct population victims are drawn from:
+  /// kAny (default) samples all correct nodes; kHonest only untrusted
+  /// honest nodes; kTrusted only trusted nodes (the hardened targets —
+  /// whether eviction saves them is exactly what bench/attack_matrix
+  /// sweeps). Falls back to kAny when the requested slice is empty.
+  enum class VictimKind : std::uint8_t { kAny, kHonest, kTrusted };
+  VictimKind victim_kind = VictimKind::kAny;
+
+  /// Eclipse: per-victim per-round push cap as a fraction of the α·l1 push
+  /// slice. Brahms blocks a node's view update outright when more than
+  /// α·l1 pushes arrive in one round, so a smart eclipse attacker throttles
+  /// below the honest background rate instead of flooding.
+  double push_cap_fraction = 0.5;
+
+  /// A victim counts as isolated in a round once the Byzantine share of its
+  /// view reaches this threshold (rounds_to_isolation fires at the first
+  /// round every alive victim is isolated).
+  double isolation_threshold = 0.75;
+
+  /// Oscillating duty cycle: rounds r with (r mod (on+off)) < on attack;
+  /// the rest camouflage.
+  Round on_rounds = 8;
+  Round off_rounds = 8;
+
+  /// Attach a forged swap offer to every AuthConfirm (always true for the
+  /// bogus_swap strategy; composable with any other).
+  bool attach_bogus_swap_offer = false;
+
+  [[nodiscard]] static AttackSpec balanced();
+  [[nodiscard]] static AttackSpec eclipse(double victim_fraction = 0.05);
+  [[nodiscard]] static AttackSpec oscillating(Round on_rounds = 8, Round off_rounds = 8);
+  [[nodiscard]] static AttackSpec omission();
+  [[nodiscard]] static AttackSpec bogus_swap();
+  /// Defaults for a strategy name — the built-ins above, or an otherwise
+  /// default spec carrying `name` (custom registered strategies).
+  [[nodiscard]] static AttackSpec named(const std::string& name);
+
+  /// Parameter ranges plus registry membership of `strategy`.
+  void validate() const;
+};
+
+}  // namespace raptee::adversary

@@ -8,11 +8,19 @@ namespace raptee::adversary {
 
 Coordinator::Coordinator(std::vector<NodeId> members, std::vector<NodeId> victims,
                          AttackConfig config, std::uint64_t seed)
+    : Coordinator(std::move(members), std::move(victims), std::move(config), seed,
+                  make_strategy(AttackSpec::balanced())) {}
+
+Coordinator::Coordinator(std::vector<NodeId> members, std::vector<NodeId> victims,
+                         AttackConfig config, std::uint64_t seed,
+                         std::unique_ptr<IStrategy> strategy)
     : members_(std::move(members)),
       victims_(std::move(victims)),
-      config_(config),
-      rng_(mix64(seed, 0x42595A43ull)) {
+      config_(std::move(config)),
+      rng_(mix64(seed, 0x42595A43ull)),
+      strategy_(std::move(strategy)) {
   RAPTEE_REQUIRE(!members_.empty(), "coordinator needs at least one member");
+  RAPTEE_REQUIRE(strategy_ != nullptr, "coordinator needs a strategy");
   std::sort(members_.begin(), members_.end());
 }
 
@@ -20,24 +28,21 @@ void Coordinator::set_victims(std::vector<NodeId> victims) {
   victims_ = std::move(victims);
 }
 
+void Coordinator::set_targeted(std::vector<NodeId> victims) {
+  // Takes effect at the next round's planning; an already-built schedule
+  // keeps pushing at the old set for the remainder of its round.
+  config_.targeted_victims = std::move(victims);
+}
+
 void Coordinator::begin_round(Round r) {
   if (prepared_round_ && *prepared_round_ == r) return;
   prepared_round_ = r;
-  // Balanced attack: the total budget is laid out round-robin over a
-  // shuffled victim list, so per-victim push counts differ by at most one —
-  // the spread the Brahms paper proves optimal for the adversary.
-  const std::vector<NodeId>& pool =
-      config_.targeted_victims.empty() ? victims_ : config_.targeted_victims;
-  schedule_.clear();
-  if (pool.empty() || config_.push_budget_per_member == 0) return;
-  const std::size_t total = members_.size() * config_.push_budget_per_member;
-  std::vector<NodeId> shuffled = pool;
-  rng_.shuffle(shuffled);
-  schedule_.reserve(total);
-  for (std::size_t j = 0; j < total; ++j) schedule_.push_back(shuffled[j % shuffled.size()]);
+  active_ = strategy_->active(r);
+  if (active_) ++rounds_active_;
+  strategy_->plan_pushes(r, *this, schedule_);
 }
 
-std::vector<NodeId> Coordinator::push_allocation(NodeId member) const {
+std::span<const NodeId> Coordinator::push_slice(NodeId member) const {
   const auto it = std::lower_bound(members_.begin(), members_.end(), member);
   RAPTEE_ASSERT_MSG(it != members_.end() && *it == member, "unknown member");
   const auto idx = static_cast<std::size_t>(it - members_.begin());
@@ -45,28 +50,56 @@ std::vector<NodeId> Coordinator::push_allocation(NodeId member) const {
   const std::size_t from = idx * budget;
   if (from >= schedule_.size()) return {};
   const std::size_t to = std::min(from + budget, schedule_.size());
-  return {schedule_.begin() + static_cast<std::ptrdiff_t>(from),
-          schedule_.begin() + static_cast<std::ptrdiff_t>(to)};
+  return {schedule_.data() + from, to - from};
+}
+
+std::vector<NodeId> Coordinator::push_allocation(NodeId member) const {
+  const auto slice = push_slice(member);
+  return {slice.begin(), slice.end()};
+}
+
+void Coordinator::push_allocation(NodeId member, std::vector<NodeId>& out) const {
+  const auto slice = push_slice(member);
+  out.assign(slice.begin(), slice.end());
 }
 
 std::vector<NodeId> Coordinator::pull_targets(NodeId /*member*/) {
   std::vector<NodeId> out;
-  if (victims_.empty()) return out;
-  out.reserve(config_.pull_fanout);
-  for (std::size_t i = 0; i < config_.pull_fanout; ++i) {
-    out.push_back(victims_[static_cast<std::size_t>(rng_.below(victims_.size()))]);
-  }
+  strategy_->plan_pulls(*this, out);
   return out;
 }
 
-std::vector<NodeId> Coordinator::faulty_view(std::size_t k) {
-  if (k <= members_.size()) return rng_.sample(members_, k);
+bool Coordinator::answers_pulls() const {
+  return strategy_->answers_pulls(prepared_round_.value_or(0));
+}
+
+void Coordinator::answer_view(std::size_t k, std::vector<NodeId>& out) {
+  strategy_->answer_view(prepared_round_.value_or(0), *this, k, out);
+}
+
+bool Coordinator::attach_bogus_swap() const {
+  return strategy_->attach_bogus_swap(prepared_round_.value_or(0), *this);
+}
+
+void Coordinator::faulty_view_into(std::size_t k, std::vector<NodeId>& out) {
+  out.clear();
+  if (k <= members_.size()) {
+    rng_.sample_indices_into(members_.size(), k, index_scratch_);
+    out.reserve(index_scratch_.size());
+    for (const std::size_t i : index_scratch_) out.push_back(members_[i]);
+    return;
+  }
   // Fewer members than requested: fill with repeats.
-  std::vector<NodeId> out = members_;
+  out.assign(members_.begin(), members_.end());
   while (out.size() < k) {
     out.push_back(members_[static_cast<std::size_t>(rng_.below(members_.size()))]);
   }
   rng_.shuffle(out);
+}
+
+std::vector<NodeId> Coordinator::faulty_view(std::size_t k) {
+  std::vector<NodeId> out;
+  faulty_view_into(k, out);
   return out;
 }
 
@@ -97,6 +130,10 @@ std::vector<NodeId> ByzantineNode::push_targets() {
   return coordinator_->push_allocation(self_);
 }
 
+void ByzantineNode::push_targets(std::vector<NodeId>& out) {
+  coordinator_->push_allocation(self_, out);
+}
+
 wire::PushMessage ByzantineNode::make_push() {
   // Each push advertises some Byzantine ID (the adversary maximizes the
   // spread of faulty IDs, not of any single identity).
@@ -116,12 +153,16 @@ wire::PullRequest ByzantineNode::open_pull(NodeId /*target*/) {
   return request;
 }
 
+bool ByzantineNode::answers_pull(NodeId /*requester*/) {
+  return coordinator_->answers_pulls();
+}
+
 wire::PullReply ByzantineNode::answer_pull(const wire::PullRequest& /*request*/) {
   wire::PullReply reply;
   reply.sender = self_;
   drbg_.fill(reply.auth.r_b.data(), reply.auth.r_b.size());
   drbg_.fill(reply.auth.proof_b.data(), reply.auth.proof_b.size());  // can't forge
-  reply.view = coordinator_->faulty_view(coordinator_->config().advertised_view_size);
+  coordinator_->answer_view(coordinator_->config().advertised_view_size, reply.view);
   return reply;
 }
 
@@ -132,7 +173,7 @@ wire::AuthConfirm ByzantineNode::process_pull_reply(const wire::PullReply& /*rep
   wire::AuthConfirm confirm;
   confirm.sender = self_;
   drbg_.fill(confirm.confirm.proof_a.data(), confirm.confirm.proof_a.size());
-  if (coordinator_->config().attach_bogus_swap_offer) {
+  if (coordinator_->attach_bogus_swap()) {
     confirm.swap_offer = coordinator_->faulty_view(
         std::max<std::size_t>(1, coordinator_->config().advertised_view_size / 2));
   }

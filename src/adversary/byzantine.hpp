@@ -1,7 +1,12 @@
 // The adversary: a coordinator with global knowledge driving every
 // Byzantine node (paper §III-B).
 //
-// Attack behaviour (the Brahms-optimal strategy the paper assumes):
+// The Coordinator owns the shared machinery — the sorted member list, the
+// current victim (correct) population, the optional targeted-victim subset,
+// the global-knowledge RNG and the round-scoped flat push schedule — and
+// delegates every behavioural decision to a pluggable adversary::IStrategy
+// (strategy.hpp). The default strategy is `balanced`, the Brahms-optimal
+// attack the paper assumes:
 //   * balanced pushes — the adversary's total push budget (rate-limited to
 //     α·l1 per member per round, the "limited pushes" assumption enforced
 //     system-wide) is spread evenly over all correct nodes, each push
@@ -11,24 +16,32 @@
 //   * camouflaged pulls — Byzantine nodes issue pull requests like honest
 //     ones, both to blend in and to harvest the pull-answer observations
 //     that feed the §VI-A identification attack.
+// Its observable results are bit-identical to the pre-strategy hardcoded
+// adversary (asserted by scenario_test_attack_determinism).
 //
-// A targeted mode focuses the entire push budget on a victim subset
-// (the eclipse attempt Brahms' history sampling defends against).
+// AttackConfig::targeted_victims focuses the push budget on a victim
+// subset (the eclipse attempt Brahms' history sampling defends against);
+// the eclipse strategy populates it from AttackSpec::victim_fraction.
 #pragma once
 
 #include <functional>
 #include <memory>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "crypto/key.hpp"
 
+#include "adversary/strategy.hpp"
 #include "common/rng.hpp"
 #include "common/types.hpp"
 #include "sim/node.hpp"
 
 namespace raptee::adversary {
 
+/// Resolved, mechanism-level knobs (strategy-independent). AttackSpec is
+/// the declarative front door; experiments map it onto this struct when
+/// building the Coordinator.
 struct AttackConfig {
   std::size_t push_budget_per_member = 0;  ///< pushes per member per round (α·l1)
   std::size_t pull_fanout = 0;             ///< pull requests per member (β·l1)
@@ -41,38 +54,90 @@ struct AttackConfig {
 
 class Coordinator {
  public:
+  /// Balanced-strategy coordinator (the historical constructor; behaviour
+  /// and random streams are unchanged).
   Coordinator(std::vector<NodeId> members, std::vector<NodeId> victims,
               AttackConfig config, std::uint64_t seed);
+  /// Strategy-driven coordinator. `strategy` must be non-null.
+  Coordinator(std::vector<NodeId> members, std::vector<NodeId> victims,
+              AttackConfig config, std::uint64_t seed,
+              std::unique_ptr<IStrategy> strategy);
 
-  /// Recomputes this round's balanced push schedule. Idempotent per round:
-  /// every member calls it, the first call does the work.
+  /// Recomputes this round's push schedule via the strategy. Idempotent per
+  /// round: every member calls it, the first call does the work.
   void begin_round(Round r);
 
   /// The push targets assigned to `member` this round.
   [[nodiscard]] std::vector<NodeId> push_allocation(NodeId member) const;
-  /// Pull targets for `member` (uniform over victims).
+  /// Allocation-free view of the same slice (valid until the next
+  /// begin_round); the hot-path form used by ByzantineNode.
+  [[nodiscard]] std::span<const NodeId> push_slice(NodeId member) const;
+  /// Scratch-filling variant: clears and fills `out` (capacity persists
+  /// across rounds), mirroring the wire-path zero-allocation conventions.
+  void push_allocation(NodeId member, std::vector<NodeId>& out) const;
+
+  /// Pull targets for `member` this round (strategy policy; balanced:
+  /// uniform over victims).
   [[nodiscard]] std::vector<NodeId> pull_targets(NodeId member);
+
+  /// Whether members answer pull requests at all this round (the omission
+  /// strategy refuses; the engine counts suppressed legs).
+  [[nodiscard]] bool answers_pulls() const;
+  /// The view a member advertises in a pull answer (strategy policy;
+  /// balanced: k Byzantine IDs). Clears and fills `out`.
+  void answer_view(std::size_t k, std::vector<NodeId>& out);
+  /// Whether confirms carry a forged swap offer this round.
+  [[nodiscard]] bool attach_bogus_swap() const;
 
   /// A poisoned view: `k` Byzantine IDs (distinct while possible).
   [[nodiscard]] std::vector<NodeId> faulty_view(std::size_t k);
+  /// Scratch-filling form of faulty_view (same draws).
+  void faulty_view_into(std::size_t k, std::vector<NodeId>& out);
   [[nodiscard]] NodeId faulty_id();
 
   [[nodiscard]] bool is_member(NodeId id) const;
   [[nodiscard]] const std::vector<NodeId>& members() const { return members_; }
+  [[nodiscard]] const std::vector<NodeId>& victims() const { return victims_; }
+  [[nodiscard]] const std::vector<NodeId>& targeted() const {
+    return config_.targeted_victims;
+  }
   [[nodiscard]] const AttackConfig& config() const { return config_; }
+  [[nodiscard]] const IStrategy& strategy() const { return *strategy_; }
+
+  /// Whether the strategy is on duty in the current round (true before the
+  /// first begin_round so construction-time queries see the attack armed).
+  [[nodiscard]] bool active() const { return active_; }
+  /// Rounds the strategy was on duty so far (oscillating telemetry).
+  [[nodiscard]] std::uint64_t rounds_active() const { return rounds_active_; }
+
+  /// The global-knowledge random stream strategies must draw from.
+  [[nodiscard]] Rng& rng() { return rng_; }
+  /// Round-scoped scratches for strategies building shuffled victim pools
+  /// (capacity persists across rounds; background_scratch is a second,
+  /// independently-lived pool for schedules composed of two parts).
+  [[nodiscard]] std::vector<NodeId>& pool_scratch() { return pool_scratch_; }
+  [[nodiscard]] std::vector<NodeId>& background_scratch() { return background_scratch_; }
 
   /// Replaces the victim set (population changes under churn).
   void set_victims(std::vector<NodeId> victims);
+  /// Replaces the targeted subset (a victim died / rejoined mid-eclipse).
+  void set_targeted(std::vector<NodeId> victims);
 
  private:
   std::vector<NodeId> members_;  // sorted; a member's slice index is its rank
   std::vector<NodeId> victims_;
   AttackConfig config_;
   Rng rng_;
+  std::unique_ptr<IStrategy> strategy_;
   /// Flat schedule: push j of the round goes to schedule_[j]; member i owns
   /// slice [i·budget, (i+1)·budget).
   std::vector<NodeId> schedule_;
+  std::vector<NodeId> pool_scratch_;
+  std::vector<NodeId> background_scratch_;
+  std::vector<std::size_t> index_scratch_;  // faulty_view_into sampling
   std::optional<Round> prepared_round_;
+  bool active_ = true;
+  std::uint64_t rounds_active_ = 0;
 };
 
 /// One adversary-controlled protocol participant. All intelligence lives in
@@ -86,10 +151,12 @@ class ByzantineNode final : public sim::INode {
   void bootstrap(const std::vector<NodeId>& initial_peers) override;
   void begin_round(Round r) override;
   [[nodiscard]] std::vector<NodeId> push_targets() override;
+  void push_targets(std::vector<NodeId>& out) override;
   [[nodiscard]] wire::PushMessage make_push() override;
   void on_push(const wire::PushMessage& push) override;
   [[nodiscard]] std::vector<NodeId> pull_targets() override;
   [[nodiscard]] wire::PullRequest open_pull(NodeId target) override;
+  [[nodiscard]] bool answers_pull(NodeId requester) override;
   [[nodiscard]] wire::PullReply answer_pull(const wire::PullRequest& request) override;
   [[nodiscard]] wire::AuthConfirm process_pull_reply(const wire::PullReply& reply) override;
   [[nodiscard]] std::optional<wire::SwapReply> process_confirm(

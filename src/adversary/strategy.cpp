@@ -1,0 +1,308 @@
+#include "adversary/strategy.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <utility>
+
+#include "adversary/byzantine.hpp"
+#include "common/assert.hpp"
+
+namespace raptee::adversary {
+
+// ---------------------------------------------------------------- defaults
+
+void IStrategy::plan_pulls(Coordinator& coord, std::vector<NodeId>& out) {
+  // Camouflaged pulls, uniform over the correct population — blending in
+  // while harvesting the pull-answer observations that feed §VI-A.
+  out.clear();
+  const std::vector<NodeId>& victims = coord.victims();
+  if (victims.empty()) return;
+  const std::size_t fanout = coord.config().pull_fanout;
+  out.reserve(fanout);
+  for (std::size_t i = 0; i < fanout; ++i) {
+    out.push_back(victims[static_cast<std::size_t>(coord.rng().below(victims.size()))]);
+  }
+}
+
+void IStrategy::answer_view(Round /*r*/, Coordinator& coord, std::size_t k,
+                            std::vector<NodeId>& out) {
+  coord.faulty_view_into(k, out);
+}
+
+bool IStrategy::attach_bogus_swap(Round /*r*/, const Coordinator& coord) const {
+  return coord.config().attach_bogus_swap_offer;
+}
+
+namespace {
+
+// ---------------------------------------------------------------- balanced
+
+/// The Brahms-optimal balanced attack (paper §III-B). Push budget laid out
+/// round-robin over a shuffled victim list, so per-victim push counts
+/// differ by at most one — the spread the Brahms paper proves optimal for
+/// the adversary. Draw-for-draw identical to the pre-strategy Coordinator.
+class BalancedStrategy : public IStrategy {
+ public:
+  explicit BalancedStrategy(AttackSpec spec) : spec_(std::move(spec)) {}
+
+  [[nodiscard]] std::string_view name() const override { return "balanced"; }
+
+  void plan_pushes(Round /*r*/, Coordinator& coord,
+                   std::vector<NodeId>& schedule) override {
+    const std::vector<NodeId>& pool =
+        coord.targeted().empty() ? coord.victims() : coord.targeted();
+    schedule.clear();
+    if (pool.empty() || coord.config().push_budget_per_member == 0) return;
+    const std::size_t total =
+        coord.members().size() * coord.config().push_budget_per_member;
+    std::vector<NodeId>& shuffled = coord.pool_scratch();
+    shuffled.assign(pool.begin(), pool.end());
+    coord.rng().shuffle(shuffled);
+    schedule.reserve(total);
+    for (std::size_t j = 0; j < total; ++j) schedule.push_back(shuffled[j % shuffled.size()]);
+  }
+
+ protected:
+  AttackSpec spec_;
+};
+
+// ----------------------------------------------------------------- eclipse
+
+/// Targeted/eclipse attacker (BASALT's evaluation adversary): the whole
+/// push budget focuses on the targeted victims, throttled per victim so
+/// the flood never trips Brahms' push-rate detection, and pulls harvest
+/// the victims' increasingly polluted views.
+class EclipseStrategy final : public BalancedStrategy {
+ public:
+  using BalancedStrategy::BalancedStrategy;
+
+  [[nodiscard]] std::string_view name() const override { return "eclipse"; }
+  [[nodiscard]] bool wants_victims() const override { return true; }
+
+  void plan_pushes(Round /*r*/, Coordinator& coord,
+                   std::vector<NodeId>& schedule) override {
+    const std::vector<NodeId>& pool =
+        coord.targeted().empty() ? coord.victims() : coord.targeted();
+    schedule.clear();
+    const std::size_t budget = coord.config().push_budget_per_member;
+    if (pool.empty() || budget == 0) return;
+    const std::size_t total = coord.members().size() * budget;
+    // Per-victim cap: flooding past the honest α·l1 background rate makes
+    // the victim block its view update entirely (Brahms defence ii), which
+    // would freeze — not capture — its view.
+    const auto cap = std::max<std::size_t>(
+        1, static_cast<std::size_t>(
+               std::lround(spec_.push_cap_fraction * static_cast<double>(budget))));
+    std::vector<NodeId>& shuffled = coord.pool_scratch();
+    shuffled.assign(pool.begin(), pool.end());
+    coord.rng().shuffle(shuffled);
+    const std::size_t focused = std::min(total, cap * shuffled.size());
+    schedule.reserve(total);
+    for (std::size_t j = 0; j < focused; ++j) {
+      schedule.push_back(shuffled[j % shuffled.size()]);
+    }
+    // The cap leaves budget on the table; spend it as balanced background
+    // over the whole correct population. That is the stronger combined
+    // attack: the victims' honest neighbours get polluted too, so the
+    // victims' own camouflage pulls return dirtier views.
+    if (focused < total && !coord.victims().empty()) {
+      std::vector<NodeId>& background = coord.background_scratch();
+      background.assign(coord.victims().begin(), coord.victims().end());
+      coord.rng().shuffle(background);
+      for (std::size_t j = 0; focused + j < total; ++j) {
+        schedule.push_back(background[j % background.size()]);
+      }
+    }
+  }
+
+  void plan_pulls(Coordinator& coord, std::vector<NodeId>& out) override {
+    // Pull the victims: every answered pull hands the adversary the
+    // victim's current view and costs the victim an exchange slot.
+    out.clear();
+    const std::vector<NodeId>& pool =
+        coord.targeted().empty() ? coord.victims() : coord.targeted();
+    if (pool.empty()) return;
+    const std::size_t fanout = coord.config().pull_fanout;
+    out.reserve(fanout);
+    for (std::size_t i = 0; i < fanout; ++i) {
+      out.push_back(pool[static_cast<std::size_t>(coord.rng().below(pool.size()))]);
+    }
+  }
+};
+
+// ------------------------------------------------------------- oscillating
+
+/// BASALT's adaptive adversary: attacks for on_rounds, then camouflages for
+/// off_rounds. Dormant rounds push nothing and answer pulls with views of
+/// correct IDs, so window-smoothed eviction/identification statistics decay
+/// between bursts.
+class OscillatingStrategy final : public BalancedStrategy {
+ public:
+  using BalancedStrategy::BalancedStrategy;
+
+  [[nodiscard]] std::string_view name() const override { return "oscillating"; }
+
+  [[nodiscard]] bool active(Round r) const override {
+    const Round period = spec_.on_rounds + spec_.off_rounds;
+    if (period == 0) return true;
+    return (r % period) < spec_.on_rounds;
+  }
+
+  void plan_pushes(Round r, Coordinator& coord,
+                   std::vector<NodeId>& schedule) override {
+    if (!active(r)) {
+      schedule.clear();
+      return;
+    }
+    BalancedStrategy::plan_pushes(r, coord, schedule);
+  }
+
+  void answer_view(Round r, Coordinator& coord, std::size_t k,
+                   std::vector<NodeId>& out) override {
+    if (active(r)) {
+      coord.faulty_view_into(k, out);
+      return;
+    }
+    // Off duty: advertise correct IDs — indistinguishable from an honest
+    // answer, and it repairs nothing the burst already poisoned.
+    out.clear();
+    const std::vector<NodeId>& victims = coord.victims();
+    if (victims.empty()) {
+      coord.faulty_view_into(k, out);
+      return;
+    }
+    out.reserve(k);
+    for (std::size_t i = 0; i < k; ++i) {
+      out.push_back(victims[static_cast<std::size_t>(coord.rng().below(victims.size()))]);
+    }
+  }
+
+  [[nodiscard]] bool attach_bogus_swap(Round r, const Coordinator& coord) const override {
+    return active(r) && coord.config().attach_bogus_swap_offer;
+  }
+};
+
+// ---------------------------------------------------------------- omission
+
+/// Liveness attacker: contributes nothing (no pushes) and refuses to answer
+/// pull requests, burning the initiator's exchange slot for the round. The
+/// engine counts every refusal in Counters::legs_suppressed.
+class OmissionStrategy final : public IStrategy {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "omission"; }
+
+  void plan_pushes(Round /*r*/, Coordinator& /*coord*/,
+                   std::vector<NodeId>& schedule) override {
+    schedule.clear();
+  }
+
+  [[nodiscard]] bool answers_pulls(Round /*r*/) const override { return false; }
+};
+
+// -------------------------------------------------------------- bogus_swap
+
+/// Balanced attack plus a forged swap offer on every AuthConfirm — probes
+/// the trusted-swap authentication defence (honest nodes must reject the
+/// offer because the sender cannot prove group membership).
+class BogusSwapStrategy final : public BalancedStrategy {
+ public:
+  using BalancedStrategy::BalancedStrategy;
+
+  [[nodiscard]] std::string_view name() const override { return "bogus_swap"; }
+
+  [[nodiscard]] bool attach_bogus_swap(Round /*r*/,
+                                       const Coordinator& /*coord*/) const override {
+    return true;
+  }
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------- registry
+
+struct StrategyRegistry::Impl {
+  mutable std::mutex mutex;
+  std::map<std::string, std::pair<std::string, Factory>> entries;
+};
+
+StrategyRegistry::StrategyRegistry() : impl_(std::make_shared<Impl>()) {
+  add("balanced", "Brahms-optimal balanced attack (paper §III-B); the default",
+      [](const AttackSpec& spec) { return std::make_unique<BalancedStrategy>(spec); });
+  add("eclipse", "focused push budget + harvesting pulls on a victim subset",
+      [](const AttackSpec& spec) { return std::make_unique<EclipseStrategy>(spec); });
+  add("oscillating", "on/off duty cycle evading window-smoothed statistics",
+      [](const AttackSpec& spec) { return std::make_unique<OscillatingStrategy>(spec); });
+  add("omission", "answers no pulls, sends nothing (liveness attacker)",
+      [](const AttackSpec&) { return std::make_unique<OmissionStrategy>(); });
+  add("bogus_swap", "balanced + forged swap offer on every confirm",
+      [](const AttackSpec& spec) { return std::make_unique<BogusSwapStrategy>(spec); });
+}
+
+StrategyRegistry& StrategyRegistry::instance() {
+  static StrategyRegistry registry;
+  return registry;
+}
+
+void StrategyRegistry::add(std::string name, std::string summary, Factory factory) {
+  RAPTEE_REQUIRE(!name.empty(), "strategy name must not be empty");
+  RAPTEE_REQUIRE(factory != nullptr, "strategy '" << name << "' needs a factory");
+  const std::lock_guard<std::mutex> lock(impl_->mutex);
+  const bool inserted =
+      impl_->entries.emplace(std::move(name), std::make_pair(std::move(summary),
+                                                             std::move(factory)))
+          .second;
+  RAPTEE_REQUIRE(inserted, "attack strategy registered twice");
+}
+
+bool StrategyRegistry::contains(const std::string& name) const {
+  const std::lock_guard<std::mutex> lock(impl_->mutex);
+  return impl_->entries.count(name) != 0;
+}
+
+std::unique_ptr<IStrategy> StrategyRegistry::make(const AttackSpec& spec) const {
+  Factory factory;
+  {
+    const std::lock_guard<std::mutex> lock(impl_->mutex);
+    const auto it = impl_->entries.find(spec.strategy);
+    if (it == impl_->entries.end()) {
+      std::ostringstream known;
+      for (const auto& [name, entry] : impl_->entries) {
+        if (known.tellp() > 0) known << ", ";
+        known << name;
+      }
+      RAPTEE_REQUIRE(false, "unknown attack strategy '" << spec.strategy
+                                                        << "' (registered: "
+                                                        << known.str() << ")");
+    }
+    factory = it->second.second;
+  }
+  std::unique_ptr<IStrategy> strategy = factory(spec);
+  RAPTEE_REQUIRE(strategy != nullptr,
+                 "factory for '" << spec.strategy << "' returned null");
+  return strategy;
+}
+
+std::vector<StrategyRegistry::Entry> StrategyRegistry::entries() const {
+  const std::lock_guard<std::mutex> lock(impl_->mutex);
+  std::vector<Entry> out;
+  out.reserve(impl_->entries.size());
+  for (const auto& [name, entry] : impl_->entries) out.push_back({name, entry.first});
+  return out;  // std::map iteration is already name-sorted
+}
+
+std::vector<std::string> StrategyRegistry::names() const {
+  std::vector<Entry> all = entries();
+  std::vector<std::string> out;
+  out.reserve(all.size());
+  for (Entry& entry : all) out.push_back(std::move(entry.name));
+  return out;
+}
+
+std::unique_ptr<IStrategy> make_strategy(const AttackSpec& spec) {
+  return StrategyRegistry::instance().make(spec);
+}
+
+}  // namespace raptee::adversary

@@ -1,0 +1,119 @@
+// IStrategy: the adversary's pluggable brain, factored out of the formerly
+// monolithic Coordinator (byzantine.hpp). The Coordinator keeps the shared
+// machinery — member/victim bookkeeping, the round-scoped push schedule,
+// the global-knowledge RNG — and delegates every behavioural decision to a
+// strategy:
+//
+//   * push-allocation policy   (plan_pushes: fills the round's flat schedule)
+//   * pull-target policy       (plan_pulls: where members send camouflage pulls)
+//   * pull-answer policy       (answers_pulls + answer_view: refuse, poison
+//                               or camouflage)
+//   * swap policy              (attach_bogus_swap)
+//   * per-round activation     (active: duty cycles / adaptive dormancy)
+//
+// Strategies are constructed from an AttackSpec by the StrategyRegistry, so
+// experiments select an adversary by name through the public scenario API
+// (ScenarioSpec::attack). The built-in catalog is registered on first
+// registry access; tests and downstream code may add their own.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "adversary/attack.hpp"
+#include "common/types.hpp"
+
+namespace raptee::adversary {
+
+class Coordinator;
+
+/// Behavioural policy driving a Coordinator. Hooks receive the Coordinator
+/// for shared state (members(), victims(), targeted(), config(), rng(),
+/// faulty_view_into()); all randomness must flow through coord.rng() so a
+/// (seed, spec) pair reproduces the attack bit-for-bit.
+class IStrategy {
+ public:
+  virtual ~IStrategy() = default;
+
+  [[nodiscard]] virtual std::string_view name() const = 0;
+
+  /// Whether the attack machinery runs this round (oscillating duty cycle).
+  /// Dormant rounds push nothing and answer pulls with camouflage views.
+  [[nodiscard]] virtual bool active(Round r) const {
+    (void)r;
+    return true;
+  }
+
+  /// Fills the round's flat push schedule: push j goes to schedule[j],
+  /// member of rank i owns slice [i·budget, (i+1)·budget). A schedule
+  /// shorter than members × budget wastes the tail budget (throttling).
+  virtual void plan_pushes(Round r, Coordinator& coord,
+                           std::vector<NodeId>& schedule) = 0;
+
+  /// Pull targets for one member this round. Default: pull_fanout uniform
+  /// draws over the correct population (camouflage + §VI-A harvesting).
+  virtual void plan_pulls(Coordinator& coord, std::vector<NodeId>& out);
+
+  /// False = members refuse to answer pull requests (omission attacker);
+  /// the engine counts each refusal as a suppressed leg.
+  [[nodiscard]] virtual bool answers_pulls(Round r) const {
+    (void)r;
+    return true;
+  }
+
+  /// The view advertised in pull answers. Default: k Byzantine IDs
+  /// (distinct while possible) — the poisoned answer of the balanced attack.
+  virtual void answer_view(Round r, Coordinator& coord, std::size_t k,
+                           std::vector<NodeId>& out);
+
+  /// Whether AuthConfirms carry a forged swap offer this round. Default:
+  /// the AttackConfig/AttackSpec flag.
+  [[nodiscard]] virtual bool attach_bogus_swap(Round r, const Coordinator& coord) const;
+
+  /// Whether this strategy attacks a victim subset — the experiment then
+  /// resolves AttackSpec::victim_fraction/victim_count into a concrete
+  /// targeted set (and attaches victim-centric metrics).
+  [[nodiscard]] virtual bool wants_victims() const { return false; }
+};
+
+/// Name → factory registry resolving AttackSpecs into strategies. Process
+/// global; the built-in catalog (balanced, eclipse, oscillating, omission,
+/// bogus_swap) is registered on first access. Thread-safe.
+class StrategyRegistry {
+ public:
+  using Factory = std::function<std::unique_ptr<IStrategy>(const AttackSpec&)>;
+
+  [[nodiscard]] static StrategyRegistry& instance();
+
+  /// Registers a strategy; throws std::invalid_argument on a duplicate or
+  /// empty name.
+  void add(std::string name, std::string summary, Factory factory);
+
+  [[nodiscard]] bool contains(const std::string& name) const;
+
+  /// Builds the strategy for `spec.strategy`; throws std::invalid_argument
+  /// for an unknown name (listing the registered ones).
+  [[nodiscard]] std::unique_ptr<IStrategy> make(const AttackSpec& spec) const;
+
+  struct Entry {
+    std::string name;
+    std::string summary;
+  };
+  /// All registered strategies, sorted by name.
+  [[nodiscard]] std::vector<Entry> entries() const;
+  [[nodiscard]] std::vector<std::string> names() const;
+
+ private:
+  StrategyRegistry();
+
+  struct Impl;
+  std::shared_ptr<Impl> impl_;
+};
+
+/// Convenience: StrategyRegistry::instance().make(spec).
+[[nodiscard]] std::unique_ptr<IStrategy> make_strategy(const AttackSpec& spec);
+
+}  // namespace raptee::adversary

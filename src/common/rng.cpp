@@ -60,13 +60,14 @@ double Rng::normal() {
   return u * factor;
 }
 
-std::vector<std::size_t> Rng::sample_indices(std::size_t n, std::size_t k) {
-  std::vector<std::size_t> out;
+void Rng::sample_indices_into(std::size_t n, std::size_t k,
+                              std::vector<std::size_t>& out) {
+  out.clear();
   if (k >= n) {
     out.resize(n);
     for (std::size_t i = 0; i < n; ++i) out[i] = i;
     shuffle(out);
-    return out;
+    return;
   }
   out.reserve(k);
   // Floyd's algorithm: iterate j over the top-k window; linear membership
@@ -80,6 +81,11 @@ std::vector<std::size_t> Rng::sample_indices(std::size_t n, std::size_t k) {
     out.push_back(present ? j : t);
   }
   shuffle(out);
+}
+
+std::vector<std::size_t> Rng::sample_indices(std::size_t n, std::size_t k) {
+  std::vector<std::size_t> out;
+  sample_indices_into(n, k, out);
   return out;
 }
 

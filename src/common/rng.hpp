@@ -128,6 +128,10 @@ class Rng {
   /// Samples k distinct indices from [0, n) uniformly (Floyd's algorithm,
   /// O(k) expected). Returns all of [0, n) when k >= n.
   [[nodiscard]] std::vector<std::size_t> sample_indices(std::size_t n, std::size_t k);
+  /// Scratch-filling form with identical draws: clears and fills `out`
+  /// (capacity persists across calls) — the hot-path variant behind the
+  /// adversary's per-exchange poisoned answers.
+  void sample_indices_into(std::size_t n, std::size_t k, std::vector<std::size_t>& out);
 
   /// Samples k elements without replacement from `v` (uniform subset, order
   /// randomised). Returns a copy of v shuffled when k >= v.size().

@@ -65,6 +65,7 @@ void ExperimentConfig::validate() const {
   RAPTEE_REQUIRE(stability_window >= 1, "stability window must be >= 1");
   RAPTEE_REQUIRE(engine_threads <= 4096,
                  "engine_threads implausibly large: " << engine_threads);
+  attack.validate();
   brahms.validate();
   eviction.validate();
   churn.validate();
@@ -113,13 +114,44 @@ ExperimentResult run_experiment(const ExperimentConfig& config,
   sim::Engine engine(engine_config);
 
   std::shared_ptr<adversary::Coordinator> coordinator;
+  std::vector<NodeId> victim_ids;
   if (!byz_ids.empty()) {
+    std::unique_ptr<adversary::IStrategy> strategy =
+        adversary::make_strategy(config.attack);
     adversary::AttackConfig attack;
     attack.push_budget_per_member = config.brahms.push_slice();
     attack.pull_fanout = config.brahms.pull_slice();
     attack.advertised_view_size = config.brahms.l1;
+    attack.attach_bogus_swap_offer = config.attack.attach_bogus_swap_offer;
+    if (strategy->wants_victims()) {
+      // Targeted set: drawn from the configured population slice (falling
+      // back to all correct nodes when the slice is empty); an explicit
+      // count wins over the fraction, and at least one victim is drawn.
+      // The draw uses a private seed-derived stream so the other random
+      // streams stay untouched.
+      std::vector<NodeId> pool;
+      using VictimKind = adversary::AttackSpec::VictimKind;
+      if (config.attack.victim_kind != VictimKind::kAny) {
+        const bool want_trusted = config.attack.victim_kind == VictimKind::kTrusted;
+        for (NodeId id : correct_ids) {
+          if (is_trusted(kinds[id.value]) == want_trusted) pool.push_back(id);
+        }
+      }
+      if (pool.empty()) pool = correct_ids;
+      std::size_t count =
+          config.attack.victim_count > 0
+              ? config.attack.victim_count
+              : static_cast<std::size_t>(std::lround(config.attack.victim_fraction *
+                                                     static_cast<double>(pool.size())));
+      count = std::min(std::max<std::size_t>(count, 1), pool.size());
+      Rng victim_rng(mix64(config.seed, 0x76637469ull));
+      victim_ids = victim_rng.sample(pool, count);
+      std::sort(victim_ids.begin(), victim_ids.end());
+      attack.targeted_victims = victim_ids;
+    }
     coordinator = std::make_shared<adversary::Coordinator>(
-        byz_ids, correct_ids, attack, mix64(config.seed, 0x636F6F72ull));
+        byz_ids, correct_ids, attack, mix64(config.seed, 0x636F6F72ull),
+        std::move(strategy));
   }
 
   const sgx::CycleModel cycle_model = sgx::CycleModel::paper_table1();
@@ -182,6 +214,13 @@ ExperimentResult run_experiment(const ExperimentConfig& config,
   engine.add_listener(&discovery);
   engine.add_listener(&trusted_telemetry);
 
+  std::unique_ptr<VictimTracker> victim_tracker;
+  if (!victim_ids.empty()) {
+    victim_tracker = std::make_unique<VictimTracker>(is_byz, victim_ids,
+                                                     config.attack.isolation_threshold);
+    engine.add_listener(victim_tracker.get());
+  }
+
   std::unique_ptr<adversary::IdentificationAttack> ident;
   if (config.run_identification && !byz_ids.empty()) {
     // Only genuinely honest trusted nodes are "trusted" ground truth: the
@@ -219,6 +258,8 @@ ExperimentResult run_experiment(const ExperimentConfig& config,
     const std::size_t honest_before = pollution.honest_series().size();
     const std::size_t trusted_before = pollution.trusted_series().size();
     const std::size_t knowledge_before = discovery.min_knowledge_series().size();
+    const std::size_t victim_before =
+        victim_tracker ? victim_tracker->pollution_series().size() : 0;
     engine.step();
     if (ident) {
       const auto eval = ident->evaluate(engine.now(), config.identification_threshold);
@@ -247,6 +288,12 @@ ExperimentResult run_experiment(const ExperimentConfig& config,
       snapshot.legs_dropped = engine.counters().legs_dropped;
       snapshot.legs_tampered = engine.counters().legs_tampered;
       snapshot.legs_corrupted = engine.counters().legs_corrupted;
+      snapshot.legs_suppressed = engine.counters().legs_suppressed;
+      if (victim_tracker) {
+        snapshot.victim_pollution = latest(victim_tracker->pollution_series(),
+                                           victim_before);
+      }
+      snapshot.attack_active = coordinator && coordinator->active();
       observer->on_round(snapshot, engine);
     }
   }
@@ -277,6 +324,19 @@ ExperimentResult run_experiment(const ExperimentConfig& config,
   result.legs_tampered = engine.counters().legs_tampered;
   result.legs_corrupted = engine.counters().legs_corrupted;
   result.wire_bytes = engine.counters().wire_bytes;
+
+  result.attack.strategy = config.attack.strategy;
+  result.attack.engaged = coordinator != nullptr &&
+                          (config.attack.strategy != "balanced" ||
+                           config.attack.attach_bogus_swap_offer || !victim_ids.empty());
+  result.attack.victims = victim_ids.size();
+  result.attack.legs_suppressed = engine.counters().legs_suppressed;
+  if (coordinator) result.attack.rounds_active = coordinator->rounds_active();
+  if (victim_tracker) {
+    result.attack.victim_pollution_series = victim_tracker->pollution_series();
+    result.attack.steady_victim_pollution = victim_tracker->steady_state_pollution();
+    result.attack.rounds_to_isolation = victim_tracker->isolation_round();
+  }
   if (observer) observer->on_run_end(result, engine);
   return result;
 }
@@ -306,6 +366,17 @@ RepeatedResult aggregate_runs(const ExperimentResult* results, std::size_t count
     agg.ident_best_precision.add(r.ident_best.precision);
     agg.ident_best_recall.add(r.ident_best.recall);
     agg.ident_best_f1.add(r.ident_best.f1);
+    if (r.attack.engaged) {
+      ++agg.attacked_runs;
+      agg.legs_suppressed.add(static_cast<double>(r.attack.legs_suppressed));
+    }
+    if (r.attack.victims > 0) {
+      agg.victim_pollution.add(r.attack.steady_victim_pollution);
+      if (r.attack.rounds_to_isolation) {
+        agg.isolation_round.add(static_cast<double>(*r.attack.rounds_to_isolation));
+        ++agg.isolation_reached;
+      }
+    }
   }
   return agg;
 }

@@ -14,8 +14,10 @@
 #pragma once
 
 #include <optional>
+#include <string>
 #include <vector>
 
+#include "adversary/attack.hpp"
 #include "adversary/identification.hpp"
 #include "brahms/auth.hpp"
 #include "brahms/params.hpp"
@@ -66,6 +68,9 @@ struct ExperimentConfig {
   double poisoned_extra_fraction = 0.0;  ///< injected poisoned-trusted, as fraction of n
 
   brahms::Params brahms{};                      ///< l1/l2/α/β/γ
+  /// The adversary: a registered strategy + parameters. The default
+  /// (`balanced`) reproduces the pre-registry hardcoded attack bit for bit.
+  adversary::AttackSpec attack{};
   core::EvictionSpec eviction = core::EvictionSpec::none();
   ChurnSpec churn = ChurnSpec::none();
   bool trusted_overlay = false;                 ///< D1 extension
@@ -108,6 +113,21 @@ struct ExperimentConfig {
   void validate() const;
 };
 
+/// Attack-side observables of one run. `engaged` is false for the default
+/// balanced attack with no extra knobs — results::to_json then omits the
+/// whole block, keeping default-run documents byte-identical to the
+/// pre-AttackSpec schema.
+struct AttackOutcome {
+  bool engaged = false;
+  std::string strategy = "balanced";   ///< resolved strategy name
+  std::size_t victims = 0;             ///< size of the targeted set
+  double steady_victim_pollution = 0.0;
+  std::vector<double> victim_pollution_series;  ///< mean victim pollution per round
+  std::optional<Round> rounds_to_isolation;     ///< all victims eclipsed
+  std::uint64_t legs_suppressed = 0;   ///< pulls the adversary refused to answer
+  std::uint64_t rounds_active = 0;     ///< rounds the strategy was on duty
+};
+
 struct ExperimentResult {
   double steady_pollution = 0.0;  ///< fraction of Byzantine IDs, steady state
   double steady_pollution_honest = 0.0;   ///< honest untrusted nodes only
@@ -128,6 +148,7 @@ struct ExperimentResult {
   std::uint64_t legs_tampered = 0;   ///< on-path flips (tamper_rate draws)
   std::uint64_t legs_corrupted = 0;  ///< legs the receiver rejected
   std::uint64_t wire_bytes = 0;      ///< serialized bytes put on the wire
+  AttackOutcome attack;              ///< adversary-side observables
 };
 
 /// Runs one experiment. `observer`, when given, receives one RoundSnapshot
@@ -149,6 +170,13 @@ struct RepeatedResult {
   RunningStats ident_best_precision;
   RunningStats ident_best_recall;
   RunningStats ident_best_f1;
+  /// Attack-side aggregates (samples only from runs whose attack engaged
+  /// the corresponding feature; all empty for default balanced runs).
+  RunningStats victim_pollution;   // steady-state victim pollution, runs with victims
+  RunningStats isolation_round;    // runs that reached full isolation
+  RunningStats legs_suppressed;    // runs with an engaged attack
+  std::size_t isolation_reached = 0;
+  std::size_t attacked_runs = 0;   // runs with attack.engaged
   std::size_t runs = 0;
   std::size_t discovery_reached = 0;
   std::size_t stability_reached = 0;

@@ -205,4 +205,42 @@ double TrustedTelemetryTracker::mean_trusted_ratio() const {
   return sum / static_cast<double>(trusted_ratios_.size());
 }
 
+VictimTracker::VictimTracker(std::function<bool(NodeId)> is_byzantine_id,
+                             std::vector<NodeId> victims, double isolation_threshold)
+    : is_byzantine_id_(std::move(is_byzantine_id)),
+      victims_(std::move(victims)),
+      isolation_threshold_(isolation_threshold) {
+  RAPTEE_REQUIRE(is_byzantine_id_, "VictimTracker needs a Byzantine oracle");
+  RAPTEE_REQUIRE(!victims_.empty(), "VictimTracker needs at least one victim");
+  RAPTEE_REQUIRE(isolation_threshold_ > 0.0 && isolation_threshold_ <= 1.0,
+                 "isolation threshold out of (0,1]: " << isolation_threshold_);
+}
+
+void VictimTracker::on_round_end(Round round, sim::Engine& engine) {
+  double sum = 0.0;
+  std::size_t alive = 0;
+  bool all_isolated = true;
+  for (NodeId id : victims_) {
+    if (!engine.is_alive(id)) continue;
+    ++alive;
+    const std::vector<NodeId> view = engine.node(id).current_view();
+    std::size_t byz = 0;
+    for (NodeId entry : view) {
+      if (is_byzantine_id_(entry)) ++byz;
+    }
+    const double share = view.empty()
+                             ? 0.0
+                             : static_cast<double>(byz) / static_cast<double>(view.size());
+    sum += share;
+    if (share < isolation_threshold_) all_isolated = false;
+  }
+  if (alive == 0) return;  // no observable victim; the snapshot reports 0
+  series_.push_back(sum / static_cast<double>(alive));
+  if (!isolation_round_ && all_isolated) isolation_round_ = round;
+}
+
+double VictimTracker::steady_state_pollution(std::size_t window) const {
+  return tail_mean(series_, window);
+}
+
 }  // namespace raptee::metrics

@@ -124,6 +124,36 @@ class DiscoveryTracker final : public sim::ITrafficListener {
   std::optional<Round> discovery_round_;
 };
 
+/// Victim-centric telemetry for targeted (eclipse) attacks: the mean
+/// Byzantine share of the victims' views per round, and the first round at
+/// which every alive victim is isolated — its view pollution at or above
+/// `isolation_threshold` (full eclipse success; Brahms' history sample
+/// keeps a γ·l1 slice the adversary cannot reach, so thresholds are
+/// denominated below 1.0).
+class VictimTracker final : public sim::ITrafficListener {
+ public:
+  VictimTracker(std::function<bool(NodeId)> is_byzantine_id,
+                std::vector<NodeId> victims, double isolation_threshold);
+
+  void on_round_end(Round round, sim::Engine& engine) override;
+
+  /// Mean victim view pollution per round; a round with no alive victim
+  /// appends nothing (the snapshot then reports 0).
+  [[nodiscard]] const std::vector<double>& pollution_series() const { return series_; }
+  /// First round every alive victim was isolated.
+  [[nodiscard]] std::optional<Round> isolation_round() const { return isolation_round_; }
+  /// Mean of the last `window` series entries (fraction).
+  [[nodiscard]] double steady_state_pollution(std::size_t window = 10) const;
+  [[nodiscard]] const std::vector<NodeId>& victims() const { return victims_; }
+
+ private:
+  std::function<bool(NodeId)> is_byzantine_id_;
+  std::vector<NodeId> victims_;
+  double isolation_threshold_;
+  std::vector<double> series_;
+  std::optional<Round> isolation_round_;
+};
+
 /// Average applied eviction rate and trusted-exchange ratio across trusted
 /// nodes, per round (diagnostics for the adaptive policy).
 class TrustedTelemetryTracker final : public sim::ITrafficListener {

@@ -3,38 +3,68 @@
 #include <cerrno>
 #include <cstdlib>
 
+#include "adversary/strategy.hpp"
 #include "common/assert.hpp"
 
 namespace raptee::scenario {
 
+std::uint64_t parse_u64(const char* what, const char* value, std::uint64_t min,
+                        std::uint64_t max) {
+  RAPTEE_REQUIRE(value != nullptr && *value != '\0',
+                 what << " must be an unsigned decimal integer, got an empty value");
+  for (const char* c = value; *c != '\0'; ++c) {
+    RAPTEE_REQUIRE(*c >= '0' && *c <= '9',
+                   what << " must be an unsigned decimal integer, got '" << value
+                        << "'");
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(value, &end, 10);
+  RAPTEE_REQUIRE(errno != ERANGE, what << "=" << value
+                                       << " does not fit in 64 bits");
+  const auto result = static_cast<std::uint64_t>(parsed);
+  RAPTEE_REQUIRE(result >= min && result <= max,
+                 what << "=" << value << " out of range [" << min << ", " << max
+                      << "]");
+  return result;
+}
+
+double parse_double(const char* what, const char* value, double min, double max) {
+  RAPTEE_REQUIRE(value != nullptr && *value != '\0',
+                 what << " must be a non-negative decimal number, got an empty value");
+  bool seen_dot = false;
+  bool seen_digit = false;
+  for (const char* c = value; *c != '\0'; ++c) {
+    if (*c == '.') {
+      RAPTEE_REQUIRE(!seen_dot, what << " has two decimal points: '" << value << "'");
+      seen_dot = true;
+      continue;
+    }
+    RAPTEE_REQUIRE(*c >= '0' && *c <= '9',
+                   what << " must be a non-negative decimal number, got '" << value
+                        << "'");
+    seen_digit = true;
+  }
+  RAPTEE_REQUIRE(seen_digit, what << " must contain a digit, got '" << value << "'");
+  errno = 0;
+  char* end = nullptr;
+  const double parsed = std::strtod(value, &end);
+  RAPTEE_REQUIRE(errno != ERANGE, what << "=" << value << " overflows a double");
+  RAPTEE_REQUIRE(parsed >= min && parsed <= max,
+                 what << "=" << value << " out of range [" << min << ", " << max
+                      << "]");
+  return parsed;
+}
+
 namespace {
 
-/// Strict decimal parse of an environment variable: digits only (no sign,
-/// no trailing garbage — `RAPTEE_BENCH_SEED=12abc` is an error, not a
-/// silent 12), range-checked against [min, max]. Unset returns `fallback`.
+/// Strict decimal parse of an environment variable (parse_u64 semantics);
+/// unset returns `fallback`.
 std::uint64_t env_u64(const char* name, std::uint64_t fallback, std::uint64_t min,
                       std::uint64_t max) {
   const char* value = std::getenv(name);
   if (!value) return fallback;
-  bool digits_only = *value != '\0';
-  for (const char* c = value; *c != '\0'; ++c) {
-    if (*c < '0' || *c > '9') {
-      digits_only = false;
-      break;
-    }
-  }
-  RAPTEE_REQUIRE(digits_only, name << " must be an unsigned decimal integer, got '"
-                                   << value << "'");
-  errno = 0;
-  char* end = nullptr;
-  const unsigned long long parsed = std::strtoull(value, &end, 10);
-  RAPTEE_REQUIRE(errno != ERANGE, name << "=" << value
-                                       << " does not fit in 64 bits");
-  const auto result = static_cast<std::uint64_t>(parsed);
-  RAPTEE_REQUIRE(result >= min && result <= max,
-                 name << "=" << value << " out of range [" << min << ", " << max
-                      << "]");
-  return result;
+  return parse_u64(name, value, min, max);
 }
 
 std::size_t env_size(const char* name, std::size_t fallback, std::size_t min = 1,
@@ -62,6 +92,12 @@ Knobs Knobs::from_env() {
   knobs.threads = env_size("RAPTEE_BENCH_THREADS", knobs.threads, 1, 4096);
   knobs.seed = env_u64("RAPTEE_BENCH_SEED", knobs.seed, 0, ~0ull);
   knobs.tamper_pct = env_size("RAPTEE_BENCH_TAMPER_PCT", knobs.tamper_pct, 0, 100);
+  if (const char* attack = std::getenv("RAPTEE_BENCH_ATTACK")) {
+    RAPTEE_REQUIRE(adversary::StrategyRegistry::instance().contains(attack),
+                   "RAPTEE_BENCH_ATTACK names an unregistered strategy: '" << attack
+                                                                           << "'");
+    knobs.attack = attack;
+  }
   return knobs;
 }
 
@@ -72,6 +108,7 @@ ScenarioSpec Knobs::base_spec() const {
       .rounds(rounds)
       .seed(seed)
       .adversary(0.0)
+      .attack(adversary::AttackSpec::named(attack))
       .auth_mode(brahms::AuthMode::kFingerprint);
 }
 

@@ -13,11 +13,25 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "scenario/spec.hpp"
 
 namespace raptee::scenario {
+
+/// Strict unsigned-decimal parse shared by the env knobs and example argv
+/// handling: digits only (no sign, no trailing garbage), range-checked
+/// against [min, max]. Throws std::invalid_argument with a message naming
+/// `what` on any violation.
+[[nodiscard]] std::uint64_t parse_u64(const char* what, const char* value,
+                                      std::uint64_t min, std::uint64_t max);
+
+/// Strict non-negative decimal parse (digits with an optional fractional
+/// part — "20", "12.5"; no sign, no exponent, no trailing garbage),
+/// range-checked against [min, max]. Throws std::invalid_argument.
+[[nodiscard]] double parse_double(const char* what, const char* value, double min,
+                                  double max);
 
 struct Knobs {
   bool full = false;
@@ -32,6 +46,10 @@ struct Knobs {
   /// Strongest tamper_rate point (percent) of the tamper-sweep bench;
   /// RAPTEE_BENCH_TAMPER_PCT accepts 0..100.
   std::size_t tamper_pct = 25;
+  /// Adversary strategy applied by base_spec(); RAPTEE_BENCH_ATTACK accepts
+  /// any name registered with adversary::StrategyRegistry (default
+  /// parameters via AttackSpec::named).
+  std::string attack = "balanced";
 
   /// Reads RAPTEE_BENCH_* from the environment (strict parse, see above).
   [[nodiscard]] static Knobs from_env();

@@ -48,6 +48,13 @@ struct RoundSnapshot {
   double eviction_rate = 0.0;
   double trusted_ratio = 0.0;
 
+  /// Mean victim view pollution this round (targeted attacks only; 0 when
+  /// the scenario has no victim set or no victim was alive this round).
+  double victim_pollution = 0.0;
+  /// Whether the adversary strategy was on duty this round (false when the
+  /// scenario has no Byzantine population; oscillating attackers toggle).
+  bool attack_active = false;
+
   /// Engine exchange counters, cumulative since round 0.
   std::uint64_t swaps_completed = 0;
   std::uint64_t pulls_completed = 0;
@@ -56,6 +63,7 @@ struct RoundSnapshot {
   std::uint64_t legs_dropped = 0;
   std::uint64_t legs_tampered = 0;   ///< on-path flips (tamper_rate)
   std::uint64_t legs_corrupted = 0;  ///< receiver-rejected legs
+  std::uint64_t legs_suppressed = 0; ///< pulls an omission adversary refused
 };
 
 /// Per-round streaming hook attached to Runner::run / metrics::run_experiment.

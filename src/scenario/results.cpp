@@ -33,6 +33,15 @@ std::optional<double> round_opt(const std::optional<Round>& round) {
   return static_cast<double>(*round);
 }
 
+const char* victim_kind_name(adversary::AttackSpec::VictimKind kind) {
+  switch (kind) {
+    case adversary::AttackSpec::VictimKind::kAny: return "any";
+    case adversary::AttackSpec::VictimKind::kHonest: return "honest";
+    case adversary::AttackSpec::VictimKind::kTrusted: return "trusted";
+  }
+  return "unknown";
+}
+
 }  // namespace
 
 std::string to_json(const Knobs& knobs) {
@@ -45,6 +54,34 @@ std::string to_json(const Knobs& knobs) {
       .field("threads", knobs.threads)
       .field("seed", knobs.seed)
       .field("tamper_pct", knobs.tamper_pct)
+      .field("attack", knobs.attack)
+      .str();
+}
+
+std::string to_json(const adversary::AttackSpec& attack) {
+  return JsonObject()
+      .field("strategy", attack.strategy)
+      .field("victim_fraction", attack.victim_fraction)
+      .field("victim_count", attack.victim_count)
+      .field("victim_kind", victim_kind_name(attack.victim_kind))
+      .field("push_cap_fraction", attack.push_cap_fraction)
+      .field("isolation_threshold", attack.isolation_threshold)
+      .field("on_rounds", static_cast<std::uint64_t>(attack.on_rounds))
+      .field("off_rounds", static_cast<std::uint64_t>(attack.off_rounds))
+      .field("attach_bogus_swap_offer", attack.attach_bogus_swap_offer)
+      .str();
+}
+
+std::string to_json(const metrics::AttackOutcome& attack) {
+  return JsonObject()
+      .field("strategy", attack.strategy)
+      .field("victims", attack.victims)
+      .field("steady_victim_pollution", attack.steady_victim_pollution)
+      .field("rounds_to_isolation", round_opt(attack.rounds_to_isolation))
+      .field("legs_suppressed", attack.legs_suppressed)
+      .field("rounds_active", attack.rounds_active)
+      .field_raw("victim_pollution_series",
+                 metrics::json_series(attack.victim_pollution_series))
       .str();
 }
 
@@ -75,6 +112,7 @@ std::string to_json(const metrics::ExperimentConfig& config) {
       .field("trusted_fraction", config.trusted_fraction)
       .field("poisoned_extra_fraction", config.poisoned_extra_fraction)
       .field_raw("brahms", brahms.str())
+      .field_raw("attack", to_json(config.attack))
       .field_raw("eviction", eviction.str())
       .field_raw("churn", churn.str())
       .field("trusted_overlay", config.trusted_overlay)
@@ -117,8 +155,8 @@ std::string to_json(const adversary::IdentificationResult& result) {
 }
 
 std::string to_json(const metrics::ExperimentResult& result) {
-  return JsonObject()
-      .field("steady_pollution", result.steady_pollution)
+  JsonObject doc;
+  doc.field("steady_pollution", result.steady_pollution)
       .field("steady_pollution_honest", result.steady_pollution_honest)
       .field("steady_pollution_trusted", result.steady_pollution_trusted)
       .field("discovery_round", round_opt(result.discovery_round))
@@ -138,13 +176,17 @@ std::string to_json(const metrics::ExperimentResult& result) {
       .field_raw("pollution_series_trusted",
                  metrics::json_series(result.pollution_series_trusted))
       .field_raw("min_knowledge_series",
-                 metrics::json_series(result.min_knowledge_series))
-      .str();
+                 metrics::json_series(result.min_knowledge_series));
+  // Attack-side observables exist only for a non-default adversary; omitting
+  // them otherwise keeps default-run result JSON byte-identical to the
+  // pre-AttackSpec schema (asserted by scenario_test_attack_determinism).
+  if (result.attack.engaged) doc.field_raw("attack", to_json(result.attack));
+  return doc.str();
 }
 
 std::string to_json(const metrics::RepeatedResult& result) {
-  return JsonObject()
-      .field("runs", result.runs)
+  JsonObject doc;
+  doc.field("runs", result.runs)
       .field("discovery_reached", result.discovery_reached)
       .field("stability_reached", result.stability_reached)
       .field_raw("pollution", to_json(result.pollution))
@@ -156,8 +198,22 @@ std::string to_json(const metrics::RepeatedResult& result) {
       .field_raw("trusted_ratio", to_json(result.trusted_ratio))
       .field_raw("ident_best_precision", to_json(result.ident_best_precision))
       .field_raw("ident_best_recall", to_json(result.ident_best_recall))
-      .field_raw("ident_best_f1", to_json(result.ident_best_f1))
-      .str();
+      .field_raw("ident_best_f1", to_json(result.ident_best_f1));
+  // Same conditional-omission rule as the single-run document: only runs
+  // with an engaged adversary contribute attack aggregates.
+  if (result.attacked_runs > 0 || result.victim_pollution.count() > 0) {
+    doc.field_raw("attack", JsonObject()
+                                .field("attacked_runs", result.attacked_runs)
+                                .field("isolation_reached", result.isolation_reached)
+                                .field_raw("victim_pollution",
+                                           to_json(result.victim_pollution))
+                                .field_raw("isolation_round",
+                                           to_json(result.isolation_round))
+                                .field_raw("legs_suppressed",
+                                           to_json(result.legs_suppressed))
+                                .str());
+  }
+  return doc.str();
 }
 
 std::string to_json(const metrics::ComparisonResult& result) {
@@ -175,7 +231,7 @@ std::string to_json(const metrics::ComparisonResult& result) {
 std::string experiment_document(const ScenarioSpec& spec,
                                 const metrics::ExperimentResult& result) {
   return JsonObject()
-      .field("schema", "raptee.scenario.experiment/2")
+      .field("schema", "raptee.scenario.experiment/3")
       .field("label", spec.label())
       .field_raw("config", to_json(spec.config()))
       .field_raw("result", to_json(result))
@@ -185,7 +241,7 @@ std::string experiment_document(const ScenarioSpec& spec,
 std::string repeated_document(const ScenarioSpec& spec, std::size_t reps,
                               const metrics::RepeatedResult& result) {
   return JsonObject()
-      .field("schema", "raptee.scenario.repeated/2")
+      .field("schema", "raptee.scenario.repeated/3")
       .field("label", spec.label())
       .field("reps", reps)
       .field_raw("config", to_json(spec.config()))
@@ -196,7 +252,7 @@ std::string repeated_document(const ScenarioSpec& spec, std::size_t reps,
 std::string comparison_document(const ScenarioSpec& spec, std::size_t reps,
                                 const metrics::ComparisonResult& result) {
   return JsonObject()
-      .field("schema", "raptee.scenario.comparison/2")
+      .field("schema", "raptee.scenario.comparison/3")
       .field("label", spec.label())
       .field("reps", reps)
       .field_raw("config", to_json(spec.config()))
@@ -221,7 +277,7 @@ std::string grid_document(const GridResult& sweep, std::size_t reps) {
     cells.item_raw(cell.str());
   }
   return JsonObject()
-      .field("schema", "raptee.scenario.grid/2")
+      .field("schema", "raptee.scenario.grid/3")
       .field("reps", reps)
       .field_raw("axes", axes.str())
       .field_raw("cells", cells.str())
@@ -254,7 +310,7 @@ BenchReport& BenchReport::set_timing(double wall_seconds, std::size_t threads,
 
 std::string BenchReport::document() const {
   JsonObject doc;
-  doc.field("schema", "raptee.bench/2")
+  doc.field("schema", "raptee.bench/3")
       .field("bench", bench_name_)
       .field_raw("knobs", knobs_json_);
   if (!timing_json_.empty()) doc.field_raw("timing", timing_json_);

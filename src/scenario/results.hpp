@@ -8,12 +8,18 @@
 // bench trajectory diffable.
 //
 // Document shapes ("schema" field, versioned):
-//   raptee.scenario.experiment/2  — one run: config + full result series
-//   raptee.scenario.repeated/2    — mean/σ aggregate over reps
-//   raptee.scenario.comparison/2  — RAPTEE vs Brahms at matched f
-//   raptee.scenario.grid/2        — axes + one aggregate per cell
-//   raptee.bench/2                — a figure bench: knobs + derived rows +
+//   raptee.scenario.experiment/3  — one run: config + full result series
+//   raptee.scenario.repeated/3    — mean/σ aggregate over reps
+//   raptee.scenario.comparison/3  — RAPTEE vs Brahms at matched f
+//   raptee.scenario.grid/3        — axes + one aggregate per cell
+//   raptee.bench/3                — a figure bench: knobs + derived rows +
 //                                   optional wall-clock timing
+//
+// /3 (AttackSpec): every config block gains an "attack" object (strategy +
+// parameters) and bench knobs gain "attack". Result blocks gain an "attack"
+// object (victim pollution series, rounds_to_isolation, legs_suppressed,
+// rounds_active) ONLY when the run's adversary deviates from the default
+// balanced attack — default-run *result* JSON is byte-identical to /2.
 #pragma once
 
 #include <string>
@@ -29,6 +35,8 @@ namespace raptee::scenario::results {
 
 // --- building blocks (JSON fragments, spliced with field_raw) ---
 [[nodiscard]] std::string to_json(const Knobs& knobs);
+[[nodiscard]] std::string to_json(const adversary::AttackSpec& attack);
+[[nodiscard]] std::string to_json(const metrics::AttackOutcome& attack);
 [[nodiscard]] std::string to_json(const metrics::ExperimentConfig& config);
 [[nodiscard]] std::string to_json(const RunningStats& stats);
 [[nodiscard]] std::string to_json(const metrics::ExperimentResult& result);

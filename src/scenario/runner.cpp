@@ -89,6 +89,34 @@ Grid& Grid::axis_eviction_pct(const std::vector<int>& percents) {
   return axis("eviction", std::move(points));
 }
 
+Grid& Grid::axis_attack(const std::vector<adversary::AttackSpec>& specs) {
+  std::vector<std::pair<std::string, adversary::AttackSpec>> labelled;
+  labelled.reserve(specs.size());
+  for (const adversary::AttackSpec& attack : specs) labelled.emplace_back(attack.strategy, attack);
+  return axis_attack(labelled);
+}
+
+Grid& Grid::axis_attack(
+    const std::vector<std::pair<std::string, adversary::AttackSpec>>& specs) {
+  std::vector<AxisPoint> points;
+  points.reserve(specs.size());
+  for (const auto& [label, attack] : specs) {
+    points.push_back({label, [attack](ScenarioSpec& spec) { spec.attack(attack); }});
+  }
+  return axis("attack", std::move(points));
+}
+
+Grid& Grid::axis_eviction(
+    const std::vector<std::pair<std::string, core::EvictionSpec>>& specs) {
+  std::vector<AxisPoint> points;
+  points.reserve(specs.size());
+  for (const auto& [label, eviction] : specs) {
+    points.push_back(
+        {label, [eviction](ScenarioSpec& spec) { spec.eviction(eviction); }});
+  }
+  return axis("eviction", std::move(points));
+}
+
 std::size_t Grid::size() const {
   std::size_t total = 1;
   for (const Axis& axis : axes_) total *= axis.points.size();

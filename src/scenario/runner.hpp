@@ -16,6 +16,7 @@
 #include <functional>
 #include <initializer_list>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "metrics/experiment.hpp"
@@ -48,6 +49,15 @@ class Grid {
   Grid& axis_adversary_pct(const std::vector<int>& percents);
   Grid& axis_trusted_pct(const std::vector<int>& percents);
   Grid& axis_eviction_pct(const std::vector<int>& percents);
+  /// Attack-strategy axis: one point per AttackSpec, labelled by strategy
+  /// name (the attack-matrix sweep dimension).
+  Grid& axis_attack(const std::vector<adversary::AttackSpec>& specs);
+  /// Same, with explicit labels (needed when one strategy appears twice
+  /// with different parameters, e.g. eclipse on honest vs trusted victims).
+  Grid& axis_attack(const std::vector<std::pair<std::string, adversary::AttackSpec>>& specs);
+  /// Eviction-policy axis with explicit labelled specs (e.g. none / fixed /
+  /// adaptive — richer than the fixed-percent axis).
+  Grid& axis_eviction(const std::vector<std::pair<std::string, core::EvictionSpec>>& specs);
 
   [[nodiscard]] const ScenarioSpec& base() const { return base_; }
   [[nodiscard]] const std::vector<Axis>& axes() const { return axes_; }

@@ -29,6 +29,14 @@ ScenarioSpec& ScenarioSpec::adversary(double fraction) {
   base_.byzantine_fraction = fraction;
   return *this;
 }
+ScenarioSpec& ScenarioSpec::attack(const adversary::AttackSpec& spec) {
+  base_.attack = spec;
+  return *this;
+}
+ScenarioSpec& ScenarioSpec::attack(const std::string& strategy_name) {
+  base_.attack = adversary::AttackSpec::named(strategy_name);
+  return *this;
+}
 ScenarioSpec& ScenarioSpec::poisoned_extra(double fraction) {
   base_.poisoned_extra_fraction = fraction;
   return *this;

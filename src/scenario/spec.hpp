@@ -46,6 +46,13 @@ class ScenarioSpec {
   /// Byzantine fraction f of the base population.
   ScenarioSpec& adversary(double fraction);
   ScenarioSpec& adversary_pct(int percent) { return adversary(percent / 100.0); }
+  /// Selects the adversary's behaviour: any strategy registered with
+  /// adversary::StrategyRegistry plus its parameters. The default
+  /// (AttackSpec::balanced()) is bit-identical to not calling attack().
+  ScenarioSpec& attack(const adversary::AttackSpec& spec);
+  /// Registered strategy name with its default parameters
+  /// (adversary::AttackSpec::named).
+  ScenarioSpec& attack(const std::string& strategy_name);
   /// Injected view-poisoned trusted nodes, as a fraction of the base
   /// population (the §VI-B injection attack).
   ScenarioSpec& poisoned_extra(double fraction);

@@ -132,6 +132,7 @@ struct Delivery {
 /// order once every shard finished.
 struct PushSlot {
   std::vector<Delivery> deliveries;
+  std::vector<NodeId> targets;  // per-sender scratch for push_targets
   std::uint64_t sent = 0;
   std::uint64_t dropped = 0;
 };
@@ -148,7 +149,8 @@ void Engine::deliver_pushes() {
     // Legacy sequential path: loss draws interleave on the engine stream.
     for (const NodeId id : alive_scratch_) {
       INode& sender = *nodes_[id.value];
-      for (NodeId target : sender.push_targets()) {
+      sender.push_targets(push_targets_scratch_);
+      for (NodeId target : push_targets_scratch_) {
         ++counters_.pushes_sent;
         if (config_.message_loss > 0.0 && rng_.chance(config_.message_loss)) {
           ++counters_.legs_dropped;
@@ -175,7 +177,8 @@ void Engine::deliver_pushes() {
       INode& sender = *nodes_[id.value];
       PushSlot& slot = slots[k];
       Rng loss_rng = phase_base.split(id.value);
-      for (NodeId target : sender.push_targets()) {
+      sender.push_targets(slot.targets);
+      for (NodeId target : slot.targets) {
         ++slot.sent;
         if (config_.message_loss > 0.0 && loss_rng.chance(config_.message_loss)) {
           ++slot.dropped;
@@ -284,6 +287,14 @@ bool Engine::run_exchange(INode& initiator, INode& responder) {
   // Leg 1: pull request (auth challenge).
   wire::Message leg = initiator.open_pull(resp_id);
   if (!transfer(leg, wire::MsgType::kPullRequest, /*forward=*/true)) return false;
+
+  // The request arrived but the responder refuses to answer (omission
+  // adversary): the initiator's slot times out without a leg-2 reply ever
+  // touching the wire, so this is suppression, not loss.
+  if (!responder.answers_pull(init_id)) {
+    ++counters_.legs_suppressed;
+    return false;
+  }
 
   // Leg 2: pull reply (auth response + full view).
   leg = responder.answer_pull(std::get<wire::PullRequest>(leg));

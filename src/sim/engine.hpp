@@ -118,6 +118,10 @@ class Engine {
     std::uint64_t pulls_completed = 0;
     std::uint64_t pulls_timed_out = 0;
     std::uint64_t swaps_completed = 0;
+    /// Pull requests the responder deliberately refused to answer (an
+    /// omission adversary); not counted in legs_dropped — nothing was on
+    /// the wire to lose.
+    std::uint64_t legs_suppressed = 0;
     std::uint64_t legs_dropped = 0;
     /// Legs the on-path adversary flipped a bit of (tamper_rate draws).
     std::uint64_t legs_tampered = 0;
@@ -163,6 +167,7 @@ class Engine {
   Counters counters_;
 
   std::vector<NodeId> alive_scratch_;        // reused by the round phases
+  std::vector<NodeId> push_targets_scratch_; // sequential push phase only
   std::unique_ptr<exec::ThreadPool> pool_;   // lazily built, push_threads != 1
 
   // Encrypted-link session cache (encrypt_links only) and the wire-path

@@ -47,6 +47,11 @@ class INode {
   /// Phase 2a: recipients of this round's push messages (duplicates allowed;
   /// Brahms samples targets with replacement).
   [[nodiscard]] virtual std::vector<NodeId> push_targets() = 0;
+  /// Scratch-filling variant used by the engine's hot loop: clears and
+  /// fills `out`, whose capacity persists across rounds. Default delegates
+  /// to the allocating form; nodes with precomputed schedules (the
+  /// adversary Coordinator's slices) override to avoid the per-node vector.
+  virtual void push_targets(std::vector<NodeId>& out) { out = push_targets(); }
   /// Phase 2b: the push payload (a node advertises an ID; honest nodes
   /// advertise their own, Byzantine nodes advertise any faulty ID).
   [[nodiscard]] virtual wire::PushMessage make_push() = 0;
@@ -55,6 +60,13 @@ class INode {
 
   /// Phase 3: pull exchange, in the leg order documented above.
   [[nodiscard]] virtual std::vector<NodeId> pull_targets() = 0;
+  /// Whether this node will answer a pull request from `requester` this
+  /// round. Honest nodes always answer; an omission adversary refuses —
+  /// the engine counts the suppressed leg and the initiator times out.
+  [[nodiscard]] virtual bool answers_pull(NodeId requester) {
+    (void)requester;
+    return true;
+  }
   [[nodiscard]] virtual wire::PullRequest open_pull(NodeId target) = 0;
   [[nodiscard]] virtual wire::PullReply answer_pull(const wire::PullRequest& request) = 0;
   [[nodiscard]] virtual wire::AuthConfirm process_pull_reply(const wire::PullReply& reply) = 0;

@@ -1,0 +1,142 @@
+// AttackSpec validation, the named-constructor catalog, and the strategy
+// registry: membership, unknown-name diagnostics, and end-to-end use of a
+// custom registered strategy through the public scenario API.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+
+#include "adversary/byzantine.hpp"
+#include "adversary/strategy.hpp"
+#include "scenario/scenario.hpp"
+
+namespace raptee::adversary {
+namespace {
+
+TEST(AttackSpec, DefaultIsBalancedAndValid) {
+  const AttackSpec spec;
+  EXPECT_EQ(spec.strategy, "balanced");
+  EXPECT_NO_THROW(spec.validate());
+  EXPECT_FALSE(spec.attach_bogus_swap_offer);
+}
+
+TEST(AttackSpec, NamedConstructorsSelectTheirStrategies) {
+  EXPECT_EQ(AttackSpec::balanced().strategy, "balanced");
+  EXPECT_EQ(AttackSpec::eclipse(0.1).strategy, "eclipse");
+  EXPECT_EQ(AttackSpec::eclipse(0.1).victim_fraction, 0.1);
+  EXPECT_EQ(AttackSpec::oscillating(4, 12).on_rounds, 4u);
+  EXPECT_EQ(AttackSpec::oscillating(4, 12).off_rounds, 12u);
+  EXPECT_EQ(AttackSpec::omission().strategy, "omission");
+  EXPECT_TRUE(AttackSpec::bogus_swap().attach_bogus_swap_offer);
+  // named() round-trips every builtin.
+  for (const char* name :
+       {"balanced", "eclipse", "oscillating", "omission", "bogus_swap"}) {
+    EXPECT_EQ(AttackSpec::named(name).strategy, name);
+    EXPECT_NO_THROW(AttackSpec::named(name).validate());
+  }
+}
+
+TEST(AttackSpec, ValidationRejectsBadParameters) {
+  AttackSpec spec;
+  spec.strategy = "definitely-not-registered";
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+
+  spec = AttackSpec::eclipse(1.5);
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+
+  spec = AttackSpec::eclipse(0.1);
+  spec.push_cap_fraction = -0.1;
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+
+  spec = AttackSpec::eclipse(0.1);
+  spec.isolation_threshold = 0.0;
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+
+  spec = AttackSpec::oscillating(0, 8);
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+
+  spec = AttackSpec{};
+  spec.strategy.clear();
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+}
+
+TEST(StrategyRegistry, BuiltinsAreRegisteredAndSorted) {
+  auto& registry = StrategyRegistry::instance();
+  for (const char* name :
+       {"balanced", "eclipse", "oscillating", "omission", "bogus_swap"}) {
+    EXPECT_TRUE(registry.contains(name)) << name;
+  }
+  EXPECT_FALSE(registry.contains("nope"));
+  const auto entries = registry.entries();
+  ASSERT_GE(entries.size(), 5u);
+  for (std::size_t i = 1; i < entries.size(); ++i) {
+    EXPECT_LT(entries[i - 1].name, entries[i].name) << "entries not sorted";
+    EXPECT_FALSE(entries[i].summary.empty());
+  }
+}
+
+TEST(StrategyRegistry, UnknownStrategyThrowsWithCatalog) {
+  AttackSpec spec;
+  spec.strategy = "unknown-strategy";
+  try {
+    (void)make_strategy(spec);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("unknown-strategy"), std::string::npos);
+    EXPECT_NE(what.find("balanced"), std::string::npos) << "should list the catalog";
+  }
+}
+
+TEST(StrategyRegistry, DuplicateRegistrationRejected) {
+  EXPECT_THROW(
+      StrategyRegistry::instance().add(
+          "balanced", "dup",
+          [](const AttackSpec&) { return make_strategy(AttackSpec::balanced()); }),
+      std::invalid_argument);
+}
+
+/// A registered-from-outside strategy: balanced planning, but pushes only
+/// on even rounds. Exercises the full custom-strategy path: registration →
+/// AttackSpec::named → ScenarioSpec::attack → engaged telemetry.
+class EvenRoundsStrategy final : public IStrategy {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "test_even_rounds"; }
+  [[nodiscard]] bool active(Round r) const override { return r % 2 == 0; }
+  void plan_pushes(Round r, Coordinator& coord,
+                   std::vector<NodeId>& schedule) override {
+    schedule.clear();
+    if (!active(r) || coord.victims().empty() ||
+        coord.config().push_budget_per_member == 0) {
+      return;
+    }
+    const std::size_t total =
+        coord.members().size() * coord.config().push_budget_per_member;
+    for (std::size_t j = 0; j < total; ++j) {
+      schedule.push_back(coord.victims()[j % coord.victims().size()]);
+    }
+  }
+};
+
+TEST(StrategyRegistry, CustomStrategyRunsThroughTheScenarioApi) {
+  auto& registry = StrategyRegistry::instance();
+  if (!registry.contains("test_even_rounds")) {
+    registry.add("test_even_rounds", "test-only: attacks even rounds",
+                 [](const AttackSpec&) { return std::make_unique<EvenRoundsStrategy>(); });
+  }
+  const auto result = scenario::ScenarioSpec()
+                          .population(96)
+                          .view_size(12)
+                          .rounds(20)
+                          .adversary(0.2)
+                          .attack("test_even_rounds")
+                          .seed(3)
+                          .run();
+  EXPECT_TRUE(result.attack.engaged);
+  EXPECT_EQ(result.attack.strategy, "test_even_rounds");
+  EXPECT_EQ(result.attack.rounds_active, 10u);  // even rounds of 20
+  EXPECT_GT(result.steady_pollution, 0.0);
+}
+
+}  // namespace
+}  // namespace raptee::adversary

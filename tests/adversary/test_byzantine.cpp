@@ -6,6 +6,8 @@
 #include <map>
 #include <set>
 
+#include "adversary/strategy.hpp"
+
 namespace raptee::adversary {
 namespace {
 
@@ -161,6 +163,188 @@ TEST(ByzantineNode, PullFanoutMatchesConfig) {
   ByzantineNode node(NodeId{100}, coord, 6);
   node.begin_round(0);
   EXPECT_EQ(node.pull_targets().size(), 8u);
+}
+
+// ---------------------------------------------------------------- slices
+
+TEST(Coordinator, PushSliceAndScratchOverloadMatchAllocation) {
+  const auto members = ids(100, 6);
+  Coordinator coord(members, ids(0, 30), basic_attack(), 21);
+  coord.begin_round(0);
+  std::vector<NodeId> scratch;
+  for (NodeId m : members) {
+    const auto allocated = coord.push_allocation(m);
+    const auto slice = coord.push_slice(m);
+    EXPECT_TRUE(std::equal(allocated.begin(), allocated.end(), slice.begin(),
+                           slice.end()));
+    coord.push_allocation(m, scratch);
+    EXPECT_EQ(scratch, allocated);
+  }
+  // The scratch keeps its capacity across refills (the zero-allocation
+  // contract of the hot path).
+  coord.push_allocation(members[0], scratch);
+  const auto capacity = scratch.capacity();
+  coord.begin_round(1);
+  coord.push_allocation(members[0], scratch);
+  EXPECT_EQ(scratch.capacity(), capacity);
+}
+
+TEST(ByzantineNode, ScratchPushTargetsMatchesAllocatingForm) {
+  auto coord = std::make_shared<Coordinator>(ids(100, 4), ids(0, 20), basic_attack(), 22);
+  ByzantineNode node(NodeId{102}, coord, 7);
+  node.begin_round(0);
+  std::vector<NodeId> scratch;
+  node.push_targets(scratch);
+  EXPECT_EQ(scratch, node.push_targets());
+}
+
+// ----------------------------------------------- victims under churn
+
+TEST(Coordinator, SetVictimsRedirectsNextRoundsSchedule) {
+  // A victim dies mid-eclipse: the experiment layer narrows the victim
+  // set; from the next planned round on, pushes stop targeting the dead
+  // node. Rejoin restores it the same way.
+  AttackConfig config = basic_attack();
+  Coordinator coord(ids(100, 5), ids(0, 10), config, 31);
+  coord.begin_round(0);
+
+  coord.set_victims(ids(1, 9));  // node 0 crashed
+  coord.begin_round(1);
+  for (NodeId m : ids(100, 5)) {
+    for (NodeId t : coord.push_allocation(m)) EXPECT_NE(t, NodeId{0});
+  }
+
+  coord.set_victims(ids(0, 10));  // node 0 rejoined
+  bool targeted_again = false;
+  for (Round r = 2; r < 12 && !targeted_again; ++r) {
+    coord.begin_round(r);
+    for (NodeId m : ids(100, 5)) {
+      for (NodeId t : coord.push_allocation(m)) {
+        if (t == NodeId{0}) targeted_again = true;
+      }
+    }
+  }
+  EXPECT_TRUE(targeted_again) << "rejoined victim never re-targeted";
+}
+
+TEST(Coordinator, SetTargetedNarrowsEclipseMidRun) {
+  AttackConfig config = basic_attack();
+  config.targeted_victims = ids(0, 2);
+  Coordinator coord(ids(100, 5), ids(0, 40), config, 32);
+  coord.begin_round(0);
+  for (NodeId t : coord.push_allocation(NodeId{100})) EXPECT_LT(t.value, 2u);
+
+  coord.set_targeted(ids(1, 1));  // victim 0 died mid-eclipse
+  coord.begin_round(1);
+  for (NodeId m : ids(100, 5)) {
+    for (NodeId t : coord.push_allocation(m)) EXPECT_EQ(t, NodeId{1});
+  }
+
+  coord.set_targeted({});  // all victims gone: fall back to the full pool
+  coord.begin_round(2);
+  std::set<std::uint32_t> seen;
+  for (NodeId m : ids(100, 5)) {
+    for (NodeId t : coord.push_allocation(m)) seen.insert(t.value);
+  }
+  EXPECT_GT(seen.size(), 2u) << "schedule did not widen back to the victim pool";
+}
+
+// ---------------------------------------------------------- strategies
+
+std::shared_ptr<Coordinator> make_coordinator(const AttackSpec& spec,
+                                              AttackConfig config,
+                                              std::uint64_t seed = 77) {
+  if (spec.strategy == "eclipse") config.targeted_victims = ids(0, 2);
+  config.attach_bogus_swap_offer = spec.attach_bogus_swap_offer;
+  return std::make_shared<Coordinator>(ids(100, 5), ids(0, 20), config, seed,
+                                       make_strategy(spec));
+}
+
+TEST(Strategies, OmissionRefusesPullsAndPushesNothing) {
+  auto coord = make_coordinator(AttackSpec::omission(), basic_attack());
+  ByzantineNode node(NodeId{100}, coord, 1);
+  node.begin_round(0);
+  EXPECT_FALSE(node.answers_pull(NodeId{5}));
+  EXPECT_TRUE(node.push_targets().empty());
+  // Camouflage pulls still go out (the adversary keeps harvesting).
+  EXPECT_EQ(node.pull_targets().size(), 8u);
+}
+
+TEST(Strategies, BalancedAnswersPullsAndPushes) {
+  auto coord = make_coordinator(AttackSpec::balanced(), basic_attack());
+  ByzantineNode node(NodeId{100}, coord, 1);
+  node.begin_round(0);
+  EXPECT_TRUE(node.answers_pull(NodeId{5}));
+  EXPECT_EQ(node.push_targets().size(), 8u);
+}
+
+TEST(Strategies, OscillatingFollowsItsDutyCycle) {
+  auto coord = make_coordinator(AttackSpec::oscillating(3, 2), basic_attack());
+  ByzantineNode node(NodeId{100}, coord, 1);
+  std::uint64_t active_rounds = 0;
+  for (Round r = 0; r < 10; ++r) {
+    node.begin_round(r);
+    const bool pushes = !node.push_targets().empty();
+    const bool expect_active = (r % 5) < 3;
+    EXPECT_EQ(pushes, expect_active) << "round " << r;
+    if (expect_active) ++active_rounds;
+  }
+  EXPECT_EQ(coord->rounds_active(), active_rounds);
+}
+
+TEST(Strategies, OscillatingCamouflagesAnswersOffDuty) {
+  auto coord = make_coordinator(AttackSpec::oscillating(1, 1), basic_attack());
+  ByzantineNode node(NodeId{100}, coord, 1);
+
+  node.begin_round(0);  // on duty: poisoned answer, all members
+  auto reply = node.answer_pull(wire::PullRequest{NodeId{5}, {}});
+  for (NodeId id : reply.view) EXPECT_TRUE(coord->is_member(id));
+
+  node.begin_round(1);  // off duty: camouflage answer, all correct IDs
+  reply = node.answer_pull(wire::PullRequest{NodeId{5}, {}});
+  EXPECT_EQ(reply.view.size(), 20u);
+  for (NodeId id : reply.view) EXPECT_FALSE(coord->is_member(id));
+}
+
+TEST(Strategies, EclipseCapsPerVictimPushesAndSpendsTheRest) {
+  AttackSpec spec = AttackSpec::eclipse();
+  spec.push_cap_fraction = 0.25;  // cap = 2 of budget 8
+  auto coord = make_coordinator(spec, basic_attack());
+  coord->begin_round(0);
+  std::map<std::uint32_t, int> hits;
+  std::size_t total = 0;
+  for (NodeId m : ids(100, 5)) {
+    for (NodeId t : coord->push_allocation(m)) {
+      ++hits[t.value];
+      ++total;
+    }
+  }
+  // Focused pushes: victims 0 and 1 get cap = 2 each; the rest of the
+  // 5 x 8 budget is spent as balanced background over all correct nodes.
+  EXPECT_EQ(total, 40u);
+  EXPECT_GE(hits[0], 2);
+  EXPECT_GE(hits[1], 2);
+  std::size_t outside = 0;
+  std::set<std::uint32_t> outside_nodes;
+  for (const auto& [id, count] : hits) {
+    if (id >= 2) {
+      outside += static_cast<std::size_t>(count);
+      outside_nodes.insert(id);
+    }
+  }
+  // 36 background pushes round-robin over all 20 correct nodes (the two
+  // focused victims also appear in the background rotation).
+  EXPECT_GE(outside, 30u);
+  EXPECT_EQ(outside_nodes.size(), 18u);
+}
+
+TEST(Strategies, BogusSwapAlwaysAttachesOffers) {
+  auto coord = make_coordinator(AttackSpec::bogus_swap(), basic_attack());
+  ByzantineNode node(NodeId{100}, coord, 1);
+  node.begin_round(0);
+  const auto confirm = node.process_pull_reply(wire::PullReply{NodeId{5}, {}, {}});
+  ASSERT_TRUE(confirm.swap_offer.has_value());
+  for (NodeId id : *confirm.swap_offer) EXPECT_TRUE(coord->is_member(id));
 }
 
 }  // namespace

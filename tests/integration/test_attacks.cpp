@@ -94,5 +94,93 @@ TEST(InjectionAttackE2E, PoisonedNodesStillCountAsTrustedSwapPartners) {
   EXPECT_GT(result.swaps_completed, 0u);
 }
 
+/// The pluggable-attack scenarios (ScenarioSpec::attack) — every strategy
+/// end-to-end through the public front door.
+scenario::ScenarioSpec catalog_spec() {
+  return scenario::ScenarioSpec()
+      .population(150)
+      .adversary(0.2)
+      .trusted(0.2)
+      .view_size(20)
+      .rounds(40)
+      .seed(77);
+}
+
+TEST(AttackCatalogE2E, EclipseVictimsSinkBelowThePopulation) {
+  // §VI via BASALT's lens: a focused adversary hurts its victims far more
+  // than the balanced attack hurts the average node.
+  adversary::AttackSpec eclipse = adversary::AttackSpec::eclipse(0.1);
+  eclipse.victim_kind = adversary::AttackSpec::VictimKind::kHonest;
+  const auto result =
+      catalog_spec().attack(eclipse).eviction(core::EvictionSpec::none()).run();
+  ASSERT_TRUE(result.attack.engaged);
+  ASSERT_GT(result.attack.victims, 0u);
+  ASSERT_EQ(result.attack.victim_pollution_series.size(), 40u);
+  EXPECT_GT(result.attack.steady_victim_pollution, result.steady_pollution);
+}
+
+TEST(AttackCatalogE2E, AdaptiveEvictionProtectsTrustedEclipseVictims) {
+  adversary::AttackSpec eclipse = adversary::AttackSpec::eclipse(0.25);
+  eclipse.victim_kind = adversary::AttackSpec::VictimKind::kTrusted;
+  const auto undefended =
+      catalog_spec().attack(eclipse).eviction(core::EvictionSpec::none()).run();
+  const auto defended =
+      catalog_spec().attack(eclipse).eviction(core::EvictionSpec::adaptive()).run();
+  EXPECT_GT(undefended.attack.steady_victim_pollution,
+            defended.attack.steady_victim_pollution);
+}
+
+TEST(AttackCatalogE2E, OmissionSuppressesLegsAndStarvesLiveness) {
+  const auto balanced = catalog_spec().run();
+  const auto omission = catalog_spec().attack("omission").run();
+  EXPECT_EQ(balanced.attack.legs_suppressed, 0u);
+  EXPECT_GT(omission.attack.legs_suppressed, 0u);
+  // Refused answers burn initiator slots: fewer completed pulls than under
+  // the balanced attack, and much cleaner views (the attacker contributes
+  // no poison).
+  EXPECT_LT(omission.pulls_completed, balanced.pulls_completed);
+  EXPECT_LT(omission.steady_pollution, balanced.steady_pollution);
+}
+
+TEST(AttackCatalogE2E, OscillatingAttackerIsOnDutyPartTime) {
+  const auto result = catalog_spec().attack(adversary::AttackSpec::oscillating(8, 8)).run();
+  ASSERT_TRUE(result.attack.engaged);
+  EXPECT_GT(result.attack.rounds_active, 0u);
+  EXPECT_LT(result.attack.rounds_active, 40u);
+  // Bursts still pollute, but less than the always-on balanced attack.
+  const auto balanced = catalog_spec().run();
+  EXPECT_GT(result.steady_pollution, 0.0);
+  EXPECT_LT(result.steady_pollution, balanced.steady_pollution);
+}
+
+TEST(AttackCatalogE2E, BogusSwapOffersDoNotBreakTheSwapDefence) {
+  // Byzantine confirms carrying forged swap offers must not create swaps
+  // (the offerer cannot prove group membership) nor blow up pollution
+  // relative to the plain balanced attack.
+  const auto balanced = catalog_spec().run();
+  const auto bogus = catalog_spec().attack("bogus_swap").run();
+  EXPECT_TRUE(bogus.attack.engaged);
+  EXPECT_LT(bogus.steady_pollution, balanced.steady_pollution * 1.25 + 0.02);
+}
+
+TEST(AttackCatalogE2E, EclipseSurvivesVictimChurn) {
+  // Victims die mid-eclipse and rejoin later; the run must stay coherent
+  // (victim series only covers rounds with an alive victim) and telemetry
+  // engaged throughout.
+  metrics::ChurnSpec churn = metrics::ChurnSpec::steady(0.05, /*downtime=*/5);
+  churn.from = 10;
+  churn.until = 20;
+  const auto result = catalog_spec()
+                          .attack(adversary::AttackSpec::eclipse(0.15))
+                          .churn(churn)
+                          .eviction(core::EvictionSpec::adaptive())
+                          .run();
+  ASSERT_TRUE(result.attack.engaged);
+  EXPECT_GT(result.attack.victims, 0u);
+  EXPECT_LE(result.attack.victim_pollution_series.size(), 40u);
+  EXPECT_GE(result.attack.victim_pollution_series.size(), 30u);
+  EXPECT_GT(result.attack.steady_victim_pollution, 0.0);
+}
+
 }  // namespace
 }  // namespace raptee

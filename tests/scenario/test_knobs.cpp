@@ -15,10 +15,11 @@
 namespace raptee::scenario {
 namespace {
 
-const char* const kVars[] = {"RAPTEE_BENCH_FULL",    "RAPTEE_BENCH_N",
-                             "RAPTEE_BENCH_L1",      "RAPTEE_BENCH_ROUNDS",
-                             "RAPTEE_BENCH_REPS",    "RAPTEE_BENCH_THREADS",
-                             "RAPTEE_BENCH_SEED",    "RAPTEE_BENCH_TAMPER_PCT"};
+const char* const kVars[] = {"RAPTEE_BENCH_FULL",       "RAPTEE_BENCH_N",
+                             "RAPTEE_BENCH_L1",         "RAPTEE_BENCH_ROUNDS",
+                             "RAPTEE_BENCH_REPS",       "RAPTEE_BENCH_THREADS",
+                             "RAPTEE_BENCH_SEED",       "RAPTEE_BENCH_TAMPER_PCT",
+                             "RAPTEE_BENCH_ATTACK"};
 
 /// Clears every RAPTEE_BENCH_* variable for the test and restores the
 /// ambient values afterwards (CI exports RAPTEE_BENCH_THREADS, so the
@@ -137,6 +138,33 @@ TEST_F(KnobsEnvFixture, TamperPctParsesWithinItsPercentRange) {
   EXPECT_THROW((void)Knobs::from_env(), std::invalid_argument);
   set("RAPTEE_BENCH_TAMPER_PCT", "25%");
   EXPECT_THROW((void)Knobs::from_env(), std::invalid_argument);
+}
+
+TEST_F(KnobsEnvFixture, AttackKnobSelectsRegisteredStrategies) {
+  EXPECT_EQ(Knobs::from_env().attack, "balanced");  // default
+  set("RAPTEE_BENCH_ATTACK", "eclipse");
+  const Knobs knobs = Knobs::from_env();
+  EXPECT_EQ(knobs.attack, "eclipse");
+  EXPECT_EQ(knobs.base_spec().config().attack.strategy, "eclipse");
+  set("RAPTEE_BENCH_ATTACK", "not-a-strategy");
+  EXPECT_THROW((void)Knobs::from_env(), std::invalid_argument);
+  set("RAPTEE_BENCH_ATTACK", "");
+  EXPECT_THROW((void)Knobs::from_env(), std::invalid_argument);
+}
+
+TEST_F(KnobsEnvFixture, SharedArgvParsersAreStrict) {
+  // The same strict parsers back the examples' argv handling.
+  EXPECT_EQ(parse_u64("N", "600", 8, 1000000), 600u);
+  EXPECT_THROW((void)parse_u64("N", "-600", 8, 1000000), std::invalid_argument);
+  EXPECT_THROW((void)parse_u64("N", "600x", 8, 1000000), std::invalid_argument);
+  EXPECT_THROW((void)parse_u64("N", "4", 8, 1000000), std::invalid_argument);
+  EXPECT_EQ(parse_double("f%", "12.5", 0.0, 100.0), 12.5);
+  EXPECT_EQ(parse_double("f%", "20", 0.0, 100.0), 20.0);
+  EXPECT_THROW((void)parse_double("f%", "-3", 0.0, 100.0), std::invalid_argument);
+  EXPECT_THROW((void)parse_double("f%", "1e3", 0.0, 100.0), std::invalid_argument);
+  EXPECT_THROW((void)parse_double("f%", "101", 0.0, 100.0), std::invalid_argument);
+  EXPECT_THROW((void)parse_double("f%", "1.2.3", 0.0, 100.0), std::invalid_argument);
+  EXPECT_THROW((void)parse_double("f%", ".", 0.0, 100.0), std::invalid_argument);
 }
 
 }  // namespace

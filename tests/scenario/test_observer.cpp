@@ -117,6 +117,55 @@ TEST(ScenarioObserver, FixedEvictionRateIsStreamedPerRound) {
   }
 }
 
+TEST(ScenarioObserver, AttackSnapshotsStreamVictimSeriesAndSuppression) {
+  // Eclipse: per-round victim pollution in the snapshot IS the final
+  // series, bit for bit, and the attack stays on duty every round.
+  adversary::AttackSpec eclipse = adversary::AttackSpec::eclipse(0.2);
+  RecordingObserver observer;
+  const auto result = Runner().run(
+      test::Scenario().adversary(0.2).trusted_share(0.3).attack(eclipse).rounds(24),
+      &observer);
+  ASSERT_EQ(observer.snapshots.size(), 24u);
+  ASSERT_EQ(result.attack.victim_pollution_series.size(), 24u);
+  for (Round r = 0; r < 24; ++r) {
+    EXPECT_TRUE(bit_equal(observer.snapshots[r].victim_pollution,
+                          result.attack.victim_pollution_series[r]))
+        << "victim pollution diverged at round " << r;
+    EXPECT_TRUE(observer.snapshots[r].attack_active);
+  }
+
+  // Omission: the cumulative suppression counter streams per round and
+  // ends at the result total.
+  RecordingObserver omission_observer;
+  const auto omission = Runner().run(
+      test::Scenario().adversary(0.2).attack("omission").rounds(16), &omission_observer);
+  ASSERT_EQ(omission_observer.snapshots.size(), 16u);
+  for (Round r = 1; r < 16; ++r) {
+    EXPECT_GE(omission_observer.snapshots[r].legs_suppressed,
+              omission_observer.snapshots[r - 1].legs_suppressed);
+  }
+  EXPECT_EQ(omission_observer.snapshots.back().legs_suppressed,
+            omission.attack.legs_suppressed);
+
+  // Oscillating: attack_active follows the duty cycle.
+  RecordingObserver duty_observer;
+  (void)Runner().run(
+      test::Scenario().adversary(0.2).attack(adversary::AttackSpec::oscillating(4, 4)).rounds(16),
+      &duty_observer);
+  for (Round r = 0; r < 16; ++r) {
+    EXPECT_EQ(duty_observer.snapshots[r].attack_active, (r % 8) < 4) << "round " << r;
+  }
+
+  // No adversary: the attack is never active.
+  RecordingObserver idle_observer;
+  (void)Runner().run(test::Scenario().adversary(0.0).rounds(8), &idle_observer);
+  for (const RoundSnapshot& snapshot : idle_observer.snapshots) {
+    EXPECT_FALSE(snapshot.attack_active);
+    EXPECT_EQ(snapshot.legs_suppressed, 0u);
+    EXPECT_TRUE(bit_equal(snapshot.victim_pollution, 0.0));
+  }
+}
+
 TEST(ScenarioObserver, AttachingAnObserverDoesNotPerturbTheRun) {
   const ScenarioSpec spec =
       test::Scenario().adversary(0.3).trusted_share(0.2).eviction_pct(100).churn(true);

@@ -45,12 +45,35 @@ TEST(ResultsJson, RepeatedDocumentIsBitIdenticalAcrossRuns) {
 TEST(ResultsJson, DocumentsCarryProvenance) {
   const ScenarioSpec spec = fixed_spec();
   const std::string doc = results::experiment_document(spec, spec.run());
-  EXPECT_NE(doc.find("\"schema\":\"raptee.scenario.experiment/2\""), std::string::npos);
+  EXPECT_NE(doc.find("\"schema\":\"raptee.scenario.experiment/3\""), std::string::npos);
   EXPECT_NE(doc.find("\"label\":\"roundtrip-fixture\""), std::string::npos);
   EXPECT_NE(doc.find("\"seed\":20220308"), std::string::npos);
   EXPECT_NE(doc.find("\"byzantine_fraction\":0.2"), std::string::npos);
   EXPECT_NE(doc.find("\"rounds\":32"), std::string::npos);
   EXPECT_NE(doc.find("\"pollution_series\":["), std::string::npos);
+  // /3: the config always carries the attack spec...
+  EXPECT_NE(doc.find("\"attack\":{\"strategy\":\"balanced\""), std::string::npos);
+  // ...but a default balanced run's RESULT block stays attack-free.
+  EXPECT_EQ(doc.find("\"victim_pollution_series\""), std::string::npos);
+  EXPECT_EQ(doc.find("\"legs_suppressed\""), std::string::npos);
+}
+
+TEST(ResultsJson, EngagedAttackEmitsResultTelemetry) {
+  const ScenarioSpec spec = fixed_spec().attack(adversary::AttackSpec::eclipse(0.1));
+  const std::string doc = results::experiment_document(spec, spec.run());
+  EXPECT_TRUE(metrics::json_valid(doc));
+  EXPECT_NE(doc.find("\"attack\":{\"strategy\":\"eclipse\""), std::string::npos);
+  EXPECT_NE(doc.find("\"victim_pollution_series\":["), std::string::npos);
+  EXPECT_NE(doc.find("\"rounds_to_isolation\""), std::string::npos);
+  EXPECT_NE(doc.find("\"legs_suppressed\""), std::string::npos);
+
+  // Aggregated documents carry the attack block too.
+  const Runner runner(2);
+  const std::string repeated =
+      results::repeated_document(spec, 2, runner.run_repeated(spec, 2));
+  EXPECT_TRUE(metrics::json_valid(repeated));
+  EXPECT_NE(repeated.find("\"attack\":{\"attacked_runs\":2"), std::string::npos);
+  EXPECT_NE(repeated.find("\"victim_pollution\":{"), std::string::npos);
 }
 
 TEST(ResultsJson, ComparisonDocumentParses) {
@@ -80,7 +103,7 @@ TEST(ResultsJson, GridDocumentIndexesCellsRowMajor) {
 
   const std::string doc = results::grid_document(sweep, 1);
   EXPECT_TRUE(metrics::json_valid(doc));
-  EXPECT_NE(doc.find("\"schema\":\"raptee.scenario.grid/2\""), std::string::npos);
+  EXPECT_NE(doc.find("\"schema\":\"raptee.scenario.grid/3\""), std::string::npos);
   EXPECT_NE(doc.find("adversary=f=10%"), std::string::npos);
 
   // Determinism holds for grids too.

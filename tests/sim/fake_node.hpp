@@ -30,6 +30,10 @@ class FakeNode : public INode {
     ++pushes_seen_this_round;
   }
   std::vector<NodeId> pull_targets() override { return pull_targets_; }
+  bool answers_pull(NodeId requester) override {
+    pull_refusal_checks.push_back(requester);
+    return !refuse_pulls;
+  }
   wire::PullRequest open_pull(NodeId target) override {
     last_pull_target = target;
     return wire::PullRequest{id_, {}};
@@ -66,6 +70,7 @@ class FakeNode : public INode {
   std::vector<NodeId> pull_targets_;
   bool offer_on_reply = false;
   bool answer_swaps = false;
+  bool refuse_pulls = false;  ///< omission: refuse every incoming pull
 
   // Recorded activity.
   int bootstraps = 0;
@@ -80,6 +85,7 @@ class FakeNode : public INode {
   std::vector<NodeId> confirms_received;
   std::vector<NodeId> swap_replies;
   std::vector<NodeId> timeouts;
+  std::vector<NodeId> pull_refusal_checks;
   NodeId last_pull_target;
 
  private:

@@ -118,6 +118,31 @@ TEST_F(CountersFixture, SameSeedReproducesEveryCounterBitForBit) {
   }
 }
 
+TEST_F(CountersFixture, RefusedPullsCountAsSuppressedNotDropped) {
+  EngineConfig config;
+  config.seed = 17;
+  Engine engine = make_engine(config);
+  // Three omission nodes: every pull aimed at them is refused after leg 1.
+  fakes[0]->refuse_pulls = true;
+  fakes[4]->refuse_pulls = true;
+  fakes[8]->refuse_pulls = true;
+  const Engine::Counters c = run(engine);
+
+  // Each refusing node is pulled by its two ring neighbours every round.
+  EXPECT_EQ(c.legs_suppressed, 3u * 2 * kRounds);
+  EXPECT_EQ(c.pulls_timed_out, c.legs_suppressed);
+  EXPECT_EQ(c.pulls_completed + c.pulls_timed_out, c.pulls_started);
+  // Suppression is not loss: nothing was on the wire to drop.
+  EXPECT_EQ(c.legs_dropped, 0u);
+  EXPECT_EQ(c.legs_corrupted, 0u);
+
+  // Initiators observed the refusals as pull timeouts.
+  EXPECT_EQ(fakes[1]->timeouts.size(), kRounds);  // pulls node 0 once per round
+  // The refusing node was consulted, not skipped.
+  EXPECT_EQ(fakes[0]->pull_refusal_checks.size(), 2 * kRounds);
+  EXPECT_TRUE(fakes[0]->pull_requests_answered.empty());
+}
+
 TEST_F(CountersFixture, DifferentSeedsShuffleTheLossPattern) {
   EngineConfig config;
   config.seed = 15;

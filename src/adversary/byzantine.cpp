@@ -63,10 +63,15 @@ void Coordinator::push_allocation(NodeId member, std::vector<NodeId>& out) const
   out.assign(slice.begin(), slice.end());
 }
 
-std::vector<NodeId> Coordinator::pull_targets(NodeId /*member*/) {
+std::vector<NodeId> Coordinator::pull_targets(NodeId member) {
   std::vector<NodeId> out;
-  strategy_->plan_pulls(*this, out);
+  pull_targets(member, out);
   return out;
+}
+
+void Coordinator::pull_targets(NodeId /*member*/, std::vector<NodeId>& out) {
+  out.clear();
+  strategy_->plan_pulls(*this, out);
 }
 
 bool Coordinator::answers_pulls() const {
@@ -144,6 +149,10 @@ void ByzantineNode::on_push(const wire::PushMessage& /*push*/) {}
 
 std::vector<NodeId> ByzantineNode::pull_targets() {
   return coordinator_->pull_targets(self_);
+}
+
+void ByzantineNode::pull_targets(std::vector<NodeId>& out) {
+  coordinator_->pull_targets(self_, out);
 }
 
 wire::PullRequest ByzantineNode::open_pull(NodeId /*target*/) {

@@ -79,6 +79,10 @@ class Coordinator {
   /// Pull targets for `member` this round (strategy policy; balanced:
   /// uniform over victims).
   [[nodiscard]] std::vector<NodeId> pull_targets(NodeId member);
+  /// Scratch-filling form (same draws): clears and fills `out`. Draws on
+  /// the shared coordinator rng — callers serialize (the engine runs
+  /// Byzantine nodes on the coordinating thread in every sharded phase).
+  void pull_targets(NodeId member, std::vector<NodeId>& out);
 
   /// Whether members answer pull requests at all this round (the omission
   /// strategy refuses; the engine counts suppressed legs).
@@ -155,6 +159,7 @@ class ByzantineNode final : public sim::INode {
   [[nodiscard]] wire::PushMessage make_push() override;
   void on_push(const wire::PushMessage& push) override;
   [[nodiscard]] std::vector<NodeId> pull_targets() override;
+  void pull_targets(std::vector<NodeId>& out) override;
   [[nodiscard]] wire::PullRequest open_pull(NodeId target) override;
   [[nodiscard]] bool answers_pull(NodeId requester) override;
   [[nodiscard]] wire::PullReply answer_pull(const wire::PullRequest& request) override;
@@ -164,6 +169,11 @@ class ByzantineNode final : public sim::INode {
   void process_swap_reply(const wire::SwapReply& reply) override;
   void end_round(Round r) override;
   [[nodiscard]] std::vector<NodeId> current_view() const override;
+  /// Byzantine nodes opt out of the engine's SoA view slab: their "view"
+  /// is the whole member list (synthetic, unbounded by l1) and is excluded
+  /// from every honest-side metric.
+  [[nodiscard]] std::size_t view_capacity() const override { return 0; }
+  std::size_t copy_view(NodeId*, std::size_t) const override { return 0; }
 
  private:
   NodeId self_;

@@ -62,11 +62,16 @@ void BrahmsNode::begin_round(Round /*r*/) {
 
 std::vector<NodeId> BrahmsNode::push_targets() {
   std::vector<NodeId> targets;
-  if (view_.empty()) return targets;
-  const std::size_t fanout = config_.params.push_slice();
-  targets.reserve(fanout);
-  for (std::size_t i = 0; i < fanout; ++i) targets.push_back(view_.pick_id(rng_));
+  push_targets(targets);
   return targets;
+}
+
+void BrahmsNode::push_targets(std::vector<NodeId>& out) {
+  out.clear();
+  if (view_.empty()) return;
+  const std::size_t fanout = config_.params.push_slice();
+  out.reserve(fanout);
+  for (std::size_t i = 0; i < fanout; ++i) out.push_back(view_.pick_id(rng_));
 }
 
 wire::PushMessage BrahmsNode::make_push() { return wire::PushMessage{self_}; }
@@ -78,11 +83,16 @@ void BrahmsNode::on_push(const wire::PushMessage& push) {
 
 std::vector<NodeId> BrahmsNode::pull_targets() {
   std::vector<NodeId> targets;
-  if (view_.empty()) return targets;
-  const std::size_t fanout = config_.params.pull_slice();
-  targets.reserve(fanout);
-  for (std::size_t i = 0; i < fanout; ++i) targets.push_back(view_.pick_id(rng_));
+  pull_targets(targets);
   return targets;
+}
+
+void BrahmsNode::pull_targets(std::vector<NodeId>& out) {
+  out.clear();
+  if (view_.empty()) return;
+  const std::size_t fanout = config_.params.pull_slice();
+  out.reserve(fanout);
+  for (std::size_t i = 0; i < fanout; ++i) out.push_back(view_.pick_id(rng_));
 }
 
 wire::PullRequest BrahmsNode::open_pull(NodeId target) {

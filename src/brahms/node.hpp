@@ -67,9 +67,11 @@ class BrahmsNode : public sim::INode {
   void bootstrap(const std::vector<NodeId>& initial_peers) override;
   void begin_round(Round r) override;
   [[nodiscard]] std::vector<NodeId> push_targets() override;
+  void push_targets(std::vector<NodeId>& out) override;
   [[nodiscard]] wire::PushMessage make_push() override;
   void on_push(const wire::PushMessage& push) override;
   [[nodiscard]] std::vector<NodeId> pull_targets() override;
+  void pull_targets(std::vector<NodeId>& out) override;
   [[nodiscard]] wire::PullRequest open_pull(NodeId target) override;
   [[nodiscard]] wire::PullReply answer_pull(const wire::PullRequest& request) override;
   [[nodiscard]] wire::AuthConfirm process_pull_reply(const wire::PullReply& reply) override;
@@ -79,6 +81,11 @@ class BrahmsNode : public sim::INode {
   void on_pull_timeout(NodeId target) override;
   void end_round(Round r) override;
   [[nodiscard]] std::vector<NodeId> current_view() const override { return view_.ids(); }
+  /// The dynamic view has fixed capacity l1 — a constant slab-slot bound.
+  [[nodiscard]] std::size_t view_capacity() const override { return view_.capacity(); }
+  std::size_t copy_view(NodeId* out, std::size_t cap) const override {
+    return view_.copy_ids(out, cap);
+  }
 
   // --- public API (peer-sampling service surface) ---
   /// Uniform samples accumulated by the sampling component.

@@ -1,0 +1,185 @@
+// Chunked arena allocator for per-round scratch storage.
+//
+// The engine's hot loop produces short-lived, trivially-copyable staging
+// data every round — push delivery lists, pending pull pairs, shard merge
+// tables — whose lifetime ends exactly at the next round boundary. An
+// Arena serves those with bump-pointer allocation out of geometrically
+// growing chunks: reset() rewinds the bump cursor but RETAINS every chunk,
+// so after the first few rounds have grown the arena to its high-water
+// mark, a round performs zero heap allocations (asserted end to end by
+// sim_test_engine_zero_alloc).
+//
+// The arena is single-owner by design: one bump cursor, no synchronization.
+// Sharded engine phases therefore keep per-node slots in persistent
+// per-slot vectors (capacity amortizes the same way) and reserve the arena
+// for the coordinating thread's merge/staging structures.
+//
+// Idiom references: fixed-capacity structures per plasmaraygun__RSE
+// FixedStructures.h, chunked pools per ytsaurus row_buffer.cpp.
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace raptee {
+
+class Arena {
+ public:
+  /// `min_chunk_bytes` sizes the first chunk; later chunks grow
+  /// geometrically so n bytes of live scratch occupy O(log n) chunks.
+  explicit Arena(std::size_t min_chunk_bytes = 4096)
+      : min_chunk_(min_chunk_bytes ? min_chunk_bytes : 1) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+  Arena(Arena&&) = default;
+  Arena& operator=(Arena&&) = default;
+
+  /// Bump-allocates `bytes` aligned to `align` (a power of two). The block
+  /// is valid until the next reset(); nothing is ever individually freed.
+  [[nodiscard]] void* allocate(std::size_t bytes,
+                               std::size_t align = alignof(std::max_align_t)) {
+    RAPTEE_ASSERT_MSG(align != 0 && (align & (align - 1)) == 0,
+                      "arena alignment must be a power of two");
+    if (bytes == 0) bytes = 1;
+    while (current_ < chunks_.size()) {
+      Chunk& chunk = chunks_[current_];
+      // Align the absolute address, not the chunk-relative offset: a chunk
+      // base is only max_align_t-aligned, so offset alignment alone would
+      // under-align any stricter request.
+      const std::uintptr_t base = reinterpret_cast<std::uintptr_t>(chunk.data.get());
+      const std::size_t aligned = align_up(base + offset_, align) - base;
+      if (aligned <= chunk.size && bytes <= chunk.size - aligned) {
+        offset_ = aligned + bytes;
+        allocated_ += bytes;
+        return chunk.data.get() + aligned;
+      }
+      // Exhausted: move on. Retained chunks are revisited after reset().
+      ++current_;
+      offset_ = 0;
+    }
+    // Need a fresh chunk: geometric growth, but never smaller than the
+    // request (+ alignment slack, since a fresh chunk's base is only
+    // max_align_t-aligned).
+    std::size_t want = min_chunk_;
+    for (std::size_t i = 0; i < chunks_.size() && want < (std::size_t{1} << 30); ++i) {
+      want *= 2;
+    }
+    const std::size_t slack = align > alignof(std::max_align_t) ? align : 0;
+    if (want < bytes + slack) want = bytes + slack;
+    chunks_.push_back(Chunk{std::make_unique<std::byte[]>(want), want});
+    capacity_ += want;
+    current_ = chunks_.size() - 1;
+    Chunk& chunk = chunks_.back();
+    const std::size_t aligned =
+        align_up(reinterpret_cast<std::uintptr_t>(chunk.data.get()), align) -
+        reinterpret_cast<std::uintptr_t>(chunk.data.get());
+    offset_ = aligned + bytes;
+    allocated_ += bytes;
+    return chunk.data.get() + aligned;
+  }
+
+  /// Typed form: an uninitialized array of `count` Ts.
+  template <typename T>
+  [[nodiscard]] T* allocate_array(std::size_t count) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "arena memory is never destructed");
+    return static_cast<T*>(allocate(count * sizeof(T), alignof(T)));
+  }
+
+  /// Rewinds the bump cursor to the first chunk, RETAINING all chunks: the
+  /// steady-state round path re-serves the same memory with zero heap
+  /// traffic. Outstanding blocks are invalidated.
+  void reset() {
+    current_ = 0;
+    offset_ = 0;
+    allocated_ = 0;
+  }
+
+  /// Frees every chunk (capacity drops to zero).
+  void release() {
+    chunks_.clear();
+    capacity_ = 0;
+    reset();
+  }
+
+  /// Bytes handed out since the last reset (alignment padding excluded).
+  [[nodiscard]] std::size_t bytes_allocated() const { return allocated_; }
+  /// Total bytes owned across chunks (the retained high-water footprint).
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] std::size_t chunk_count() const { return chunks_.size(); }
+
+ private:
+  struct Chunk {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t size = 0;
+  };
+
+  static constexpr std::size_t align_up(std::size_t value, std::size_t align) {
+    return (value + align - 1) & ~(align - 1);
+  }
+
+  std::size_t min_chunk_;
+  std::vector<Chunk> chunks_;
+  std::size_t current_ = 0;   // chunk the bump cursor lives in
+  std::size_t offset_ = 0;    // cursor within that chunk
+  std::size_t allocated_ = 0;
+  std::size_t capacity_ = 0;
+};
+
+/// Minimal vector over arena storage for trivially-copyable payloads (the
+/// engine's Delivery/PendingPull staging records). Growth relocates into a
+/// fresh arena block; the abandoned block is reclaimed wholesale by the
+/// next Arena::reset(). Not a std::vector replacement — no erase, no
+/// non-trivial element support — just the shape the round loop needs:
+/// push_back, indexing (Rng::shuffle works on it), iteration, clear.
+template <typename T>
+class ArenaVector {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "ArenaVector relocates with memcpy");
+  static_assert(std::is_trivially_destructible_v<T>,
+                "arena memory is never destructed");
+
+ public:
+  explicit ArenaVector(Arena& arena) : arena_(&arena) {}
+
+  void reserve(std::size_t n) {
+    if (n > capacity_) grow_to(n);
+  }
+
+  void push_back(const T& value) {
+    if (size_ == capacity_) grow_to(capacity_ ? capacity_ * 2 : 8);
+    data_[size_++] = value;
+  }
+
+  void clear() { size_ = 0; }
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  [[nodiscard]] T& operator[](std::size_t i) { return data_[i]; }
+  [[nodiscard]] const T& operator[](std::size_t i) const { return data_[i]; }
+  [[nodiscard]] T* begin() { return data_; }
+  [[nodiscard]] T* end() { return data_ + size_; }
+  [[nodiscard]] const T* begin() const { return data_; }
+  [[nodiscard]] const T* end() const { return data_ + size_; }
+
+ private:
+  void grow_to(std::size_t n) {
+    T* fresh = arena_->allocate_array<T>(n);
+    if (size_ != 0) std::memcpy(fresh, data_, size_ * sizeof(T));
+    data_ = fresh;
+    capacity_ = n;
+  }
+
+  Arena* arena_;
+  T* data_ = nullptr;
+  std::size_t size_ = 0;
+  std::size_t capacity_ = 0;
+};
+
+}  // namespace raptee

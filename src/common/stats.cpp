@@ -69,14 +69,19 @@ double stddev_of(const std::vector<double>& xs) {
 
 double percentile_of(std::vector<double> xs, double p) {
   RAPTEE_REQUIRE(!xs.empty(), "percentile of empty sample");
-  RAPTEE_REQUIRE(p >= 0.0 && p <= 100.0, "percentile p must be in [0,100], got " << p);
   std::sort(xs.begin(), xs.end());
-  if (xs.size() == 1) return xs.front();
-  const double rank = p / 100.0 * static_cast<double>(xs.size() - 1);
+  return percentile_of_sorted(xs, p);
+}
+
+double percentile_of_sorted(std::span<const double> sorted, double p) {
+  RAPTEE_REQUIRE(!sorted.empty(), "percentile of empty sample");
+  RAPTEE_REQUIRE(p >= 0.0 && p <= 100.0, "percentile p must be in [0,100], got " << p);
+  if (sorted.size() == 1) return sorted.front();
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
   const auto lo = static_cast<std::size_t>(rank);
   const double frac = rank - static_cast<double>(lo);
-  if (lo + 1 >= xs.size()) return xs.back();
-  return xs[lo] * (1.0 - frac) + xs[lo + 1] * frac;
+  if (lo + 1 >= sorted.size()) return sorted.back();
+  return sorted[lo] * (1.0 - frac) + sorted[lo + 1] * frac;
 }
 
 double median_of(std::vector<double> xs) { return percentile_of(std::move(xs), 50.0); }

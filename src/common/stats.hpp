@@ -3,6 +3,7 @@
 #pragma once
 
 #include <cstddef>
+#include <span>
 #include <vector>
 
 namespace raptee {
@@ -40,8 +41,15 @@ class RunningStats {
 /// Batch helpers (copy-and-sort; intended for end-of-run reporting).
 [[nodiscard]] double mean_of(const std::vector<double>& xs);
 [[nodiscard]] double stddev_of(const std::vector<double>& xs);
-/// Linear-interpolated percentile, p in [0, 100].
+/// Linear-interpolated percentile, p in [0, 100]. Copies and sorts the
+/// sample on every call — fine for a single percentile. Multi-percentile
+/// report paths (median + p10/p90 style) should sort the series once and
+/// use percentile_of_sorted for each cut instead of paying k copies and
+/// k sorts.
 [[nodiscard]] double percentile_of(std::vector<double> xs, double p);
+/// Percentile over an ALREADY ascending-sorted sample: same interpolation
+/// rule (and bit-identical result) as percentile_of, O(1) per cut.
+[[nodiscard]] double percentile_of_sorted(std::span<const double> sorted, double p);
 [[nodiscard]] double median_of(std::vector<double> xs);
 
 }  // namespace raptee

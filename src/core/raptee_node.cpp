@@ -31,14 +31,13 @@ void RapteeNode::begin_round(Round r) {
   if (unbiaser_) unbiaser_->next_round();
 }
 
-std::vector<NodeId> RapteeNode::pull_targets() {
-  std::vector<NodeId> targets = BrahmsNode::pull_targets();
+void RapteeNode::pull_targets(std::vector<NodeId>& out) {
+  BrahmsNode::pull_targets(out);
   if (config_.trusted_overlay) {
     // D1 extension: one standing exchange with the oldest known trusted
     // peer (framework tail selection over the trusted sub-overlay).
-    if (const auto peer = trusted_store_.oldest()) targets.push_back(*peer);
+    if (const auto peer = trusted_store_.oldest()) out.push_back(*peer);
   }
-  return targets;
 }
 
 std::optional<std::vector<NodeId>> RapteeNode::make_swap_offer(NodeId peer) {

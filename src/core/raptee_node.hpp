@@ -61,7 +61,11 @@ class RapteeNode : public brahms::BrahmsNode {
              std::function<bool(NodeId)> alive_probe = {});
 
   void begin_round(Round r) override;
-  [[nodiscard]] std::vector<NodeId> pull_targets() override;
+  /// Scratch form only: the allocating INode::pull_targets() reaches this
+  /// through BrahmsNode's delegating base implementation (un-hidden here,
+  /// since declaring the one-argument override would otherwise shadow it).
+  using brahms::BrahmsNode::pull_targets;
+  void pull_targets(std::vector<NodeId>& out) override;
 
   [[nodiscard]] const sgx::Enclave& enclave() const { return *enclave_; }
   [[nodiscard]] const TrustedStore& trusted_store() const { return trusted_store_; }

@@ -13,6 +13,18 @@ std::vector<NodeId> PartialView::ids() const {
   return out;
 }
 
+std::size_t PartialView::copy_ids(NodeId* out, std::size_t cap) const {
+  const std::size_t n = entries_.size() < cap ? entries_.size() : cap;
+  for (std::size_t i = 0; i < n; ++i) out[i] = entries_[i].id;
+  return n;
+}
+
+void PartialView::ids_into(std::vector<NodeId>& out) const {
+  out.clear();
+  if (out.capacity() < entries_.size()) out.reserve(entries_.size());
+  for (const auto& e : entries_) out.push_back(e.id);
+}
+
 bool PartialView::contains(NodeId id) const {
   return std::any_of(entries_.begin(), entries_.end(),
                      [id](const ViewEntry& e) { return e.id == id; });

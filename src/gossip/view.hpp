@@ -24,7 +24,13 @@ struct ViewEntry {
 class PartialView {
  public:
   PartialView() = default;
-  explicit PartialView(std::size_t capacity) : capacity_(capacity) {}
+  /// A fixed-capacity view preallocates its entry storage inline: the
+  /// entry vector never reallocates during protocol operation, which keeps
+  /// per-round view maintenance off the heap (the SoA engine slab depends
+  /// on capacity() being a round-stable bound).
+  explicit PartialView(std::size_t capacity) : capacity_(capacity) {
+    entries_.reserve(capacity);
+  }
 
   [[nodiscard]] std::size_t capacity() const { return capacity_; }
   [[nodiscard]] std::size_t size() const { return entries_.size(); }
@@ -32,6 +38,11 @@ class PartialView {
   [[nodiscard]] bool full() const { return entries_.size() >= capacity_; }
   [[nodiscard]] const std::vector<ViewEntry>& entries() const { return entries_; }
   [[nodiscard]] std::vector<NodeId> ids() const;
+  /// Allocation-free forms of ids() for hot paths: copy at most `cap` ids
+  /// into `out`, returning the count written — the shape Engine::
+  /// refresh_views consumes — or clear-and-fill a scratch vector.
+  std::size_t copy_ids(NodeId* out, std::size_t cap) const;
+  void ids_into(std::vector<NodeId>& out) const;
   [[nodiscard]] bool contains(NodeId id) const;
 
   /// Increments every entry's age (once per round).

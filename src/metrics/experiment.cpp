@@ -110,7 +110,7 @@ ExperimentResult run_experiment(const ExperimentConfig& config,
   engine_config.message_loss = config.message_loss;
   engine_config.tamper_rate = config.tamper_rate;
   engine_config.link_sessions = config.link_sessions;
-  engine_config.push_threads = config.engine_threads;
+  engine_config.threads = config.engine_threads;
   sim::Engine engine(engine_config);
 
   std::shared_ptr<adversary::Coordinator> coordinator;
@@ -185,21 +185,25 @@ ExperimentResult run_experiment(const ExperimentConfig& config,
   }
 
   // --- bootstrap: uniform global sample; poisoned nodes get faulty views ---
-  std::vector<NodeId> everyone;
-  everyone.reserve(total);
-  for (std::uint32_t i = 0; i < total; ++i) everyone.emplace_back(i);
+  // Index-remap draw: the population is the dense id range [0, total), so
+  // "everyone minus self" is reproduced by sampling j from [0, total-1)
+  // and bumping past self's own index — the same draws (sample ==
+  // sample_indices + lookup) as the legacy per-node candidates copy,
+  // without its O(n²) bootstrap cost.
   Rng bootstrap_rng(mix64(config.seed, 0x626F6F74ull));
+  std::vector<std::size_t> draw_scratch;
   engine.bootstrap_with([&](NodeId self, NodeKind kind) -> std::vector<NodeId> {
     if (kind == NodeKind::kByzantine) return {};
     if (kind == NodeKind::kPoisonedTrusted && coordinator) {
       return adversary::poisoned_bootstrap(*coordinator, config.brahms.l1);
     }
-    std::vector<NodeId> candidates;
-    candidates.reserve(total - 1);
-    for (NodeId peer : everyone) {
-      if (peer != self) candidates.push_back(peer);
+    bootstrap_rng.sample_indices_into(total - 1, config.brahms.l1, draw_scratch);
+    std::vector<NodeId> view;
+    view.reserve(draw_scratch.size());
+    for (const std::size_t j : draw_scratch) {
+      view.emplace_back(static_cast<std::uint32_t>(j >= self.value ? j + 1 : j));
     }
-    return bootstrap_rng.sample(candidates, config.brahms.l1);
+    return view;
   });
 
   // --- trackers ---

@@ -99,12 +99,15 @@ struct ExperimentConfig {
   /// observable results are identical either way).
   bool link_sessions = true;
 
-  /// Engine-internal parallelism (sim::EngineConfig::push_threads): 1 =
-  /// legacy sequential rounds (the default), 0 = shard over hardware
-  /// concurrency, n > 1 = shard over n workers. Opting in (any value != 1)
-  /// switches the push phase to splittable per-node random streams, so
-  /// sharded runs differ from legacy runs — but are bit-identical across
-  /// worker counts and machines. ScenarioSpec::threads() sets this.
+  /// Engine-internal parallelism (sim::EngineConfig::threads): 1 = legacy
+  /// sequential rounds (the default), 0 = shard over hardware concurrency,
+  /// n > 1 = shard over n workers. Shards every round phase except the
+  /// serial exchange legs. Opting in (any value != 1) switches push-loss
+  /// draws to splittable per-node random streams, so lossy sharded runs
+  /// differ from legacy runs — but are bit-identical across worker counts
+  /// and machines; every other phase (and any lossless run) is bit-
+  /// identical to the sequential path too. ScenarioSpec::threads() sets
+  /// this.
   std::size_t engine_threads = 1;
 
   [[nodiscard]] std::size_t byzantine_count() const;

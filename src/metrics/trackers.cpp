@@ -26,11 +26,17 @@ void PollutionTracker::on_round_end(Round round, sim::Engine& engine) {
   double smoothed_sum = 0.0;
   double honest_sum = 0.0, trusted_sum = 0.0;
   std::size_t honest_count = 0, trusted_count = 0;
-  std::vector<double> smoothed;
+  std::vector<double>& smoothed = smoothed_scratch_;
+  smoothed.clear();
   bool all_warm = true;
 
-  for (NodeId id : engine.alive_ids([](NodeKind k) { return is_correct(k); })) {
-    const std::vector<NodeId> view = engine.node(id).current_view();
+  // Same visit order as alive_ids(is_correct) — ascending id over the
+  // alive correct population — but reading the engine's view slab instead
+  // of allocating a current_view() copy per node.
+  for (std::uint32_t i = 0; i < engine.size(); ++i) {
+    const NodeId id{i};
+    if (!engine.is_alive(id) || !is_correct(engine.kind(id))) continue;
+    const std::span<const NodeId> view = engine.view_of(id);
     std::size_t byz = 0;
     for (NodeId entry : view) {
       if (is_byzantine_id_(entry)) ++byz;
@@ -143,7 +149,7 @@ DiscoveryTracker::DiscoveryTracker(std::vector<NodeId> correct_ids, double thres
   }
 }
 
-void DiscoveryTracker::learn_view(NodeId observer, const std::vector<NodeId>& view) {
+void DiscoveryTracker::learn_view(NodeId observer, std::span<const NodeId> view) {
   if (observer.value >= rank_.size() || rank_[observer.value] == NodeId::kInvalid) return;
   DynamicBitset& bits = knowledge_[rank_[observer.value]];
   for (NodeId s : view) {
@@ -154,16 +160,19 @@ void DiscoveryTracker::learn_view(NodeId observer, const std::vector<NodeId>& vi
 }
 
 void DiscoveryTracker::prime(sim::Engine& engine) {
+  // Outside step() the slab may be stale (or never built) — refresh before
+  // reading the bootstrap views.
+  engine.refresh_views();
   for (NodeId id : correct_ids_) {
     if (!engine.is_alive(id)) continue;
-    learn_view(id, engine.node(id).current_view());
+    learn_view(id, engine.view_of(id));
   }
 }
 
 void DiscoveryTracker::on_round_end(Round round, sim::Engine& engine) {
   for (NodeId id : correct_ids_) {
     if (!engine.is_alive(id)) continue;
-    learn_view(id, engine.node(id).current_view());
+    learn_view(id, engine.view_of(id));
   }
   double min_fill = 1.0;
   for (const auto& bits : knowledge_) min_fill = std::min(min_fill, bits.fill_ratio());
@@ -223,7 +232,7 @@ void VictimTracker::on_round_end(Round round, sim::Engine& engine) {
   for (NodeId id : victims_) {
     if (!engine.is_alive(id)) continue;
     ++alive;
-    const std::vector<NodeId> view = engine.node(id).current_view();
+    const std::span<const NodeId> view = engine.view_of(id);
     std::size_t byz = 0;
     for (NodeId entry : view) {
       if (is_byzantine_id_(entry)) ++byz;

@@ -18,6 +18,7 @@
 
 #include <functional>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "common/bitset.hpp"
@@ -88,6 +89,7 @@ class PollutionTracker final : public sim::ITrafficListener {
     double sum = 0.0;
   };
   std::vector<NodeHistory> history_;
+  std::vector<double> smoothed_scratch_;  // per-round; capacity persists
   std::vector<double> smoothed_avg_history_;
   std::optional<Round> stability_round_;
 };
@@ -113,7 +115,7 @@ class DiscoveryTracker final : public sim::ITrafficListener {
   }
 
  private:
-  void learn_view(NodeId observer, const std::vector<NodeId>& view);
+  void learn_view(NodeId observer, std::span<const NodeId> view);
 
   double threshold_;
   /// Dense rank of each correct id (index into bitsets); kInvalid for others.

@@ -51,12 +51,24 @@ void ChurnSchedule::apply(Engine& engine, std::size_t bootstrap_view_size) {
         // (node still up), reviving would wipe a healthy node's view.
         if (engine.is_alive(event.node)) break;
         engine.set_alive(event.node, true);
-        // Fresh bootstrap handout, as a rejoining node would receive.
-        std::vector<NodeId> candidates = engine.alive_ids();
-        candidates.erase(std::remove(candidates.begin(), candidates.end(), event.node),
-                         candidates.end());
-        engine.node(event.node).bootstrap(
-            engine.rng().sample(candidates, bootstrap_view_size));
+        // Fresh bootstrap handout, as a rejoining node would receive:
+        // an index-remap draw over the alive list (the node itself was
+        // just revived, so it is present) — the same draws as the legacy
+        // erase-self copy, without allocating a candidates vector per
+        // rejoin event.
+        engine.alive_ids(alive_scratch_);
+        const std::size_t rank = static_cast<std::size_t>(
+            std::lower_bound(alive_scratch_.begin(), alive_scratch_.end(), event.node,
+                             [](NodeId a, NodeId b) { return a.value < b.value; }) -
+            alive_scratch_.begin());
+        engine.rng().sample_indices_into(alive_scratch_.size() - 1,
+                                         bootstrap_view_size, draw_scratch_);
+        std::vector<NodeId> view;
+        view.reserve(draw_scratch_.size());
+        for (const std::size_t j : draw_scratch_) {
+          view.push_back(alive_scratch_[j >= rank ? j + 1 : j]);
+        }
+        engine.node(event.node).bootstrap(view);
         break;
       }
     }

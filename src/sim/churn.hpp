@@ -44,6 +44,8 @@ class ChurnSchedule {
  private:
   std::vector<ChurnEvent> events_;
   std::size_t cursor_ = 0;
+  std::vector<NodeId> alive_scratch_;       // rejoin-bootstrap scratch
+  std::vector<std::size_t> draw_scratch_;
 };
 
 }  // namespace raptee::sim

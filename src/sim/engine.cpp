@@ -84,18 +84,30 @@ void Engine::bootstrap_uniform(std::size_t view_size) {
   const std::vector<NodeId> everyone = alive_ids();
   // Empty/singleton population: there is nobody (or only oneself) to draw
   // from. Hand out empty views instead of letting `everyone.size() - 1`
-  // underflow to SIZE_MAX in the reserve below.
+  // underflow to SIZE_MAX below.
   if (everyone.size() <= 1) {
     bootstrap_with([](NodeId, NodeKind) { return std::vector<NodeId>{}; });
     return;
   }
+  // Index-remap draw over the one shared alive list. The legacy form built
+  // a per-node `candidates` copy of everyone-minus-self — O(n²) time and
+  // memory traffic at bootstrap. rng.sample(candidates, k) is defined as
+  // sample_indices(candidates.size(), k) followed by candidates[j], and
+  // candidates[j] == everyone[j < rank ? j : j + 1] where rank is self's
+  // position — so drawing the same indices from [0, n-1) and bumping past
+  // rank reproduces the legacy views draw for draw (goldens unaffected).
+  std::vector<std::size_t> draw_scratch;
+  std::size_t rank = 0;  // bootstrap_with visits ids ascending, like everyone
   bootstrap_with([&](NodeId self, NodeKind) {
-    std::vector<NodeId> candidates;
-    candidates.reserve(everyone.size() - 1);
-    for (NodeId peer : everyone) {
-      if (peer != self) candidates.push_back(peer);
+    while (rank < everyone.size() && everyone[rank].value < self.value) ++rank;
+    const bool present = rank < everyone.size() && everyone[rank] == self;
+    rng_.sample_indices_into(everyone.size() - 1, view_size, draw_scratch);
+    std::vector<NodeId> view;
+    view.reserve(draw_scratch.size());
+    for (const std::size_t j : draw_scratch) {
+      view.push_back(everyone[present && j >= rank ? j + 1 : j]);
     }
-    return rng_.sample(candidates, view_size);
+    return view;
   });
 }
 
@@ -114,43 +126,128 @@ void Engine::add_listener(ITrafficListener* listener) {
 }
 
 void Engine::remove_listener(ITrafficListener* listener) {
+  if (listener_depth_ > 0) {
+    // Mid-dispatch removal (a listener removing itself or a peer from
+    // inside a callback): erasing here would invalidate the dispatch
+    // iteration, so null the slot and compact after the outermost dispatch.
+    for (auto*& slot : listeners_) {
+      if (slot == listener) {
+        slot = nullptr;
+        listeners_dirty_ = true;
+      }
+    }
+    return;
+  }
   listeners_.erase(std::remove(listeners_.begin(), listeners_.end(), listener),
                    listeners_.end());
 }
 
-namespace {
+template <typename Fn>
+void Engine::for_listeners(const Fn& fn) {
+  ++listener_depth_;
+  for (std::size_t i = 0; i < listeners_.size(); ++i) {
+    if (listeners_[i] != nullptr) fn(*listeners_[i]);
+  }
+  --listener_depth_;
+  if (listener_depth_ == 0 && listeners_dirty_) {
+    listeners_.erase(std::remove(listeners_.begin(), listeners_.end(),
+                                 static_cast<ITrafficListener*>(nullptr)),
+                     listeners_.end());
+    listeners_dirty_ = false;
+  }
+}
 
-/// One generated push awaiting delivery.
-struct Delivery {
-  NodeId to;
-  NodeId from;
-  wire::PushMessage payload;
-};
+exec::ThreadPool& Engine::pool() {
+  if (!pool_) {
+    pool_ = std::make_unique<exec::ThreadPool>(
+        exec::resolve_threads(config_.threads, nodes_.size()));
+  }
+  return *pool_;
+}
 
-/// Per-sender generation output of the sharded phase: a private delivery
-/// list plus the sender's share of the leg counters, merged in node-index
-/// order once every shard finished.
-struct PushSlot {
-  std::vector<Delivery> deliveries;
-  std::vector<NodeId> targets;  // per-sender scratch for push_targets
-  std::uint64_t sent = 0;
-  std::uint64_t dropped = 0;
-};
+template <typename Fn>
+void Engine::shard_over_alive(const Fn& fn) {
+  // Byzantine nodes share the mutable adversary Coordinator: run them on
+  // this thread first, in index order, exactly as the sequential loop's
+  // first-Byzantine-triggers-planning order does. Everyone else touches
+  // only its own state (plus read-only engine state) and shards freely.
+  for (std::size_t k = 0; k < alive_scratch_.size(); ++k) {
+    if (kinds_[alive_scratch_[k].value] == NodeKind::kByzantine) fn(k);
+  }
+  pool().parallel_for(alive_scratch_.size(), [&](std::size_t k) {
+    if (kinds_[alive_scratch_[k].value] != NodeKind::kByzantine) fn(k);
+  });
+}
 
-}  // namespace
+void Engine::refresh_views() {
+  const std::size_t n = nodes_.size();
+  if (view_offset_.size() != n) view_offset_.resize(n);
+  if (view_len_.size() != n) view_len_.resize(n);
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    view_offset_[i] = total;
+    total += nodes_[i]->view_capacity();
+  }
+  if (view_slab_.size() < total) view_slab_.resize(total);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!alive_[i]) {
+      view_len_[i] = 0;
+      continue;
+    }
+    const std::size_t cap = (i + 1 < n ? view_offset_[i + 1] : total) - view_offset_[i];
+    const std::size_t len = nodes_[i]->copy_view(view_slab_.data() + view_offset_[i], cap);
+    RAPTEE_ASSERT_MSG(len <= cap, "copy_view overflowed its slab slot");
+    view_len_[i] = static_cast<std::uint32_t>(len);
+  }
+}
+
+std::span<const NodeId> Engine::view_of(NodeId id) const {
+  RAPTEE_REQUIRE(id.value < view_len_.size(),
+                 "view_of: no slab entry for node " << id.value
+                                                    << " (refresh_views first)");
+  return {view_slab_.data() + view_offset_[id.value], view_len_[id.value]};
+}
+
+void Engine::run_begin_rounds() {
+  alive_ids(alive_scratch_);
+  if (!sharded()) {
+    for (const NodeId id : alive_scratch_) nodes_[id.value]->begin_round(round_);
+    return;
+  }
+  // begin_round touches only per-node state (buffer clears, view ageing):
+  // no draws on any shared stream, so sharding is bit-identical to the
+  // sequential loop for every worker count.
+  shard_over_alive(
+      [&](std::size_t k) { nodes_[alive_scratch_[k].value]->begin_round(round_); });
+}
+
+void Engine::run_end_rounds() {
+  alive_ids(alive_scratch_);
+  if (!sharded()) {
+    for (const NodeId id : alive_scratch_) nodes_[id.value]->end_round(round_);
+    return;
+  }
+  // end_round is where eviction and view renewal happen — all driven by the
+  // node's private rng_ plus the read-only aliveness probe, so as with
+  // begin_round the sharded result is bit-identical for every width.
+  shard_over_alive(
+      [&](std::size_t k) { nodes_[alive_scratch_[k].value]->end_round(round_); });
+}
 
 void Engine::deliver_pushes() {
   // Collect (target, payload) pairs from all alive nodes, then deliver in a
-  // shuffled order so no node systematically observes pushes first.
-  std::vector<Delivery> deliveries;
+  // shuffled order so no node systematically observes pushes first. The
+  // delivery list is per-round scratch: staged in the arena, gone at the
+  // next step()'s reset.
+  ArenaVector<Delivery> deliveries(arena_);
   alive_ids(alive_scratch_);
 
-  if (config_.push_threads == 1) {
+  if (!sharded()) {
     // Legacy sequential path: loss draws interleave on the engine stream.
     for (const NodeId id : alive_scratch_) {
       INode& sender = *nodes_[id.value];
-      sender.push_targets(push_targets_scratch_);
-      for (NodeId target : push_targets_scratch_) {
+      sender.push_targets(targets_scratch_);
+      for (NodeId target : targets_scratch_) {
         ++counters_.pushes_sent;
         if (config_.message_loss > 0.0 && rng_.chance(config_.message_loss)) {
           ++counters_.legs_dropped;
@@ -164,18 +261,17 @@ void Engine::deliver_pushes() {
     // Sharded generation: each alive node owns an output slot and a
     // splittable loss stream, so the result is independent of how the
     // partition maps to workers (see the declaration comment).
-    if (!pool_) {
-      // Never wider than one worker per node — oversized thread() knobs
-      // would otherwise spawn thousands of idle OS threads per engine.
-      pool_ = std::make_unique<exec::ThreadPool>(
-          exec::resolve_threads(config_.push_threads, nodes_.size()));
-    }
     const Rng phase_base = rng_.fork("push-phase");
-    std::vector<PushSlot> slots(alive_scratch_.size());
+    if (shard_slots_.size() < alive_scratch_.size()) {
+      shard_slots_.resize(alive_scratch_.size());
+    }
     const auto collect = [&](std::size_t k) {
       const NodeId id = alive_scratch_[k];
       INode& sender = *nodes_[id.value];
-      PushSlot& slot = slots[k];
+      ShardSlot& slot = shard_slots_[k];
+      slot.deliveries.clear();
+      slot.sent = 0;
+      slot.dropped = 0;
       Rng loss_rng = phase_base.split(id.value);
       sender.push_targets(slot.targets);
       for (NodeId target : slot.targets) {
@@ -188,29 +284,72 @@ void Engine::deliver_pushes() {
         slot.deliveries.push_back({target, sender.id(), sender.make_push()});
       }
     };
-    // Byzantine senders route through the shared adversary Coordinator, so
-    // they generate on this thread (index order); everyone else shards.
-    for (std::size_t k = 0; k < alive_scratch_.size(); ++k) {
-      if (kinds_[alive_scratch_[k].value] == NodeKind::kByzantine) collect(k);
-    }
-    pool_->parallel_for(alive_scratch_.size(), [&](std::size_t k) {
-      if (kinds_[alive_scratch_[k].value] != NodeKind::kByzantine) collect(k);
-    });
+    shard_over_alive(collect);
     std::size_t total = 0;
-    for (const PushSlot& slot : slots) total += slot.deliveries.size();
+    for (std::size_t k = 0; k < alive_scratch_.size(); ++k) {
+      total += shard_slots_[k].deliveries.size();
+    }
     deliveries.reserve(total);
-    for (PushSlot& slot : slots) {
+    for (std::size_t k = 0; k < alive_scratch_.size(); ++k) {
+      ShardSlot& slot = shard_slots_[k];
       counters_.pushes_sent += slot.sent;
       counters_.legs_dropped += slot.dropped;
-      for (Delivery& d : slot.deliveries) deliveries.push_back(std::move(d));
+      for (const Delivery& d : slot.deliveries) deliveries.push_back(d);
     }
   }
 
   rng_.shuffle(deliveries);
+
+  if (!sharded()) {
+    for (const Delivery& d : deliveries) {
+      nodes_[d.to.value]->on_push(d.payload);
+      ++counters_.pushes_delivered;
+      for_listeners([&](ITrafficListener& l) {
+        l.on_push_delivered(round_, d.from, d.payload.sender, d.to);
+      });
+    }
+    return;
+  }
+
+  // Sharded delivery: bucket the shuffled list by target (a stable counting
+  // sort, so each target's mailbox sees the exact subsequence the global
+  // shuffled order dictates) and apply each target's bucket on its own
+  // shard. on_push only mutates the receiving node, so per-target order is
+  // the only order that is observable — the result is bit-identical to the
+  // interleaved sequential application. Listener callbacks replay after
+  // application, serially, in the same global shuffled order as the
+  // sequential path (their arguments carry no engine state).
+  const std::size_t alive_count = alive_scratch_.size();
+  if (alive_rank_.size() < nodes_.size()) alive_rank_.resize(nodes_.size());
+  for (std::size_t k = 0; k < alive_count; ++k) {
+    alive_rank_[alive_scratch_[k].value] = static_cast<std::uint32_t>(k);
+  }
+  bucket_offsets_.assign(alive_count + 1, 0);
   for (const Delivery& d : deliveries) {
-    nodes_[d.to.value]->on_push(d.payload);
-    ++counters_.pushes_delivered;
-    for (auto* l : listeners_) l->on_push_delivered(round_, d.from, d.payload.sender, d.to);
+    ++bucket_offsets_[alive_rank_[d.to.value] + 1];  // targets are alive
+  }
+  for (std::size_t k = 0; k < alive_count; ++k) {
+    bucket_offsets_[k + 1] += bucket_offsets_[k];
+  }
+  bucket_cursor_.assign(bucket_offsets_.begin(), bucket_offsets_.end());
+  std::uint32_t* order = arena_.allocate_array<std::uint32_t>(deliveries.size());
+  for (std::size_t i = 0; i < deliveries.size(); ++i) {
+    order[bucket_cursor_[alive_rank_[deliveries[i].to.value]]++] =
+        static_cast<std::uint32_t>(i);
+  }
+  shard_over_alive([&](std::size_t k) {
+    INode& receiver = *nodes_[alive_scratch_[k].value];
+    for (std::size_t slot = bucket_offsets_[k]; slot < bucket_offsets_[k + 1]; ++slot) {
+      receiver.on_push(deliveries[order[slot]].payload);
+    }
+  });
+  counters_.pushes_delivered += deliveries.size();
+  if (!listeners_.empty()) {
+    for (const Delivery& d : deliveries) {
+      for_listeners([&](ITrafficListener& l) {
+        l.on_push_delivered(round_, d.from, d.payload.sender, d.to);
+      });
+    }
   }
 }
 
@@ -303,8 +442,9 @@ bool Engine::run_exchange(INode& initiator, INode& responder) {
 
   // Leg 3: auth confirm (+ possible swap offer).
   leg = initiator.process_pull_reply(reply);
-  for (auto* l : listeners_)
-    l->on_pull_reply_delivered(round_, resp_id, init_id, reply.view);
+  for_listeners([&](ITrafficListener& l) {
+    l.on_pull_reply_delivered(round_, resp_id, init_id, reply.view);
+  });
   if (!transfer(leg, wire::MsgType::kAuthConfirm, /*forward=*/true))
     return true;  // pull itself completed
 
@@ -319,12 +459,12 @@ bool Engine::run_exchange(INode& initiator, INode& responder) {
   const wire::SwapReply swap_reply = std::get<wire::SwapReply>(std::move(leg));
   initiator.process_swap_reply(swap_reply);
   ++counters_.swaps_completed;
-  for (auto* l : listeners_) {
-    l->on_swap_completed(round_, init_id, resp_id,
-                         confirm.swap_offer ? *confirm.swap_offer
-                                            : std::vector<NodeId>{},
-                         swap_reply.swap_half);
-  }
+  for_listeners([&](ITrafficListener& l) {
+    l.on_swap_completed(round_, init_id, resp_id,
+                        confirm.swap_offer ? *confirm.swap_offer
+                                           : std::vector<NodeId>{},
+                        swap_reply.swap_half);
+  });
   return true;
 }
 
@@ -333,11 +473,32 @@ void Engine::run_pull_exchanges() {
     NodeId initiator;
     NodeId target;
   };
-  std::vector<PendingPull> pulls;
+  // Pull-target generation shards (honest targets come from the node's
+  // private rng over its own view; Byzantine targets come from the shared
+  // Coordinator and stay on this thread), with the (initiator, target)
+  // pairs merged in node-index order — identical to the sequential list
+  // for every worker count. The exchanges themselves then run serially:
+  // each five-leg exchange draws loss/tamper decisions from the shared
+  // engine stream and mutates both endpoints, so sharding legs would
+  // break the bit-identity contract.
+  ArenaVector<PendingPull> pulls(arena_);
   alive_ids(alive_scratch_);
-  for (const NodeId id : alive_scratch_) {
-    for (NodeId target : nodes_[id.value]->pull_targets()) {
-      pulls.push_back({id, target});
+  if (!sharded()) {
+    for (const NodeId id : alive_scratch_) {
+      nodes_[id.value]->pull_targets(targets_scratch_);
+      for (NodeId target : targets_scratch_) pulls.push_back({id, target});
+    }
+  } else {
+    if (shard_slots_.size() < alive_scratch_.size()) {
+      shard_slots_.resize(alive_scratch_.size());
+    }
+    shard_over_alive([&](std::size_t k) {
+      nodes_[alive_scratch_[k].value]->pull_targets(shard_slots_[k].targets);
+    });
+    for (std::size_t k = 0; k < alive_scratch_.size(); ++k) {
+      for (NodeId target : shard_slots_[k].targets) {
+        pulls.push_back({alive_scratch_[k], target});
+      }
     }
   }
   // Randomized global order: exchanges within a round interleave across
@@ -361,15 +522,17 @@ void Engine::run_pull_exchanges() {
 }
 
 void Engine::step() {
-  for (std::size_t i = 0; i < nodes_.size(); ++i) {
-    if (alive_[i]) nodes_[i]->begin_round(round_);
-  }
+  arena_.reset();  // reclaim last round's scratch wholesale
+  run_begin_rounds();
   deliver_pushes();
   run_pull_exchanges();
-  for (std::size_t i = 0; i < nodes_.size(); ++i) {
-    if (alive_[i]) nodes_[i]->end_round(round_);
+  run_end_rounds();
+  if (!listeners_.empty()) {
+    // Publish every node's post-round view into the SoA slab so listeners
+    // read views via view_of() spans instead of allocating current_view().
+    refresh_views();
+    for_listeners([&](ITrafficListener& l) { l.on_round_end(round_, *this); });
   }
-  for (auto* l : listeners_) l->on_round_end(round_, *this);
   if (link_table_) link_table_->retire_idle(round_, config_.link_idle_rounds);
   ++round_;
 }

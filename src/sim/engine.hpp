@@ -25,8 +25,10 @@
 
 #include <functional>
 #include <memory>
+#include <span>
 #include <vector>
 
+#include "common/arena.hpp"
 #include "common/rng.hpp"
 #include "common/types.hpp"
 #include "crypto/key.hpp"
@@ -52,12 +54,18 @@ struct EngineConfig {
   /// Encrypted sessions idle for more than this many rounds are retired
   /// (and re-derived on next use), bounding cipher-state memory.
   Round link_idle_rounds = 64;
-  /// Width of the sharded push-generation phase (see Engine::step):
+  /// Width of the sharded round phases — push generation and delivery,
+  /// pull-target generation, begin_round and end_round (eviction included):
   /// 1 = legacy sequential path (the default), 0 = hardware concurrency,
   /// n > 1 = shard over n workers. Any value > 1 (or 0) opts into the
-  /// sharded random stream; given that, results are bit-identical for
-  /// every worker count — see the determinism note on deliver_pushes.
-  std::size_t push_threads = 1;
+  /// sharded push-loss stream; given that, results are bit-identical for
+  /// every worker count — see the determinism note on deliver_pushes. All
+  /// other sharded phases draw only per-node streams and are bit-identical
+  /// to the sequential path for every width. The exchange legs themselves
+  /// stay serial: their loss/tamper draws interleave on the shared engine
+  /// stream and each leg mutates two nodes, so sharding them could not
+  /// preserve the bit-identity contract.
+  std::size_t threads = 1;
 };
 
 class Engine {
@@ -94,7 +102,24 @@ class Engine {
       const std::function<std::vector<NodeId>(NodeId, NodeKind)>& provider);
 
   void add_listener(ITrafficListener* listener);
+  /// Safe to call from inside a traffic callback (including removing the
+  /// currently-executing listener): removal during dispatch is deferred to
+  /// the end of the outermost dispatch, and the removed listener receives
+  /// no further callbacks.
   void remove_listener(ITrafficListener* listener);
+
+  /// Rebuilds the structure-of-arrays view slab read by view_of(): one
+  /// dense NodeId range per node, sized by INode::view_capacity(). step()
+  /// refreshes the slab after end_round whenever listeners are registered;
+  /// external readers (tracker priming before round 0) call it explicitly.
+  void refresh_views();
+  /// The node's current view as a span over the SoA view slab — the
+  /// allocation-free replacement for INode::current_view() on metric
+  /// paths. Valid until the next refresh_views(). Empty for dead nodes and
+  /// for nodes that opted out of the slab (view_capacity() == 0; the
+  /// adversary does — Byzantine views are excluded from every honest-side
+  /// metric anyway).
+  [[nodiscard]] std::span<const NodeId> view_of(NodeId id) const;
 
   /// Executes one full round.
   void step();
@@ -140,18 +165,58 @@ class Engine {
   [[nodiscard]] std::size_t link_active_sessions() const;
 
  private:
-  // Push generation: collects every alive node's (targets, payload) pairs.
-  // With push_threads == 1 this is the legacy sequential loop (loss draws
-  // interleaved on the engine stream). With push_threads != 1 the alive
-  // nodes are partitioned across an exec::ThreadPool, every node draws its
-  // loss decisions from a private splittable stream (rng().fork("push-
-  // phase").split(node)), and the per-node delivery lists are merged in
-  // node-index order — so sharded results are a deterministic function of
-  // (seed, sharded-or-not) and never of the worker count. Byzantine nodes
-  // share the adversary Coordinator and therefore always generate on the
-  // coordinating thread, in index order, with the same per-node streams.
+  /// One generated push awaiting delivery — trivially copyable, staged in
+  /// per-round arena scratch.
+  struct Delivery {
+    NodeId to;
+    NodeId from;
+    wire::PushMessage payload;
+  };
+  /// Per-node output slot of a sharded phase: private delivery/target lists
+  /// plus counter shares, merged in node-index order once every shard
+  /// finished. Slots persist across rounds so their capacity amortizes the
+  /// same way the arena's chunks do (the arena itself is single-owner and
+  /// stays on the coordinating thread).
+  struct ShardSlot {
+    std::vector<Delivery> deliveries;
+    std::vector<NodeId> targets;
+    std::uint64_t sent = 0;
+    std::uint64_t dropped = 0;
+  };
+
+  [[nodiscard]] bool sharded() const { return config_.threads != 1; }
+  /// The lazily-built phase pool (sharded() only). Never wider than one
+  /// worker per node — oversized knobs would otherwise spawn thousands of
+  /// idle OS threads per engine.
+  [[nodiscard]] exec::ThreadPool& pool();
+
+  /// Runs `fn(k)` for every index into alive_scratch_: Byzantine nodes
+  /// first, serially on this thread in index order (they share the mutable
+  /// adversary Coordinator), then everyone else sharded across the pool.
+  /// Safe iff `fn` touches only per-node state and read-only engine state.
+  template <typename Fn>
+  void shard_over_alive(const Fn& fn);
+  /// Reentrancy-safe listener dispatch: index-based iteration (listeners
+  /// added or removed mid-dispatch cannot invalidate it) with removals
+  /// deferred to the end of the outermost dispatch.
+  template <typename Fn>
+  void for_listeners(const Fn& fn);
+
+  // The four shardable phases of a round. Phases that draw only per-node
+  // private streams — begin_round, pull-target generation, end_round
+  // (eviction) — are bit-identical to the sequential path for every worker
+  // count. Push generation: with threads == 1 this is the legacy
+  // sequential loop (loss draws interleaved on the engine stream); with
+  // threads != 1 every node draws its loss decisions from a private
+  // splittable stream (rng().fork("push-phase").split(node)) and the
+  // per-node delivery lists are merged in node-index order — so sharded
+  // results are a deterministic function of (seed, sharded-or-not) and
+  // never of the worker count. With message_loss == 0 no loss stream is
+  // consulted and all widths, 1 included, coincide exactly.
+  void run_begin_rounds();
   void deliver_pushes();
   void run_pull_exchanges();
+  void run_end_rounds();
   /// Runs one five-leg exchange; returns false on timeout.
   bool run_exchange(INode& initiator, INode& responder);
 
@@ -164,11 +229,25 @@ class Engine {
   std::vector<NodeKind> kinds_;
   std::vector<std::uint8_t> alive_;
   std::vector<ITrafficListener*> listeners_;
+  std::size_t listener_depth_ = 0;  // non-zero while dispatching callbacks
+  bool listeners_dirty_ = false;    // a removal was deferred mid-dispatch
   Counters counters_;
 
+  Arena arena_;                              // per-round scratch, reset each step
+  std::vector<ShardSlot> shard_slots_;
   std::vector<NodeId> alive_scratch_;        // reused by the round phases
-  std::vector<NodeId> push_targets_scratch_; // sequential push phase only
-  std::unique_ptr<exec::ThreadPool> pool_;   // lazily built, push_threads != 1
+  std::vector<NodeId> targets_scratch_;      // sequential push/pull phases
+  std::vector<std::uint32_t> alive_rank_;    // node index -> alive_scratch_ slot
+  std::vector<std::size_t> bucket_offsets_;  // sharded delivery partition
+  std::vector<std::size_t> bucket_cursor_;
+  std::unique_ptr<exec::ThreadPool> pool_;   // lazily built, threads != 1
+
+  // Structure-of-arrays view slab (refresh_views / view_of): all node
+  // views live in one dense NodeId array instead of n per-node heap
+  // vectors, so metric sweeps over every view are a linear scan.
+  std::vector<NodeId> view_slab_;
+  std::vector<std::size_t> view_offset_;  // per-node slot start in the slab
+  std::vector<std::uint32_t> view_len_;   // per-node entry count
 
   // Encrypted-link session cache (encrypt_links only) and the wire-path
   // scratch buffers: encode/seal/open/decode reuse these every leg, so the

@@ -23,6 +23,7 @@
 // crashed peer): the engine then calls on_pull_timeout() on the initiator.
 #pragma once
 
+#include <cstddef>
 #include <optional>
 #include <vector>
 
@@ -60,6 +61,11 @@ class INode {
 
   /// Phase 3: pull exchange, in the leg order documented above.
   [[nodiscard]] virtual std::vector<NodeId> pull_targets() = 0;
+  /// Scratch-filling variant used by the engine's sharded pull-target
+  /// phase: clears and fills `out` (same contents and — for nodes whose
+  /// targets are random — the same per-node draws as the allocating form).
+  /// Default delegates to the allocating form.
+  virtual void pull_targets(std::vector<NodeId>& out) { out = pull_targets(); }
   /// Whether this node will answer a pull request from `requester` this
   /// round. Honest nodes always answer; an omission adversary refuses —
   /// the engine counts the suppressed leg and the initiator times out.
@@ -82,6 +88,26 @@ class INode {
   /// Current dynamic view content (the peer-sampling service's product;
   /// every RPS implementation exposes this to its client application).
   [[nodiscard]] virtual std::vector<NodeId> current_view() const = 0;
+
+  /// Upper bound on current_view().size() for this node, stable within a
+  /// round. The engine sizes each node's slot in its structure-of-arrays
+  /// view slab (Engine::view_of) from this. Nodes with a fixed-capacity
+  /// view (PartialView l1) override with that constant; the default
+  /// materializes the view to measure it. Return 0 to opt out of the slab
+  /// (the adversary does: Byzantine "views" are synthetic and excluded
+  /// from every honest-side metric anyway).
+  [[nodiscard]] virtual std::size_t view_capacity() const {
+    return current_view().size();
+  }
+  /// Copies the current view into `out` (capacity `cap`, as promised by
+  /// view_capacity()) and returns the number of entries written —
+  /// allocation-free in overrides. Default delegates to current_view().
+  virtual std::size_t copy_view(NodeId* out, std::size_t cap) const {
+    const std::vector<NodeId> view = current_view();
+    const std::size_t n = view.size() < cap ? view.size() : cap;
+    for (std::size_t i = 0; i < n; ++i) out[i] = view[i];
+    return n;
+  }
 };
 
 }  // namespace raptee::sim

@@ -1,0 +1,146 @@
+// Arena allocator unit tests: chunk growth, reset-retains-capacity,
+// alignment guarantees, and the ArenaVector staging container — the
+// satellite coverage for the engine's per-round scratch arena.
+#include "common/arena.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace raptee {
+namespace {
+
+TEST(Arena, ServesDistinctLiveBlocks) {
+  Arena arena(64);
+  auto* a = static_cast<std::uint32_t*>(arena.allocate(sizeof(std::uint32_t)));
+  auto* b = static_cast<std::uint32_t*>(arena.allocate(sizeof(std::uint32_t)));
+  ASSERT_NE(a, b);
+  *a = 0xAAAAAAAAu;
+  *b = 0xBBBBBBBBu;
+  EXPECT_EQ(*a, 0xAAAAAAAAu);
+  EXPECT_EQ(*b, 0xBBBBBBBBu);
+  EXPECT_EQ(arena.bytes_allocated(), 2 * sizeof(std::uint32_t));
+}
+
+TEST(Arena, GrowsChunksGeometrically) {
+  Arena arena(32);
+  EXPECT_EQ(arena.chunk_count(), 0u);
+  // Each allocation fills a whole chunk, forcing growth: 32, 64, 128, ...
+  (void)arena.allocate(32, 1);
+  EXPECT_EQ(arena.chunk_count(), 1u);
+  (void)arena.allocate(33, 1);
+  EXPECT_EQ(arena.chunk_count(), 2u);
+  const std::size_t two_chunks = arena.capacity();
+  (void)arena.allocate(two_chunks, 1);
+  EXPECT_EQ(arena.chunk_count(), 3u);
+  // Later chunks are at least as large as earlier ones.
+  EXPECT_GE(arena.capacity(), 2 * two_chunks);
+}
+
+TEST(Arena, OversizedRequestGetsDedicatedChunk) {
+  Arena arena(16);
+  void* big = arena.allocate(4096);
+  ASSERT_NE(big, nullptr);
+  std::memset(big, 0xCD, 4096);  // must be fully usable
+  EXPECT_GE(arena.capacity(), 4096u);
+}
+
+TEST(Arena, ResetRetainsCapacityAndReusesMemory) {
+  Arena arena(128);
+  std::vector<void*> first;
+  for (int i = 0; i < 50; ++i) first.push_back(arena.allocate(64));
+  const std::size_t chunks = arena.chunk_count();
+  const std::size_t capacity = arena.capacity();
+  ASSERT_GT(chunks, 1u);
+
+  arena.reset();
+  EXPECT_EQ(arena.bytes_allocated(), 0u);
+  EXPECT_EQ(arena.chunk_count(), chunks) << "reset must retain chunks";
+  EXPECT_EQ(arena.capacity(), capacity);
+
+  // The same allocation pattern is served from the retained chunks — same
+  // addresses come back, no new chunks appear.
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 50; ++i) {
+      EXPECT_EQ(arena.allocate(64), first[static_cast<std::size_t>(i)]);
+    }
+    EXPECT_EQ(arena.chunk_count(), chunks);
+    arena.reset();
+  }
+}
+
+TEST(Arena, ReleaseFreesEverything) {
+  Arena arena(64);
+  (void)arena.allocate(1000);
+  ASSERT_GT(arena.capacity(), 0u);
+  arena.release();
+  EXPECT_EQ(arena.capacity(), 0u);
+  EXPECT_EQ(arena.chunk_count(), 0u);
+  (void)arena.allocate(8);  // still usable afterwards
+  EXPECT_EQ(arena.chunk_count(), 1u);
+}
+
+TEST(Arena, HonorsAlignment) {
+  Arena arena(256);
+  (void)arena.allocate(1, 1);  // skew the cursor
+  for (std::size_t align : {2u, 4u, 8u, 16u, 32u, 64u}) {
+    void* p = arena.allocate(3, align);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % align, 0u)
+        << "alignment " << align;
+  }
+}
+
+TEST(Arena, RejectsNonPowerOfTwoAlignment) {
+  Arena arena;
+  EXPECT_THROW((void)arena.allocate(8, 3), AssertionError);
+  EXPECT_THROW((void)arena.allocate(8, 0), AssertionError);
+}
+
+TEST(Arena, ZeroByteAllocationsAreDistinct) {
+  Arena arena;
+  void* a = arena.allocate(0);
+  void* b = arena.allocate(0);
+  EXPECT_NE(a, b);
+}
+
+TEST(ArenaVector, PushBackGrowsAndPreservesContents) {
+  Arena arena(64);
+  ArenaVector<std::uint64_t> v(arena);
+  EXPECT_TRUE(v.empty());
+  for (std::uint64_t i = 0; i < 1000; ++i) v.push_back(i * 3);
+  ASSERT_EQ(v.size(), 1000u);
+  for (std::uint64_t i = 0; i < 1000; ++i) EXPECT_EQ(v[i], i * 3);
+}
+
+TEST(ArenaVector, ClearKeepsArenaBlockUsable) {
+  Arena arena(64);
+  ArenaVector<int> v(arena);
+  for (int i = 0; i < 100; ++i) v.push_back(i);
+  v.clear();
+  EXPECT_TRUE(v.empty());
+  v.push_back(42);
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0], 42);
+}
+
+TEST(ArenaVector, SteadyStateRoundLoopStopsGrowingTheArena) {
+  // The engine's usage pattern: reset the arena each round, refill a vector
+  // of the same size. After the first round the arena's footprint is fixed.
+  Arena arena(256);
+  for (int round = 0; round < 5; ++round) {
+    arena.reset();
+    ArenaVector<std::uint32_t> deliveries(arena);
+    for (std::uint32_t i = 0; i < 500; ++i) deliveries.push_back(i);
+    if (round == 0) continue;
+    static std::size_t settled = 0;
+    if (round == 1) settled = arena.capacity();
+    EXPECT_EQ(arena.capacity(), settled) << "round " << round;
+  }
+}
+
+}  // namespace
+}  // namespace raptee

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 
 namespace raptee {
@@ -106,6 +107,26 @@ TEST(BatchStats, PercentileRejectsBadInput) {
 TEST(BatchStats, PercentileUnsortedInput) {
   std::vector<double> xs{40, 10, 30, 20};
   EXPECT_DOUBLE_EQ(median_of(xs), 25.0);
+}
+
+TEST(BatchStats, SortedOverloadMatchesCopyingForm) {
+  const std::vector<double> xs{40, 10, 30, 20, 50, 15};
+  std::vector<double> sorted = xs;
+  std::sort(sorted.begin(), sorted.end());
+  // Sort-once call sites must see byte-identical values to the legacy
+  // copy-and-sort-per-call form at every probed percentile.
+  for (double p : {0.0, 10.0, 25.0, 50.0, 75.0, 90.0, 100.0}) {
+    EXPECT_DOUBLE_EQ(percentile_of_sorted(sorted, p), percentile_of(xs, p)) << "p=" << p;
+  }
+}
+
+TEST(BatchStats, SortedOverloadSingleElementAndValidation) {
+  const std::vector<double> one{7.0};
+  EXPECT_DOUBLE_EQ(percentile_of_sorted(one, 30), 7.0);
+  EXPECT_THROW((void)percentile_of_sorted(std::vector<double>{}, 50),
+               std::invalid_argument);
+  EXPECT_THROW((void)percentile_of_sorted(one, -1), std::invalid_argument);
+  EXPECT_THROW((void)percentile_of_sorted(one, 101), std::invalid_argument);
 }
 
 }  // namespace

@@ -236,6 +236,72 @@ TEST_F(EngineFixture, ListenersObserveTraffic) {
   EXPECT_EQ(listener.rounds, 1);
 }
 
+// Witnesses for the mid-dispatch removal bug: remove_listener used to
+// erase from the vector the dispatch loop was iterating, invalidating the
+// iteration. Removal from inside a callback must be safe, take effect
+// immediately (no further callbacks to the removed listener, not even
+// later ones of the same dispatch), and leave other listeners untouched.
+
+struct SelfRemovingListener : ITrafficListener {
+  Engine* engine = nullptr;
+  int pushes = 0, rounds = 0;
+  void on_push_delivered(Round, NodeId, NodeId, NodeId) override {
+    ++pushes;
+    engine->remove_listener(this);
+  }
+  void on_round_end(Round, Engine&) override { ++rounds; }
+};
+
+TEST_F(EngineFixture, ListenerMayRemoveItselfFromInsideACallback) {
+  Engine engine = make_engine(3);
+  SelfRemovingListener remover;
+  remover.engine = &engine;
+  RecordingListener survivor;
+  engine.add_listener(&remover);
+  engine.add_listener(&survivor);
+  fakes[0]->push_targets_ = {NodeId{1}, NodeId{2}, NodeId{1}};
+  engine.step();
+  // The remover saw exactly the callback it removed itself in; the
+  // listener registered after it observed the whole round regardless.
+  EXPECT_EQ(remover.pushes, 1);
+  EXPECT_EQ(remover.rounds, 0);
+  EXPECT_EQ(survivor.pushes, 3);
+  EXPECT_EQ(survivor.rounds, 1);
+
+  engine.step();
+  EXPECT_EQ(remover.pushes, 1);
+  EXPECT_EQ(survivor.rounds, 2);
+}
+
+struct PeerRemovingListener : ITrafficListener {
+  Engine* engine = nullptr;
+  ITrafficListener* peer = nullptr;
+  void on_push_delivered(Round, NodeId, NodeId, NodeId) override {
+    if (peer != nullptr) {
+      engine->remove_listener(peer);
+      peer = nullptr;
+    }
+  }
+};
+
+TEST_F(EngineFixture, ListenerMayRemoveAPeerFromInsideACallback) {
+  Engine engine = make_engine(3);
+  RecordingListener victim;
+  PeerRemovingListener remover;
+  remover.engine = &engine;
+  remover.peer = &victim;
+  // The remover dispatches first, so the victim must not see even the
+  // callback that triggered its removal.
+  engine.add_listener(&remover);
+  engine.add_listener(&victim);
+  fakes[0]->push_targets_ = {NodeId{1}, NodeId{2}};
+  engine.step();
+  EXPECT_EQ(victim.pushes, 0);
+  EXPECT_EQ(victim.rounds, 0);
+  engine.step();  // the compacted listener list stays consistent
+  EXPECT_EQ(victim.pushes, 0);
+}
+
 TEST_F(EngineFixture, RunHonorsStopPredicate) {
   Engine engine = make_engine(1);
   engine.run(10, [](Round r) { return r >= 3; });

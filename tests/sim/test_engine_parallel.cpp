@@ -1,8 +1,10 @@
-// The sharded push-generation phase (EngineConfig::push_threads != 1):
-// results must be a deterministic function of (seed, sharded-or-not) — the
-// worker count must never change a byte — and with message_loss == 0 the
-// sharded phase draws no per-node randomness at all, so it coincides with
-// the legacy sequential path exactly.
+// Sharded round phases (EngineConfig::threads != 1): results must be a
+// deterministic function of (seed, sharded-or-not) — the worker count must
+// never change a byte — and since only the push-LOSS draws move onto
+// per-node splittable streams, every lossless run coincides with the legacy
+// sequential path exactly, width 1 included. The scenario-level matrix
+// below asserts that bit-identity across the churn / attack / eviction /
+// tamper axes, down to every metric stream and counter.
 #include "sim/engine.hpp"
 
 #include <gtest/gtest.h>
@@ -56,13 +58,13 @@ TEST_F(ParallelEngineFixture, ShardedResultIsIndependentOfWorkerCount) {
   EngineConfig config;
   config.seed = 21;
   config.message_loss = 0.3;
-  config.push_threads = 2;
+  config.threads = 2;
   const auto two = run_and_collect(config);
   const Engine::Counters c2 = last_counters;
-  config.push_threads = 5;
+  config.threads = 5;
   const auto five = run_and_collect(config);
   const Engine::Counters c5 = last_counters;
-  config.push_threads = 0;  // auto = hardware concurrency, still sharded
+  config.threads = 0;  // auto = hardware concurrency, still sharded
   const auto autos = run_and_collect(config);
 
   EXPECT_EQ(two, five);
@@ -76,9 +78,9 @@ TEST_F(ParallelEngineFixture, ShardedWithoutLossMatchesLegacyExactly) {
   EngineConfig config;
   config.seed = 22;
   config.message_loss = 0.0;
-  config.push_threads = 1;
+  config.threads = 1;
   const auto legacy = run_and_collect(config);
-  config.push_threads = 4;
+  config.threads = 4;
   const auto sharded = run_and_collect(config);
   EXPECT_EQ(legacy, sharded);
 }
@@ -87,7 +89,7 @@ TEST_F(ParallelEngineFixture, ShardedRunsAreReproducible) {
   EngineConfig config;
   config.seed = 23;
   config.message_loss = 0.4;
-  config.push_threads = 3;
+  config.threads = 3;
   const auto first = run_and_collect(config);
   const auto second = run_and_collect(config);
   EXPECT_EQ(first, second);
@@ -119,6 +121,68 @@ TEST(ParallelEngineScenario, ShardedLosslessRunMatchesLegacy) {
   const auto legacy = scenario::ScenarioSpec(spec).threads(1).run();
   const auto sharded = scenario::ScenarioSpec(spec).threads(4).run();
   EXPECT_TRUE(test::same_metric_streams(legacy, sharded));
+}
+
+// Width matrix {1, 2, 4, hw} across the scenario axes the sharded phases
+// touch: churn (rejoin bootstraps), a non-default attack strategy
+// (Coordinator-driven Byzantine phases), fixed eviction (end_round), and
+// on-path tampering (serial exchange legs under the byte round-trip).
+// Lossless, so EVERY width — the sequential baseline included — must
+// produce bit-identical metric streams.
+TEST(ParallelEngineScenario, LosslessWidthMatrixIsBitIdenticalAcrossAxes) {
+  struct Cell {
+    const char* name;
+    scenario::ScenarioSpec spec;
+  };
+  const Cell cells[] = {
+      {"churn", test::Scenario().adversary(0.2).trusted_share(0.3).churn(true).rounds(
+                    16).seed(31)},
+      {"attack", test::Scenario()
+                     .adversary(0.25)
+                     .trusted_share(0.3)
+                     .attack("eclipse")
+                     .rounds(16)
+                     .seed(32)},
+      {"eviction", test::Scenario()
+                       .adversary(0.2)
+                       .trusted_share(0.4)
+                       .eviction_pct(60)
+                       .rounds(16)
+                       .seed(33)},
+      {"tamper", test::Scenario()
+                     .adversary(0.2)
+                     .trusted_share(0.3)
+                     .tamper_rate(0.05)
+                     .rounds(16)
+                     .seed(34)},
+  };
+  for (const Cell& cell : cells) {
+    const auto sequential = scenario::ScenarioSpec(cell.spec).threads(1).run();
+    for (const std::size_t width : {std::size_t{2}, std::size_t{4}, std::size_t{0}}) {
+      const auto sharded = scenario::ScenarioSpec(cell.spec).threads(width).run();
+      EXPECT_TRUE(test::same_metric_streams(sequential, sharded))
+          << "axis " << cell.name << ", width " << width;
+    }
+  }
+}
+
+// With loss the sharded widths share the per-node loss streams (a different
+// stream than sequential), so {2, 4, hw} must coincide with each other —
+// here under churn + attack simultaneously, the heaviest shared-state mix.
+TEST(ParallelEngineScenario, LossyShardedWidthsCoincideUnderChurnAndAttack) {
+  const auto spec = test::Scenario()
+                        .adversary(0.25)
+                        .trusted_share(0.3)
+                        .attack("oscillating")
+                        .churn(true)
+                        .message_loss(0.15)
+                        .rounds(16)
+                        .seed(35);
+  const auto two = scenario::ScenarioSpec(spec).threads(2).run();
+  const auto four = scenario::ScenarioSpec(spec).threads(4).run();
+  const auto hw = scenario::ScenarioSpec(spec).threads(0).run();
+  EXPECT_TRUE(test::same_metric_streams(two, four));
+  EXPECT_TRUE(test::same_metric_streams(two, hw));
 }
 
 TEST(ParallelEngineScenario, EngineThreadsAreValidatedAndSerialized) {

@@ -1,0 +1,84 @@
+// Peer-sampling-service load bench: starts an in-process rapteed daemon on
+// loopback, drives it with the closed-loop load generator, and reports
+// request latency percentiles (p50/p99) and requests/sec into the standard
+// bench_out JSON schema.
+//
+// Sizing: RAPTEE_BENCH_PORT (0 = ephemeral), RAPTEE_BENCH_CONNECTIONS,
+// RAPTEE_BENCH_DURATION_MS, plus RAPTEE_BENCH_N / _L1 / _SEED for the
+// embedded population. The ctest smoke registration runs ~250 ms with 4
+// connections; CI's bench job validates and uploads the JSON.
+//
+// Latency numbers are machine-dependent (they live next to the timing row
+// for that reason); the schema and the invariants the smoke asserts —
+// requests > 0, p50 <= p99, schema-valid JSON — are not.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "metrics/json.hpp"
+#include "net/load_gen.hpp"
+#include "net/service.hpp"
+
+namespace raptee {
+namespace {
+
+int run() {
+  const scenario::Knobs knobs = scenario::Knobs::from_env();
+  bench::print_header("service_load", knobs);
+  bench::WallTimer timer;
+
+  net::DaemonConfig dc;
+  dc.port = knobs.port;
+  dc.population = knobs.n > 64 ? 64 : knobs.n;  // service population, not a sweep
+  dc.view_size = 16;
+  dc.seed = knobs.seed;
+  net::ServiceDaemon daemon(dc);
+  const std::uint16_t port = daemon.start();
+  std::printf("daemon up on 127.0.0.1:%u (population %zu, %llu warmup rounds)\n",
+              port, dc.population,
+              static_cast<unsigned long long>(dc.warmup_rounds));
+
+  net::LoadConfig lc;
+  lc.port = port;
+  lc.connections = knobs.connections;
+  lc.duration = std::chrono::milliseconds(knobs.duration_ms);
+  const net::LoadReport load = net::run_load(lc);
+  daemon.stop();
+
+  std::printf(
+      "%llu requests (%llu errors) in %.1f ms over %zu connections: "
+      "p50 %.1f us, p99 %.1f us, %.0f req/s\n",
+      static_cast<unsigned long long>(load.requests),
+      static_cast<unsigned long long>(load.errors), load.duration_ms,
+      lc.connections, load.p50_us, load.p99_us, load.rps);
+
+  scenario::results::BenchReport report("service_load", knobs);
+  report.add_row(metrics::JsonObject()
+                     .field("connections", lc.connections)
+                     .field("requests", load.requests)
+                     .field("errors", load.errors)
+                     .field("samples_received", load.samples_received)
+                     .field("duration_ms", load.duration_ms)
+                     .field("p50_us", load.p50_us)
+                     .field("p99_us", load.p99_us)
+                     .field("max_us", load.max_us)
+                     .field("rps", load.rps)
+                     .field("daemon_requests_served", daemon.requests_served())
+                     .field("daemon_rounds_stepped", daemon.rounds_stepped()));
+  report.set_timing(timer.seconds(), lc.connections);
+  report.write();
+
+  if (load.requests == 0) {
+    std::fprintf(stderr, "FAIL: no request completed\n");
+    return 1;
+  }
+  if (load.p50_us > load.p99_us) {
+    std::fprintf(stderr, "FAIL: p50 > p99 (percentile math broken)\n");
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace raptee
+
+int main() { return raptee::run(); }

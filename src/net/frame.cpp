@@ -1,0 +1,55 @@
+#include "net/frame.hpp"
+
+#include <cstring>
+
+namespace raptee::net {
+
+void append_frame(std::vector<std::uint8_t>& out, const std::uint8_t* payload,
+                  std::size_t len, std::size_t max_frame) {
+  if (len > max_frame) {
+    throw FrameError("frame payload of " + std::to_string(len) +
+                     " bytes exceeds the " + std::to_string(max_frame) + "-byte cap");
+  }
+  const auto n = static_cast<std::uint32_t>(len);
+  out.push_back(static_cast<std::uint8_t>(n));
+  out.push_back(static_cast<std::uint8_t>(n >> 8));
+  out.push_back(static_cast<std::uint8_t>(n >> 16));
+  out.push_back(static_cast<std::uint8_t>(n >> 24));
+  out.insert(out.end(), payload, payload + len);
+}
+
+void FrameSplitter::feed(const std::uint8_t* data, std::size_t len) {
+  // Compact once the consumed prefix dominates the buffer, so a long-lived
+  // connection doesn't grow its buffer without bound while staying O(1)
+  // amortized per byte.
+  if (pos_ > 0 && pos_ >= buf_.size() / 2) {
+    buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(pos_));
+    pos_ = 0;
+  }
+  buf_.insert(buf_.end(), data, data + len);
+}
+
+bool FrameSplitter::next(std::vector<std::uint8_t>& payload) {
+  const std::size_t avail = buf_.size() - pos_;
+  if (avail < kFrameHeader) return false;  // length prefix itself truncated
+  const std::uint8_t* p = buf_.data() + pos_;
+  const std::uint32_t len = static_cast<std::uint32_t>(p[0]) |
+                            (static_cast<std::uint32_t>(p[1]) << 8) |
+                            (static_cast<std::uint32_t>(p[2]) << 16) |
+                            (static_cast<std::uint32_t>(p[3]) << 24);
+  if (len > max_frame_) {
+    throw FrameError("incoming frame length " + std::to_string(len) +
+                     " exceeds the " + std::to_string(max_frame_) + "-byte cap");
+  }
+  if (avail < kFrameHeader + len) return false;  // payload still in flight
+  payload.clear();
+  payload.insert(payload.end(), p + kFrameHeader, p + kFrameHeader + len);
+  pos_ += kFrameHeader + len;
+  if (pos_ == buf_.size()) {
+    buf_.clear();
+    pos_ = 0;
+  }
+  return true;
+}
+
+}  // namespace raptee::net

@@ -1,0 +1,70 @@
+// Length-prefixed framing for the socket transport.
+//
+// A TCP stream has no message boundaries; the bus restores them with the
+// smallest possible envelope: a 4-byte little-endian payload length followed
+// by the payload bytes. The payload is carried UNCHANGED — for node links it
+// is exactly the wire::LinkCipher frame (seq || ciphertext || tag) sealed
+// over the wire:: codec bytes the simulator produces, so the transport adds
+// no serialization of its own on top of the existing wire format.
+// Little-endian matches the wire:: codec convention (buffer.hpp).
+//
+// FrameSplitter is the receive half: feed() accepts whatever byte slices
+// the kernel hands you — a frame chopped at any split point, several frames
+// coalesced into one read, a length prefix truncated mid-u32 — and next()
+// yields complete payloads in order. A length prefix exceeding `max_frame`
+// is unrecoverable (the stream offset is poisoned) and throws FrameError;
+// the connection must be torn down.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace raptee::net {
+
+class FrameError : public std::runtime_error {
+ public:
+  explicit FrameError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Frames larger than this are rejected on both send and receive: a length
+/// bomb from a Byzantine peer must not allocate gigabytes. Generous for the
+/// protocol's largest leg (a PullReply view of a million-node population is
+/// ~4 MB < 16 MB).
+inline constexpr std::size_t kMaxFrame = 16u << 20;
+
+/// Bytes of the length prefix.
+inline constexpr std::size_t kFrameHeader = 4;
+
+/// Appends `len` as a 4-byte little-endian prefix followed by the payload.
+/// Throws FrameError if `len` exceeds `max_frame`.
+void append_frame(std::vector<std::uint8_t>& out, const std::uint8_t* payload,
+                  std::size_t len, std::size_t max_frame = kMaxFrame);
+
+/// Incremental frame reassembly over arbitrary byte-slice boundaries.
+class FrameSplitter {
+ public:
+  explicit FrameSplitter(std::size_t max_frame = kMaxFrame) : max_frame_(max_frame) {}
+
+  /// Buffers `len` more stream bytes.
+  void feed(const std::uint8_t* data, std::size_t len);
+
+  /// Moves the next complete payload into `payload` (clearing it first) and
+  /// returns true; false when no complete frame is buffered. Throws
+  /// FrameError on an oversized length prefix — the stream is then
+  /// unusable, feed()/next() must not be called again.
+  [[nodiscard]] bool next(std::vector<std::uint8_t>& payload);
+
+  /// Bytes buffered but not yet consumed by next() (a truncated length
+  /// prefix or partial frame counts; zero means the stream is on a frame
+  /// boundary).
+  [[nodiscard]] std::size_t buffered() const { return buf_.size() - pos_; }
+
+ private:
+  std::size_t max_frame_;
+  std::vector<std::uint8_t> buf_;
+  std::size_t pos_ = 0;  // consumed prefix of buf_, compacted lazily
+};
+
+}  // namespace raptee::net

@@ -1,0 +1,123 @@
+// Peer-sampling-as-a-service: the request/reply codec and the daemon.
+//
+// The paper's peer-sampling service is an API other protocols build on —
+// "give me k uniformly sampled live peers". ServiceDaemon exposes exactly
+// that over the socket bus: it embeds a RAPTEE population (the simulation
+// engine stepping on a background thread), and answers SampleRequest frames
+// from anonymous clients with samples drawn from the embedded service
+// node's sampler output — the l2 sample list, the component the protocol
+// guarantees converges to uniform-over-live-nodes.
+//
+// Framing: service frames ride the same 4-byte length-prefixed envelope as
+// node links, in the clear (role kClient — an anonymous client shares no
+// master key, and the sample list is public-read by design; see bus.hpp).
+//
+//   SampleRequest := u8 kind=1 | u64 tag | u16 count
+//   SampleReply   := u8 kind=2 | u64 tag | u64 round | NodeId list
+//
+// `tag` is echoed verbatim so a pipelining client can match replies.
+// Malformed requests are dropped (never answered), mirroring the protocol
+// codecs' posture toward Byzantine bytes.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "net/bus.hpp"
+#include "sim/engine.hpp"
+
+namespace raptee::net {
+
+struct SampleRequest {
+  std::uint64_t tag = 0;
+  std::uint16_t count = 1;
+};
+
+struct SampleReply {
+  std::uint64_t tag = 0;
+  std::uint64_t round = 0;
+  std::vector<NodeId> samples;
+};
+
+[[nodiscard]] std::vector<std::uint8_t> encode_sample_request(const SampleRequest& req);
+[[nodiscard]] std::vector<std::uint8_t> encode_sample_reply(const SampleReply& reply);
+/// nullopt on malformed bytes (the daemon drops, a client treats as error).
+[[nodiscard]] std::optional<SampleRequest> decode_sample_request(
+    const std::uint8_t* data, std::size_t len);
+[[nodiscard]] std::optional<SampleReply> decode_sample_reply(
+    const std::uint8_t* data, std::size_t len);
+
+/// Hard cap on samples per request (a length bomb must not build a
+/// megabyte reply).
+inline constexpr std::uint16_t kMaxSamplesPerRequest = 256;
+
+struct DaemonConfig {
+  std::uint16_t port = 0;        ///< 0 = ephemeral
+  std::size_t population = 32;   ///< embedded RAPTEE population size
+  std::size_t view_size = 16;    ///< Brahms l1 = l2 for the population
+  std::uint64_t seed = 1;
+  Round warmup_rounds = 20;      ///< rounds stepped before serving
+  std::chrono::milliseconds step_interval{25};  ///< background round cadence
+  std::chrono::milliseconds drain{500};         ///< stop(): flush budget
+};
+
+/// The rapteed core, embeddable in tests: start() brings the service up on
+/// a loopback port, stop() drains and joins. Thread layout: the bus loop
+/// thread serves requests from a mutex-guarded sampler snapshot; a step
+/// thread advances the embedded engine and refreshes the snapshot — the
+/// engine itself is single-threaded and never touched by the bus thread.
+class ServiceDaemon {
+ public:
+  explicit ServiceDaemon(DaemonConfig config);
+  ~ServiceDaemon();
+
+  /// Builds and warms up the population, binds the port, starts serving.
+  /// Returns the bound port.
+  std::uint16_t start();
+
+  /// Graceful drain: stop accepting, flush replies in flight (bounded by
+  /// config.drain), stop the step thread. Idempotent.
+  void stop();
+
+  [[nodiscard]] std::uint64_t requests_served() const {
+    return served_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t requests_rejected() const {
+    return rejected_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t rounds_stepped() const {
+    return rounds_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] BusStats bus_stats() const { return bus_->stats(); }
+
+ private:
+  void step_loop();
+  void refresh_snapshot();
+  void on_frame(const Peer& peer, std::vector<std::uint8_t> payload);
+
+  DaemonConfig config_;
+  std::unique_ptr<sim::Engine> engine_;
+  std::unique_ptr<Bus> bus_;
+  std::thread stepper_;
+  std::atomic<bool> running_{false};
+  bool started_ = false;
+
+  mutable std::mutex snapshot_mu_;
+  std::vector<NodeId> snapshot_;   ///< service node's current sample list
+  std::uint64_t snapshot_round_ = 0;
+  Rng sample_rng_;
+
+  std::atomic<std::uint64_t> served_{0};
+  std::atomic<std::uint64_t> rejected_{0};
+  std::atomic<std::uint64_t> rounds_{0};
+};
+
+}  // namespace raptee::net

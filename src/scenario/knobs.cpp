@@ -92,6 +92,9 @@ Knobs Knobs::from_env() {
   knobs.threads = env_size("RAPTEE_BENCH_THREADS", knobs.threads, 1, 4096);
   knobs.seed = env_u64("RAPTEE_BENCH_SEED", knobs.seed, 0, ~0ull);
   knobs.tamper_pct = env_size("RAPTEE_BENCH_TAMPER_PCT", knobs.tamper_pct, 0, 100);
+  knobs.port = static_cast<std::uint16_t>(env_u64("RAPTEE_BENCH_PORT", 0, 0, 65535));
+  knobs.connections = env_size("RAPTEE_BENCH_CONNECTIONS", knobs.connections, 1, 4096);
+  knobs.duration_ms = env_u64("RAPTEE_BENCH_DURATION_MS", knobs.duration_ms, 1, 600000);
   if (const char* attack = std::getenv("RAPTEE_BENCH_ATTACK")) {
     RAPTEE_REQUIRE(adversary::StrategyRegistry::instance().contains(attack),
                    "RAPTEE_BENCH_ATTACK names an unregistered strategy: '" << attack

@@ -50,6 +50,12 @@ struct Knobs {
   /// any name registered with adversary::StrategyRegistry (default
   /// parameters via AttackSpec::named).
   std::string attack = "balanced";
+  /// Service-bench (bench/service_load) knobs. RAPTEE_BENCH_PORT accepts
+  /// 0..65535 (0 = ephemeral), RAPTEE_BENCH_CONNECTIONS 1..4096,
+  /// RAPTEE_BENCH_DURATION_MS 1..600000.
+  std::uint16_t port = 0;
+  std::size_t connections = 8;
+  std::uint64_t duration_ms = 1000;
 
   /// Reads RAPTEE_BENCH_* from the environment (strict parse, see above).
   [[nodiscard]] static Knobs from_env();

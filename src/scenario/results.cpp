@@ -55,6 +55,9 @@ std::string to_json(const Knobs& knobs) {
       .field("seed", knobs.seed)
       .field("tamper_pct", knobs.tamper_pct)
       .field("attack", knobs.attack)
+      .field("port", static_cast<std::uint64_t>(knobs.port))
+      .field("connections", knobs.connections)
+      .field("duration_ms", knobs.duration_ms)
       .str();
 }
 

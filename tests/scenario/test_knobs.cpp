@@ -15,11 +15,12 @@
 namespace raptee::scenario {
 namespace {
 
-const char* const kVars[] = {"RAPTEE_BENCH_FULL",       "RAPTEE_BENCH_N",
-                             "RAPTEE_BENCH_L1",         "RAPTEE_BENCH_ROUNDS",
-                             "RAPTEE_BENCH_REPS",       "RAPTEE_BENCH_THREADS",
-                             "RAPTEE_BENCH_SEED",       "RAPTEE_BENCH_TAMPER_PCT",
-                             "RAPTEE_BENCH_ATTACK"};
+const char* const kVars[] = {"RAPTEE_BENCH_FULL",        "RAPTEE_BENCH_N",
+                             "RAPTEE_BENCH_L1",          "RAPTEE_BENCH_ROUNDS",
+                             "RAPTEE_BENCH_REPS",        "RAPTEE_BENCH_THREADS",
+                             "RAPTEE_BENCH_SEED",        "RAPTEE_BENCH_TAMPER_PCT",
+                             "RAPTEE_BENCH_ATTACK",      "RAPTEE_BENCH_PORT",
+                             "RAPTEE_BENCH_CONNECTIONS", "RAPTEE_BENCH_DURATION_MS"};
 
 /// Clears every RAPTEE_BENCH_* variable for the test and restores the
 /// ambient values afterwards (CI exports RAPTEE_BENCH_THREADS, so the
@@ -149,6 +150,36 @@ TEST_F(KnobsEnvFixture, AttackKnobSelectsRegisteredStrategies) {
   set("RAPTEE_BENCH_ATTACK", "not-a-strategy");
   EXPECT_THROW((void)Knobs::from_env(), std::invalid_argument);
   set("RAPTEE_BENCH_ATTACK", "");
+  EXPECT_THROW((void)Knobs::from_env(), std::invalid_argument);
+}
+
+TEST_F(KnobsEnvFixture, ServiceBenchKnobsDefaultAndParse) {
+  const Knobs defaults = Knobs::from_env();
+  EXPECT_EQ(defaults.port, 0u);          // 0 = ephemeral port
+  EXPECT_EQ(defaults.connections, 8u);
+  EXPECT_EQ(defaults.duration_ms, 1000u);
+  set("RAPTEE_BENCH_PORT", "19099");
+  set("RAPTEE_BENCH_CONNECTIONS", "32");
+  set("RAPTEE_BENCH_DURATION_MS", "250");
+  const Knobs knobs = Knobs::from_env();
+  EXPECT_EQ(knobs.port, 19099u);
+  EXPECT_EQ(knobs.connections, 32u);
+  EXPECT_EQ(knobs.duration_ms, 250u);
+}
+
+TEST_F(KnobsEnvFixture, ServiceBenchKnobsAreRangeAndFormatChecked) {
+  set("RAPTEE_BENCH_PORT", "65536");  // not a TCP port
+  EXPECT_THROW((void)Knobs::from_env(), std::invalid_argument);
+  set("RAPTEE_BENCH_PORT", "0");  // explicit ephemeral is fine
+  EXPECT_EQ(Knobs::from_env().port, 0u);
+
+  set("RAPTEE_BENCH_CONNECTIONS", "0");  // a load of zero clients is a typo
+  EXPECT_THROW((void)Knobs::from_env(), std::invalid_argument);
+  ::unsetenv("RAPTEE_BENCH_CONNECTIONS");
+
+  set("RAPTEE_BENCH_DURATION_MS", "600001");  // cap: 10 minutes
+  EXPECT_THROW((void)Knobs::from_env(), std::invalid_argument);
+  set("RAPTEE_BENCH_DURATION_MS", "250ms");  // strict: no unit suffix
   EXPECT_THROW((void)Knobs::from_env(), std::invalid_argument);
 }
 

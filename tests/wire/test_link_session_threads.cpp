@@ -1,0 +1,144 @@
+// LinkTable thread-safety regression (satellite of the transport PR).
+//
+// The table's concurrency contract (link_session.hpp) has two layers:
+//
+//   * every TABLE method — session, establish, invalidate, invalidate_pair,
+//     invalidate_session, retire_idle, and the stat getters — is internally
+//     locked and safe from any thread. This test hammers all of them
+//     concurrently over an overlapping pair set; under the CI TSan job any
+//     lock regression fails loudly.
+//   * a SESSION's cipher state is NOT internally synchronized — one
+//     connection owns one pair, so the bus never seals a pair from two
+//     threads. The single-threaded tail below checks the pointer-guarded
+//     invalidate_session semantics and distributed token agreement that the
+//     bus relies on for correctness of that ownership rule.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "common/types.hpp"
+#include "crypto/key.hpp"
+#include "wire/link_session.hpp"
+
+namespace raptee::wire {
+namespace {
+
+crypto::SymmetricKey test_master() {
+  return crypto::Drbg(991, "link-threads-master").generate_key();
+}
+
+TEST(LinkSessionThreads, TableMethodsAreSafeFromConcurrentThreads) {
+  LinkTable table(test_master());
+  constexpr std::uint32_t kNodes = 6;
+  constexpr int kIterations = 400;
+  std::atomic<bool> go{false};
+  std::atomic<std::uint64_t> observed_sessions{0};
+
+  // Thread A: establishes sessions round-robin over every unordered pair.
+  std::thread establisher([&] {
+    while (!go.load()) {}
+    for (int i = 0; i < kIterations; ++i) {
+      const NodeId a{static_cast<std::uint32_t>(i) % kNodes};
+      const NodeId b{(static_cast<std::uint32_t>(i) + 1 + i % 4) % kNodes};
+      if (a == b) continue;
+      (void)table.establish(a, b, 0xBEEF00 + static_cast<std::uint64_t>(i));
+    }
+  });
+
+  // Thread B: the simulator path — counter-based session() on the same pairs.
+  std::thread requester([&] {
+    while (!go.load()) {}
+    for (int i = 0; i < kIterations; ++i) {
+      const NodeId a{static_cast<std::uint32_t>(i * 3) % kNodes};
+      const NodeId b{(static_cast<std::uint32_t>(i * 3) + 2) % kNodes};
+      if (a == b) continue;
+      (void)table.session(a, b, static_cast<std::uint64_t>(i));
+    }
+  });
+
+  // Thread C: churn — node and pair invalidation plus idle retirement.
+  std::thread invalidator([&] {
+    while (!go.load()) {}
+    for (int i = 0; i < kIterations; ++i) {
+      switch (i % 3) {
+        case 0:
+          table.invalidate(NodeId{static_cast<std::uint32_t>(i) % kNodes});
+          break;
+        case 1:
+          table.invalidate_pair(NodeId{static_cast<std::uint32_t>(i) % kNodes},
+                                NodeId{(static_cast<std::uint32_t>(i) + 1) % kNodes});
+          break;
+        default:
+          table.retire_idle(static_cast<std::uint64_t>(i), 2);
+          break;
+      }
+    }
+  });
+
+  // Thread D: the stats surface the bench and daemon poll while the bus
+  // loop threads mutate the table.
+  std::thread reader([&] {
+    while (!go.load()) {}
+    for (int i = 0; i < kIterations; ++i) {
+      observed_sessions.fetch_add(table.active_sessions());
+      (void)table.derivations();
+    }
+  });
+
+  go.store(true);
+  establisher.join();
+  requester.join();
+  invalidator.join();
+  reader.join();
+
+  // Liveness, not exact counts: work really happened, and the table ends
+  // in a sane state.
+  EXPECT_GT(table.derivations(), 0u);
+  EXPECT_LE(table.active_sessions(), kNodes * (kNodes - 1) / 2);
+  (void)observed_sessions;
+}
+
+TEST(LinkSessionThreads, InvalidateSessionOnlyTearsDownTheExpectedSession) {
+  LinkTable table(test_master());
+  const NodeId a{1};
+  const NodeId b{2};
+  LinkSession& first = table.establish(a, b, 100);
+  // The pair re-establishes (a reconnect won the race)...
+  LinkSession& second = table.establish(a, b, 200);
+  ASSERT_EQ(table.active_sessions(), 1u);
+  // ...and the STALE connection's close must not tear the successor down.
+  table.invalidate_session(a, b, &first);
+  EXPECT_EQ(table.active_sessions(), 1u);
+  // The owning connection's close does.
+  table.invalidate_session(a, b, &second);
+  EXPECT_EQ(table.active_sessions(), 0u);
+}
+
+TEST(LinkSessionThreads, SameTokenOnIndependentTablesAgreesByteForByte) {
+  // The distributed-agreement property the transport handshake depends on:
+  // independent same-master tables + same token = identical sealed bytes.
+  LinkTable left(test_master());
+  LinkTable right(test_master());
+  LinkSession& ls = left.establish(NodeId{3}, NodeId{8}, 0xA11CE);
+  LinkSession& rs = right.establish(NodeId{8}, NodeId{3}, 0xA11CE);
+
+  const std::vector<std::uint8_t> plain = {9, 8, 7, 6, 5, 4, 3, 2, 1};
+  std::vector<std::uint8_t> sealed_left;
+  std::vector<std::uint8_t> sealed_right;
+  ls.channel_from(NodeId{3}).seal_into(plain.data(), plain.size(), sealed_left);
+  rs.channel_from(NodeId{3}).seal_into(plain.data(), plain.size(), sealed_right);
+  EXPECT_EQ(sealed_left, sealed_right);
+
+  // A different token derives a different keystream.
+  LinkTable other(test_master());
+  LinkSession& os = other.establish(NodeId{3}, NodeId{8}, 0xA11CF);
+  std::vector<std::uint8_t> sealed_other;
+  os.channel_from(NodeId{3}).seal_into(plain.data(), plain.size(), sealed_other);
+  EXPECT_NE(sealed_other, sealed_left);
+}
+
+}  // namespace
+}  // namespace raptee::wire

@@ -1,0 +1,77 @@
+// raptee_load — load generator for a running rapteed.
+//
+// Opens `connections` persistent client connections to the daemon and
+// drives closed-loop SampleRequests for `duration_ms`, then prints the
+// latency/throughput report (see src/net/load_gen.hpp).
+//
+//   ./build/tools/raptee_load <port> [connections] [duration_ms] [samples]
+//
+// Exit status: 0 when at least one request completed, 1 when the daemon
+// was reachable but served nothing, 2 on bad usage (strict argv parsing —
+// garbage numbers are an error, not a default).
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <stdexcept>
+
+#include "net/load_gen.hpp"
+#include "net/socket.hpp"
+#include "scenario/knobs.hpp"
+
+namespace {
+
+[[noreturn]] void usage_exit(const char* error) {
+  std::cerr << "error: " << error << "\n"
+            << "usage: raptee_load <port> [connections] [duration_ms] [samples]\n"
+            << "  port         rapteed port on 127.0.0.1, 1..65535 (required)\n"
+            << "  connections  concurrent clients, 1..4096 (default 8)\n"
+            << "  duration_ms  load duration, 1..600000 (default 1000)\n"
+            << "  samples      samples per request, 1..256 (default 8)\n";
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace raptee;
+
+  net::LoadConfig config;
+  try {
+    if (argc < 2) usage_exit("missing port");
+    config.port =
+        static_cast<std::uint16_t>(scenario::parse_u64("port", argv[1], 1, 65535));
+    if (argc > 2) {
+      config.connections = static_cast<std::size_t>(
+          scenario::parse_u64("connections", argv[2], 1, 4096));
+    }
+    if (argc > 3) {
+      config.duration = std::chrono::milliseconds(
+          scenario::parse_u64("duration_ms", argv[3], 1, 600000));
+    }
+    if (argc > 4) {
+      config.samples_per_request = static_cast<std::uint16_t>(
+          scenario::parse_u64("samples", argv[4], 1, 256));
+    }
+    if (argc > 5) usage_exit("too many arguments");
+  } catch (const std::invalid_argument& error) {
+    usage_exit(error.what());
+  }
+
+  net::LoadReport report;
+  try {
+    report = net::run_load(config);
+  } catch (const net::NetError& error) {
+    std::fprintf(stderr, "raptee_load: %s\n", error.what());
+    return 1;
+  }
+
+  std::printf(
+      "%llu requests (%llu errors, %llu samples) in %.1f ms over %zu "
+      "connections\np50 %.1f us  p99 %.1f us  max %.1f us  %.0f req/s\n",
+      static_cast<unsigned long long>(report.requests),
+      static_cast<unsigned long long>(report.errors),
+      static_cast<unsigned long long>(report.samples_received),
+      report.duration_ms, config.connections, report.p50_us, report.p99_us,
+      report.max_us, report.rps);
+  return report.requests > 0 ? 0 : 1;
+}

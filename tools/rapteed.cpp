@@ -1,0 +1,86 @@
+// rapteed — peer-sampling-as-a-service daemon.
+//
+// Embeds a RAPTEE population (stepping continuously in the background) and
+// serves SampleRequest frames over the loopback socket bus (see
+// src/net/service.hpp for the protocol). Prints the bound port on stdout
+// (scripts with port 0 capture it), then runs until SIGINT/SIGTERM, which
+// triggers a graceful drain: stop accepting, flush replies in flight, then
+// exit 0 with a stats summary.
+//
+//   ./build/tools/rapteed [port] [population] [seed]
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <stdexcept>
+#include <thread>
+
+#include "net/service.hpp"
+#include "scenario/knobs.hpp"
+
+namespace {
+
+[[noreturn]] void usage_exit(const char* error) {
+  std::cerr << "error: " << error << "\n"
+            << "usage: rapteed [port] [population] [seed]\n"
+            << "  port        TCP port on 127.0.0.1, 0..65535 (default 0 = ephemeral)\n"
+            << "  population  embedded RAPTEE population, 8..4096 (default 32)\n"
+            << "  seed        simulation seed (default 1)\n";
+  std::exit(2);
+}
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void on_signal(int) { g_stop = 1; }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace raptee;
+
+  net::DaemonConfig config;
+  try {
+    if (argc > 1) {
+      config.port = static_cast<std::uint16_t>(
+          scenario::parse_u64("port", argv[1], 0, 65535));
+    }
+    if (argc > 2) {
+      config.population = static_cast<std::size_t>(
+          scenario::parse_u64("population", argv[2], 8, 4096));
+    }
+    if (argc > 3) {
+      config.seed = scenario::parse_u64("seed", argv[3], 0, ~0ull);
+    }
+    if (argc > 4) usage_exit("too many arguments");
+  } catch (const std::invalid_argument& error) {
+    usage_exit(error.what());
+  }
+  if (config.view_size >= config.population) {
+    config.view_size = config.population / 2;
+  }
+
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+
+  net::ServiceDaemon daemon(config);
+  const std::uint16_t port = daemon.start();
+  // Line-buffered handshake for wrapper scripts: first line is the port.
+  std::printf("rapteed listening on 127.0.0.1:%u\n", port);
+  std::fflush(stdout);
+
+  while (g_stop == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+
+  std::printf("rapteed draining...\n");
+  daemon.stop();
+  const auto stats = daemon.bus_stats();
+  std::printf("rapteed done: %llu requests served, %llu rejected, "
+              "%llu rounds stepped, %llu frames in / %llu out\n",
+              static_cast<unsigned long long>(daemon.requests_served()),
+              static_cast<unsigned long long>(daemon.requests_rejected()),
+              static_cast<unsigned long long>(daemon.rounds_stepped()),
+              static_cast<unsigned long long>(stats.frames_received),
+              static_cast<unsigned long long>(stats.frames_sent));
+  return 0;
+}

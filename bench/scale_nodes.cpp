@@ -29,6 +29,7 @@
 //   RAPTEE_BENCH_MIN_ROUNDS_PER_SEC gate: throughput floor at the largest
 //                                   point (exit 1)
 #include <algorithm>
+#include <array>
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
@@ -153,6 +154,8 @@ struct ScalePoint {
   double round_ms_p90 = 0.0;
   double rounds_per_second = 0.0;
   std::uint64_t pushes_delivered = 0;
+  /// Mean wall ms/round per engine phase, indexed by sim::Engine::Phase.
+  std::array<double, sim::Engine::kPhaseCount> phase_ms_mean{};
 };
 
 /// One sweep point: an honest-only BrahmsNode population of size n driven
@@ -187,10 +190,17 @@ ScalePoint run_scale_point(std::size_t n, const scenario::Knobs& knobs, Round ro
 
   std::vector<double> round_seconds;
   round_seconds.reserve(rounds);
+  std::array<std::uint64_t, sim::Engine::kPhaseCount> phase_us{};
   for (Round r = 0; r < rounds; ++r) {
     const bench::WallTimer round_timer;
     engine.step();
     round_seconds.push_back(round_timer.seconds());
+    const auto& last = engine.last_phase_us();
+    for (std::size_t p = 0; p < phase_us.size(); ++p) phase_us[p] += last[p];
+  }
+  for (std::size_t p = 0; p < phase_us.size(); ++p) {
+    point.phase_ms_mean[p] =
+        static_cast<double>(phase_us[p]) / 1000.0 / static_cast<double>(rounds);
   }
 
   const std::size_t peak = g_peak.load(std::memory_order_relaxed);
@@ -284,24 +294,40 @@ int main() {
 
   metrics::TablePrinter table({"n", "build s", "peak MiB", "B/node", "round ms p50",
                                "round ms p90", "rounds/s"});
+  metrics::TablePrinter phase_table({"n", "begin ms", "push gen ms", "deliver ms",
+                                     "pulls ms", "end ms"});
   metrics::CsvWriter csv({"n", "build_seconds", "peak_bytes", "bytes_per_node",
-                          "round_ms_p50", "round_ms_p90", "rounds_per_second"});
+                          "round_ms_p50", "round_ms_p90", "rounds_per_second",
+                          "begin_round_ms", "push_gen_ms", "push_deliver_ms",
+                          "pulls_ms", "end_round_ms"});
   ScalePoint largest;
   bool pushes_flowed = true;
   for (const std::size_t n : populations) {
     const ScalePoint point = run_scale_point(n, knobs, sweep_rounds);
     largest = point;
     pushes_flowed = pushes_flowed && point.pushes_delivered > 0;
+    const auto& ph = point.phase_ms_mean;
     table.add_row({std::to_string(point.n), metrics::fmt(point.build_seconds, 2),
                    fmt_mib(point.peak_bytes), metrics::fmt(point.bytes_per_node, 0),
                    metrics::fmt(point.round_ms_p50, 2),
                    metrics::fmt(point.round_ms_p90, 2),
                    metrics::fmt(point.rounds_per_second, 2)});
+    phase_table.add_row({std::to_string(point.n),
+                         metrics::fmt(ph[sim::Engine::kPhaseBeginRound], 2),
+                         metrics::fmt(ph[sim::Engine::kPhasePushGen], 2),
+                         metrics::fmt(ph[sim::Engine::kPhasePushDeliver], 2),
+                         metrics::fmt(ph[sim::Engine::kPhasePulls], 2),
+                         metrics::fmt(ph[sim::Engine::kPhaseEndRound], 2)});
     csv.add_row({std::to_string(point.n), metrics::fmt(point.build_seconds, 4),
                  std::to_string(point.peak_bytes),
                  metrics::fmt(point.bytes_per_node, 1),
                  metrics::fmt(point.round_ms_p50, 4), metrics::fmt(point.round_ms_p90, 4),
-                 metrics::fmt(point.rounds_per_second, 3)});
+                 metrics::fmt(point.rounds_per_second, 3),
+                 metrics::fmt(ph[sim::Engine::kPhaseBeginRound], 4),
+                 metrics::fmt(ph[sim::Engine::kPhasePushGen], 4),
+                 metrics::fmt(ph[sim::Engine::kPhasePushDeliver], 4),
+                 metrics::fmt(ph[sim::Engine::kPhasePulls], 4),
+                 metrics::fmt(ph[sim::Engine::kPhaseEndRound], 4)});
     report.add_row(metrics::JsonObject()
                        .field("kind", "scale")
                        .field("n", point.n)
@@ -310,9 +336,15 @@ int main() {
                        .field("bytes_per_node", point.bytes_per_node)
                        .field("round_ms_p50", point.round_ms_p50)
                        .field("round_ms_p90", point.round_ms_p90)
-                       .field("rounds_per_second", point.rounds_per_second));
+                       .field("rounds_per_second", point.rounds_per_second)
+                       .field("begin_round_ms", ph[sim::Engine::kPhaseBeginRound])
+                       .field("push_gen_ms", ph[sim::Engine::kPhasePushGen])
+                       .field("push_deliver_ms", ph[sim::Engine::kPhasePushDeliver])
+                       .field("pulls_ms", ph[sim::Engine::kPhasePulls])
+                       .field("end_round_ms", ph[sim::Engine::kPhaseEndRound]));
   }
   std::cout << table.render() << '\n';
+  std::cout << "per-phase mean wall ms/round:\n" << phase_table.render() << '\n';
   std::cout << "hardware threads: " << hw << "\n\n";
 
   report.set_timing(bench_timer.seconds(), resolved_threads);

@@ -3,6 +3,16 @@
 // request latency percentiles (p50/p99) and requests/sec into the standard
 // bench_out JSON schema.
 //
+// Two passes over a fresh daemon each (same seed): unmonitored, then with a
+// live MonitorServer attached. Halfway through the monitored pass a scraper
+// thread GETs /metrics and the bench gates on the response being
+// schema-valid JSON that already carries the Bus and Engine phase
+// histograms — the "monitoring observes a busy daemon without touching it"
+// contract. The monitored-vs-unmonitored p99 delta is reported always and
+// gated (< 5% regression) only under RAPTEE_BENCH_REQUIRE_SPEEDUP=1, the
+// same opt-in the timing-sensitive benches use, because shared CI runners
+// make latency ratios flaky.
+//
 // Sizing: RAPTEE_BENCH_PORT (0 = ephemeral), RAPTEE_BENCH_CONNECTIONS,
 // RAPTEE_BENCH_DURATION_MS, plus RAPTEE_BENCH_N / _L1 / _SEED for the
 // embedded population. The ctest smoke registration runs ~250 ms with 4
@@ -10,69 +20,148 @@
 //
 // Latency numbers are machine-dependent (they live next to the timing row
 // for that reason); the schema and the invariants the smoke asserts —
-// requests > 0, p50 <= p99, schema-valid JSON — are not.
+// requests > 0, p50 <= p99, schema-valid JSON, schema-valid scrape — are
+// not.
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
 
 #include "bench_common.hpp"
 #include "metrics/json.hpp"
 #include "net/load_gen.hpp"
 #include "net/service.hpp"
+#include "obs/http.hpp"
+#include "obs/registry.hpp"
 
 namespace raptee {
 namespace {
 
-int run() {
-  const scenario::Knobs knobs = scenario::Knobs::from_env();
-  bench::print_header("service_load", knobs);
-  bench::WallTimer timer;
+struct Pass {
+  net::LoadReport load;
+  std::uint64_t daemon_requests_served = 0;
+  std::uint64_t daemon_rounds_stepped = 0;
+};
 
+/// One load pass against a fresh daemon. `monitor` (nullable) is already
+/// serving; it only matters here because its scrape traffic shares the
+/// process while the load runs.
+Pass run_pass(const scenario::Knobs& knobs, net::LoadConfig lc) {
   net::DaemonConfig dc;
   dc.port = knobs.port;
   dc.population = knobs.n > 64 ? 64 : knobs.n;  // service population, not a sweep
   dc.view_size = 16;
   dc.seed = knobs.seed;
   net::ServiceDaemon daemon(dc);
-  const std::uint16_t port = daemon.start();
-  std::printf("daemon up on 127.0.0.1:%u (population %zu, %llu warmup rounds)\n",
-              port, dc.population,
-              static_cast<unsigned long long>(dc.warmup_rounds));
+  lc.port = daemon.start();
+  Pass pass;
+  pass.load = net::run_load(lc);
+  daemon.stop();
+  pass.daemon_requests_served = daemon.requests_served();
+  pass.daemon_rounds_stepped = daemon.rounds_stepped();
+  return pass;
+}
+
+void print_pass(const char* label, const Pass& pass, std::size_t connections) {
+  std::printf(
+      "%s: %llu requests (%llu errors) in %.1f ms over %zu connections: "
+      "p50 %.1f us, p99 %.1f us, %.0f req/s\n",
+      label, static_cast<unsigned long long>(pass.load.requests),
+      static_cast<unsigned long long>(pass.load.errors), pass.load.duration_ms,
+      connections, pass.load.p50_us, pass.load.p99_us, pass.load.rps);
+}
+
+metrics::JsonObject pass_row(const char* label, const Pass& pass,
+                             const net::LoadConfig& lc) {
+  return metrics::JsonObject()
+      .field("pass", label)
+      .field("connections", lc.connections)
+      .field("requests", pass.load.requests)
+      .field("errors", pass.load.errors)
+      .field("samples_received", pass.load.samples_received)
+      .field("duration_ms", pass.load.duration_ms)
+      .field("p50_us", pass.load.p50_us)
+      .field("p99_us", pass.load.p99_us)
+      .field("max_us", pass.load.max_us)
+      .field("rps", pass.load.rps)
+      .field("daemon_requests_served", pass.daemon_requests_served)
+      .field("daemon_rounds_stepped", pass.daemon_rounds_stepped);
+}
+
+int run() {
+  const scenario::Knobs knobs = scenario::Knobs::from_env();
+  bench::print_header("service_load", knobs);
+  bench::WallTimer timer;
 
   net::LoadConfig lc;
-  lc.port = port;
   lc.connections = knobs.connections;
   lc.duration = std::chrono::milliseconds(knobs.duration_ms);
-  const net::LoadReport load = net::run_load(lc);
-  daemon.stop();
 
-  std::printf(
-      "%llu requests (%llu errors) in %.1f ms over %zu connections: "
-      "p50 %.1f us, p99 %.1f us, %.0f req/s\n",
-      static_cast<unsigned long long>(load.requests),
-      static_cast<unsigned long long>(load.errors), load.duration_ms,
-      lc.connections, load.p50_us, load.p99_us, load.rps);
+  // Pass 1: baseline, no monitor in the process.
+  const Pass plain = run_pass(knobs, lc);
+  print_pass("plain    ", plain, lc.connections);
+
+  // Pass 2: live monitoring endpoint up, scraped mid-load.
+  obs::MonitorServer monitor;
+  obs::add_registry_routes(monitor, obs::Registry::global());
+  const std::uint16_t monitor_port = monitor.start(0);
+  std::printf("monitoring on 127.0.0.1:%u\n", monitor_port);
+
+  std::string scrape_body;
+  int scrape_status = 0;
+  std::thread scraper([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(knobs.duration_ms / 2));
+    if (const auto got = obs::http_get(monitor_port, "/metrics")) {
+      scrape_status = got->status;
+      scrape_body = got->body;
+    }
+  });
+  const Pass monitored = run_pass(knobs, lc);
+  scraper.join();
+  monitor.stop();
+  print_pass("monitored", monitored, lc.connections);
+
+  const bool scrape_valid =
+      scrape_status == 200 && metrics::json_valid(scrape_body) &&
+      scrape_body.find("engine.phase.") != std::string::npos &&
+      scrape_body.find("\"bus.") != std::string::npos &&
+      scrape_body.find("\"service.sample_us\"") != std::string::npos;
+  const double p99_ratio =
+      plain.load.p99_us > 0.0 ? monitored.load.p99_us / plain.load.p99_us : 0.0;
+  std::printf("mid-load /metrics scrape: %s (%zu bytes), monitored/plain p99 %.2fx\n",
+              scrape_valid ? "valid" : "INVALID", scrape_body.size(), p99_ratio);
 
   scenario::results::BenchReport report("service_load", knobs);
-  report.add_row(metrics::JsonObject()
-                     .field("connections", lc.connections)
-                     .field("requests", load.requests)
-                     .field("errors", load.errors)
-                     .field("samples_received", load.samples_received)
-                     .field("duration_ms", load.duration_ms)
-                     .field("p50_us", load.p50_us)
-                     .field("p99_us", load.p99_us)
-                     .field("max_us", load.max_us)
-                     .field("rps", load.rps)
-                     .field("daemon_requests_served", daemon.requests_served())
-                     .field("daemon_rounds_stepped", daemon.rounds_stepped()));
+  report.add_row(pass_row("plain", plain, lc));
+  report.add_row(pass_row("monitored", monitored, lc)
+                     .field("scrape_valid", scrape_valid)
+                     .field("scrape_bytes", scrape_body.size())
+                     .field("p99_ratio", p99_ratio));
   report.set_timing(timer.seconds(), lc.connections);
   report.write();
 
-  if (load.requests == 0) {
-    std::fprintf(stderr, "FAIL: no request completed\n");
+  if (plain.load.requests == 0 || monitored.load.requests == 0) {
+    std::fprintf(stderr, "FAIL: a pass completed no request\n");
     return 1;
   }
-  if (load.p50_us > load.p99_us) {
+  if (plain.load.p50_us > plain.load.p99_us ||
+      monitored.load.p50_us > monitored.load.p99_us) {
     std::fprintf(stderr, "FAIL: p50 > p99 (percentile math broken)\n");
+    return 1;
+  }
+  if (!scrape_valid) {
+    std::fprintf(stderr,
+                 "FAIL: mid-load /metrics scrape missing or schema-invalid "
+                 "(status %d, %zu bytes)\n",
+                 scrape_status, scrape_body.size());
+    return 1;
+  }
+  // Latency-ratio gate: opt-in, shared-runner timing is too noisy to gate
+  // unconditionally.
+  if (std::getenv("RAPTEE_BENCH_REQUIRE_SPEEDUP") != nullptr && p99_ratio > 1.05) {
+    std::fprintf(stderr, "FAIL: monitoring regressed p99 by %.1f%% (> 5%% cap)\n",
+                 (p99_ratio - 1.0) * 100.0);
     return 1;
   }
   return 0;

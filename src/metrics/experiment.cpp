@@ -298,6 +298,10 @@ ExperimentResult run_experiment(const ExperimentConfig& config,
                                            victim_before);
       }
       snapshot.attack_active = coordinator && coordinator->active();
+      for (std::size_t p = 0; p < snapshot.phase_ms.size(); ++p) {
+        snapshot.phase_ms[p] =
+            static_cast<double>(engine.last_phase_us()[p]) / 1000.0;
+      }
       observer->on_round(snapshot, engine);
     }
   }

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/assert.hpp"
+#include "obs/timer.hpp"
 #include "wire/buffer.hpp"
 
 namespace raptee::net {
@@ -40,6 +41,22 @@ Bus::Bus(BusConfig config) : config_(std::move(config)) {
     std::random_device rd;
     nonce_base_ = (static_cast<std::uint64_t>(rd()) << 32) ^ rd();
   }
+  obs::Registry& reg = obs::Registry::global();
+  metrics_.frames_sent = &reg.counter("bus.frames_sent");
+  metrics_.frames_received = &reg.counter("bus.frames_received");
+  metrics_.bytes_sent = &reg.counter("bus.bytes_sent");
+  metrics_.bytes_received = &reg.counter("bus.bytes_received");
+  metrics_.accepted = &reg.counter("bus.accepted");
+  metrics_.dialed = &reg.counter("bus.dialed");
+  metrics_.dial_retries = &reg.counter("bus.dial_retries");
+  metrics_.teardowns = &reg.counter("bus.teardowns");
+  metrics_.open_failures = &reg.counter("bus.open_failures");
+  metrics_.handshake_failures = &reg.counter("bus.handshake_failures");
+  metrics_.flush_us = &reg.histogram("bus.flush_us");
+  // Per-callback wall time of the loop thread (dispatches and timers) —
+  // safe to arm here: the loop thread starts in start().
+  loop_.set_profile(&reg.histogram("bus.dispatch_us"),
+                    &reg.histogram("bus.timer_us"));
 }
 
 Bus::~Bus() { stop(); }
@@ -78,6 +95,7 @@ void Bus::accept_ready() {
       const std::lock_guard<std::mutex> lock(stats_mu_);
       ++stats_.accepted;
     }
+    metrics_.accepted->add(1);
     Connection& conn = adopt_connection(std::move(*fd), /*inbound=*/true);
     send_hello(conn);
   }
@@ -205,6 +223,7 @@ void Bus::dial(NodeId peer) {
     const std::lock_guard<std::mutex> lock(stats_mu_);
     ++stats_.dialed;
   }
+  metrics_.dialed->add(1);
   Connection& conn = adopt_connection(std::move(fd), /*inbound=*/false);
   conn.peer = peer;
   ps.dialing = conn.id;
@@ -228,6 +247,7 @@ void Bus::retry_dial(NodeId peer, const char* why) {
     const std::lock_guard<std::mutex> lock(stats_mu_);
     ++stats_.dial_retries;
   }
+  metrics_.dial_retries->add(1);
   (void)why;
   const auto backoff = ps.backoff;
   ps.backoff = std::min(ps.backoff * 2, config_.backoff_max);
@@ -271,6 +291,7 @@ void Bus::conn_readable(std::uint64_t conn_id) {
       const std::lock_guard<std::mutex> lock(stats_mu_);
       stats_.bytes_received += static_cast<std::uint64_t>(n);
     }
+    metrics_.bytes_received->add(static_cast<std::uint64_t>(n));
     try {
       conn.splitter.feed(buf, static_cast<std::size_t>(n));
       while (conn.splitter.next(conn.payload)) {
@@ -289,6 +310,7 @@ void Bus::handle_frame(Connection& conn) {
     const std::lock_guard<std::mutex> lock(stats_mu_);
     ++stats_.frames_received;
   }
+  metrics_.frames_received->add(1);
   if (!conn.hello_received) {
     handle_hello(conn);
     return;
@@ -310,6 +332,7 @@ void Bus::handle_frame(Connection& conn) {
       const std::lock_guard<std::mutex> lock(stats_mu_);
       ++stats_.open_failures;
     }
+    metrics_.open_failures->add(1);
     teardown(conn.id, "aead-failure");
     return;
   }
@@ -332,17 +355,20 @@ void Bus::handle_hello(Connection& conn) {
     remote_nonce = r.u64();
     r.expect_done();
     if (magic != kHelloMagic || version != kHelloVersion || role_byte > 1) {
+      record_handshake_failure();
       teardown(conn.id, "bad-hello");
       return;
     }
     role = static_cast<PeerRole>(role_byte);
   } catch (const wire::WireError&) {
+    record_handshake_failure();
     teardown(conn.id, "malformed-hello");
     return;
   }
   // An outbound dial knows who it expects: a different id means the address
   // book is wrong, not that a new peer appeared.
   if (!conn.inbound && peer != conn.peer) {
+    record_handshake_failure();
     teardown(conn.id, "hello-id-mismatch");
     return;
   }
@@ -422,12 +448,14 @@ void Bus::enqueue_payload(Connection& conn, const std::uint8_t* data,
     const std::lock_guard<std::mutex> lock(stats_mu_);
     ++stats_.frames_sent;
   }
+  metrics_.frames_sent->add(1);
   flush_writes(conn);
   const auto it = conns_.find(id);
   if (it != conns_.end()) update_interest(*it->second);
 }
 
 void Bus::flush_writes(Connection& conn) {
+  const obs::ScopedTimer flush_timer(metrics_.flush_us);
   while (conn.wpos < conn.wbuf.size()) {
     const long n = write_some(conn.fd.get(), conn.wbuf.data() + conn.wpos,
                               conn.wbuf.size() - conn.wpos);
@@ -442,6 +470,7 @@ void Bus::flush_writes(Connection& conn) {
       const std::lock_guard<std::mutex> lock(stats_mu_);
       stats_.bytes_sent += static_cast<std::uint64_t>(n);
     }
+    metrics_.bytes_sent->add(static_cast<std::uint64_t>(n));
   }
   if (conn.wpos == conn.wbuf.size()) {
     conn.wbuf.clear();
@@ -506,8 +535,17 @@ void Bus::teardown(std::uint64_t conn_id, const char* reason) {
     const std::lock_guard<std::mutex> lock(stats_mu_);
     ++stats_.teardowns;
   }
+  metrics_.teardowns->add(1);
   conns_.erase(it);
   if (was_established && config_.on_peer_down) config_.on_peer_down(peer, reason);
+}
+
+void Bus::record_handshake_failure() {
+  {
+    const std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.handshake_failures;
+  }
+  metrics_.handshake_failures->add(1);
 }
 
 void Bus::sweep_idle() {

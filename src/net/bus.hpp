@@ -100,6 +100,9 @@ struct BusStats {
   std::uint64_t dial_retries = 0;
   std::uint64_t teardowns = 0;
   std::uint64_t open_failures = 0;  ///< sealed frames that failed to open
+  /// HELLOs rejected before establishment (bad magic/version/role,
+  /// malformed bytes, or an outbound dial answered by the wrong NodeId).
+  std::uint64_t handshake_failures = 0;
 };
 
 struct BusConfig {
@@ -221,6 +224,7 @@ class Bus {
   void flush_writes(Connection& conn);
   void update_interest(Connection& conn);
   void teardown(std::uint64_t conn_id, const char* reason);
+  void record_handshake_failure();
   void sweep_idle();
   void finish_drain(std::chrono::steady_clock::time_point deadline);
   [[nodiscard]] Peer peer_of(const Connection& conn) const {
@@ -248,6 +252,24 @@ class Bus {
   mutable std::mutex stats_mu_;
   BusStats stats_;
   std::unordered_set<std::uint32_t> routes_;  // peers with a known address
+
+  // Process-wide "bus.*" metrics mirroring stats_ (additive across Bus
+  // instances — see obs/registry.hpp). Pointers into Registry::global(),
+  // resolved once in the constructor; valid for the process lifetime.
+  struct Metrics {
+    obs::Counter* frames_sent = nullptr;
+    obs::Counter* frames_received = nullptr;
+    obs::Counter* bytes_sent = nullptr;
+    obs::Counter* bytes_received = nullptr;
+    obs::Counter* accepted = nullptr;
+    obs::Counter* dialed = nullptr;
+    obs::Counter* dial_retries = nullptr;
+    obs::Counter* teardowns = nullptr;
+    obs::Counter* open_failures = nullptr;
+    obs::Counter* handshake_failures = nullptr;
+    obs::Histogram* flush_us = nullptr;
+  };
+  Metrics metrics_;
 };
 
 }  // namespace raptee::net

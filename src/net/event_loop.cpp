@@ -11,6 +11,7 @@
 #endif
 
 #include "common/assert.hpp"
+#include "obs/timer.hpp"
 
 namespace raptee::net {
 
@@ -135,7 +136,12 @@ int EventLoop::fire_due_timers() {
     timers_.pop();
     auto fn = std::move(it->second);
     timer_fns_.erase(it);
-    fn();
+    if (profile_timer_ != nullptr) {
+      const obs::ScopedTimer t(profile_timer_);
+      fn();
+    } else {
+      fn();
+    }
   }
   return -1;
 }
@@ -147,7 +153,12 @@ void EventLoop::dispatch(int fd, std::uint32_t events) {
   if (it == fds_.end()) return;
   // Copying the handler keeps it alive even if the callback removes the fd.
   const IoHandler handler = it->second.handler;
-  handler(events);
+  if (profile_dispatch_ != nullptr) {
+    const obs::ScopedTimer t(profile_dispatch_);
+    handler(events);
+  } else {
+    handler(events);
+  }
 }
 
 void EventLoop::poll_once(int timeout_ms) {

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "net/socket.hpp"
+#include "obs/registry.hpp"
 
 namespace raptee::net {
 
@@ -71,6 +72,15 @@ class EventLoop {
     return std::this_thread::get_id() == loop_thread_;
   }
 
+  /// Opt-in profiling: per-callback wall time of io dispatches and timer
+  /// firings, recorded into the given histograms (either may be null =
+  /// that class of callback is not timed). Call before run() — the
+  /// pointers are read unsynchronized on the loop thread.
+  void set_profile(obs::Histogram* dispatch_us, obs::Histogram* timer_us) {
+    profile_dispatch_ = dispatch_us;
+    profile_timer_ = timer_us;
+  }
+
  private:
   struct FdEntry {
     std::uint32_t interest = 0;
@@ -105,6 +115,8 @@ class EventLoop {
   Fd wake_read_;
   Fd wake_write_;
   std::thread::id loop_thread_;
+  obs::Histogram* profile_dispatch_ = nullptr;
+  obs::Histogram* profile_timer_ = nullptr;
 
 #if defined(__linux__)
   Fd epoll_;

@@ -5,6 +5,7 @@
 
 #include "brahms/node.hpp"
 #include "core/node_factory.hpp"
+#include "obs/timer.hpp"
 #include "wire/buffer.hpp"
 
 namespace raptee::net {
@@ -65,7 +66,13 @@ std::optional<SampleReply> decode_sample_reply(const std::uint8_t* data,
 }
 
 ServiceDaemon::ServiceDaemon(DaemonConfig config)
-    : config_(config), sample_rng_(mix64(config.seed, 0x53414D50)) {}
+    : config_(config), sample_rng_(mix64(config.seed, 0x53414D50)) {
+  obs::Registry& reg = obs::Registry::global();
+  served_metric_ = &reg.counter("service.requests_served");
+  rejected_metric_ = &reg.counter("service.requests_rejected");
+  rounds_metric_ = &reg.counter("service.rounds_stepped");
+  sample_us_ = &reg.histogram("service.sample_us");
+}
 
 ServiceDaemon::~ServiceDaemon() { stop(); }
 
@@ -113,6 +120,7 @@ void ServiceDaemon::step_loop() {
   while (running_.load(std::memory_order_acquire)) {
     engine_->step();
     rounds_.fetch_add(1, std::memory_order_relaxed);
+    rounds_metric_->add(1);
     refresh_snapshot();
     std::this_thread::sleep_for(config_.step_interval);
   }
@@ -131,9 +139,11 @@ void ServiceDaemon::refresh_snapshot() {
 }
 
 void ServiceDaemon::on_frame(const Peer& peer, std::vector<std::uint8_t> payload) {
+  const obs::ScopedTimer latency(sample_us_);
   const auto req = decode_sample_request(payload.data(), payload.size());
   if (!req || req->count == 0 || req->count > kMaxSamplesPerRequest) {
     rejected_.fetch_add(1, std::memory_order_relaxed);
+    rejected_metric_->add(1);
     return;  // malformed or abusive: drop, never answer
   }
   SampleReply reply;
@@ -153,6 +163,7 @@ void ServiceDaemon::on_frame(const Peer& peer, std::vector<std::uint8_t> payload
   }
   bus_->reply(peer.conn, encode_sample_reply(reply));
   served_.fetch_add(1, std::memory_order_relaxed);
+  served_metric_->add(1);
 }
 
 void ServiceDaemon::stop() {

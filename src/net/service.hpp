@@ -32,6 +32,7 @@
 #include "common/rng.hpp"
 #include "common/types.hpp"
 #include "net/bus.hpp"
+#include "obs/registry.hpp"
 #include "sim/engine.hpp"
 
 namespace raptee::net {
@@ -118,6 +119,14 @@ class ServiceDaemon {
   std::atomic<std::uint64_t> served_{0};
   std::atomic<std::uint64_t> rejected_{0};
   std::atomic<std::uint64_t> rounds_{0};
+
+  // Process-wide "service.*" metrics (Registry::global()): request
+  // counters plus the sample-serving latency histogram (decode ->
+  // reply-enqueued, microseconds, on the bus loop thread).
+  obs::Counter* served_metric_ = nullptr;
+  obs::Counter* rejected_metric_ = nullptr;
+  obs::Counter* rounds_metric_ = nullptr;
+  obs::Histogram* sample_us_ = nullptr;
 };
 
 }  // namespace raptee::net

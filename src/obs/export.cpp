@@ -1,0 +1,132 @@
+#include "obs/export.hpp"
+
+#include <charconv>
+
+#include "metrics/json.hpp"
+
+namespace raptee::obs {
+
+namespace {
+
+void append_u64(std::string& out, std::uint64_t v) {
+  char buf[20];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+  out.append(buf, res.ptr);
+}
+
+}  // namespace
+
+std::string to_json(const Snapshot& snap) {
+  metrics::JsonObject counters;
+  for (const auto& c : snap.counters) counters.field(c.name, c.value);
+  metrics::JsonObject gauges;
+  for (const auto& g : snap.gauges) gauges.field(g.name, g.value);
+  metrics::JsonObject histograms;
+  for (const auto& h : snap.histograms) {
+    metrics::JsonArray buckets;
+    for (std::size_t i = 0; i < h.buckets; ++i) {
+      metrics::JsonObject bucket;
+      if (i + 1 == h.buckets) {
+        bucket.field("le", "+Inf");
+      } else {
+        bucket.field("le", snap.bucket_bounds[h.first + i]);
+      }
+      bucket.field("count", snap.bucket_counts[h.first + i]);
+      buckets.item_raw(bucket.str());
+    }
+    metrics::JsonObject entry;
+    entry.field("count", h.count)
+        .field("sum", h.sum)
+        .field("mean", h.count == 0
+                           ? 0.0
+                           : static_cast<double>(h.sum) /
+                                 static_cast<double>(h.count))
+        .field_raw("buckets", buckets.str());
+    histograms.field_raw(h.name, entry.str());
+  }
+  metrics::JsonObject doc;
+  doc.field("schema", "raptee.obs.metrics/1")
+      .field_raw("counters", counters.str())
+      .field_raw("gauges", gauges.str())
+      .field_raw("histograms", histograms.str());
+  return doc.str();
+}
+
+std::string prometheus_name(std::string_view name) {
+  std::string out = "raptee_";
+  out.reserve(out.size() + name.size());
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9');
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+std::string to_prometheus(const Snapshot& snap) {
+  std::string out;
+  for (const auto& c : snap.counters) {
+    const std::string name = prometheus_name(c.name);
+    out += "# TYPE " + name + " counter\n" + name + " ";
+    append_u64(out, c.value);
+    out += '\n';
+  }
+  for (const auto& g : snap.gauges) {
+    const std::string name = prometheus_name(g.name);
+    out += "# TYPE " + name + " gauge\n" + name + " " +
+           metrics::json_number(g.value) + '\n';
+  }
+  for (const auto& h : snap.histograms) {
+    const std::string name = prometheus_name(h.name);
+    out += "# TYPE " + name + " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < h.buckets; ++i) {
+      cumulative += snap.bucket_counts[h.first + i];
+      out += name + "_bucket{le=\"";
+      if (i + 1 == h.buckets) {
+        out += "+Inf";
+      } else {
+        append_u64(out, snap.bucket_bounds[h.first + i]);
+      }
+      out += "\"} ";
+      append_u64(out, cumulative);
+      out += '\n';
+    }
+    out += name + "_sum ";
+    append_u64(out, h.sum);
+    out += '\n' + name + "_count ";
+    append_u64(out, h.count);
+    out += '\n';
+  }
+  return out;
+}
+
+std::string summary_line(const Snapshot& snap) {
+  std::string out = "metrics:";
+  for (const auto& c : snap.counters) {
+    out += ' ';
+    out += c.name;
+    out += '=';
+    append_u64(out, c.value);
+  }
+  for (const auto& g : snap.gauges) {
+    out += ' ';
+    out += g.name;
+    out += '=';
+    out += metrics::json_number(g.value);
+  }
+  for (const auto& h : snap.histograms) {
+    out += ' ';
+    out += h.name;
+    out += "{n=";
+    append_u64(out, h.count);
+    out += ",mean_us=";
+    out += metrics::json_number(
+        h.count == 0 ? 0.0
+                     : static_cast<double>(h.sum) / static_cast<double>(h.count));
+    out += '}';
+  }
+  return out;
+}
+
+}  // namespace raptee::obs

@@ -1,0 +1,38 @@
+// Serialization of registry snapshots for the monitoring endpoint and the
+// rapteed drain summary. Two formats:
+//  * to_json      — schema "raptee.obs.metrics/1", built with the same
+//                   metrics::json writer every results document uses, so the
+//                   strict json_valid gate applies;
+//  * to_prometheus — text exposition format (version 0.0.4). Internal
+//                   histogram buckets are per-bucket counts; Prometheus `le`
+//                   buckets are CUMULATIVE, so the exporter converts, appends
+//                   the +Inf bucket, and emits _sum/_count. Dotted metric
+//                   names become underscore-separated with a "raptee_"
+//                   prefix ("engine.phase.pulls_us" -> raptee_engine_phase_pulls_us).
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "obs/registry.hpp"
+
+namespace raptee::obs {
+
+/// JSON document for /metrics: {"schema":"raptee.obs.metrics/1",
+/// "counters":{...},"gauges":{...},"histograms":{name:{count,sum,mean,
+/// buckets:[{le,count},...]}}}. Deterministic field order (snapshot order is
+/// lexicographic).
+[[nodiscard]] std::string to_json(const Snapshot& snap);
+
+/// Prometheus text exposition for /metrics.prom.
+[[nodiscard]] std::string to_prometheus(const Snapshot& snap);
+
+/// Sanitized Prometheus series name: '.'/'-'/invalid chars -> '_', prefixed
+/// with "raptee_". Exposed for tests.
+[[nodiscard]] std::string prometheus_name(std::string_view name);
+
+/// One-line human summary ("metrics: 12 counters ... engine.rounds=300 ...")
+/// for the rapteed SIGTERM drain log.
+[[nodiscard]] std::string summary_line(const Snapshot& snap);
+
+}  // namespace raptee::obs

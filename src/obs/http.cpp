@@ -1,0 +1,293 @@
+#include "obs/http.hpp"
+
+#include <poll.h>
+
+#include <chrono>
+#include <utility>
+
+#include "common/assert.hpp"
+#include "obs/export.hpp"
+#include "obs/registry.hpp"
+
+namespace raptee::obs {
+
+namespace {
+
+const char* status_text(int status) {
+  switch (status) {
+    case 200:
+      return "OK";
+    case 400:
+      return "Bad Request";
+    case 404:
+      return "Not Found";
+    case 405:
+      return "Method Not Allowed";
+    default:
+      return "Unknown";
+  }
+}
+
+}  // namespace
+
+MonitorServer::~MonitorServer() { stop(); }
+
+void MonitorServer::add_route(std::string path, Handler handler) {
+  RAPTEE_REQUIRE(!started_, "add_route must be called before start()");
+  RAPTEE_REQUIRE(!path.empty() && path.front() == '/',
+                 "route path must start with '/': " << path);
+  RAPTEE_REQUIRE(handler != nullptr, "null route handler");
+  routes_[std::move(path)] = std::move(handler);
+}
+
+std::uint16_t MonitorServer::start(std::uint16_t port) {
+  RAPTEE_REQUIRE(!started_, "MonitorServer::start called twice");
+  auto [fd, bound] = net::listen_loopback(port);
+  listen_fd_ = std::move(fd);
+  port_ = bound;
+  started_ = true;
+  loop_.post([this] {
+    loop_.add_fd(listen_fd_.get(), net::EventLoop::kReadable,
+                 [this](std::uint32_t) { accept_ready(); });
+  });
+  thread_ = std::thread([this] { loop_.run(); });
+  return bound;
+}
+
+void MonitorServer::stop() {
+  if (!started_) return;
+  started_ = false;
+  loop_.stop();
+  thread_.join();
+  // Loop thread is gone: tear client state down directly.
+  for (auto& [fd, client] : clients_) loop_.remove_fd(fd);
+  clients_.clear();
+  if (listen_fd_.valid()) {
+    loop_.remove_fd(listen_fd_.get());
+    listen_fd_.reset();
+  }
+}
+
+void MonitorServer::accept_ready() {
+  while (true) {
+    auto fd = net::accept_connection(listen_fd_.get());
+    if (!fd) return;
+    auto client = std::make_unique<Client>();
+    client->fd = std::move(*fd);
+    const int raw = client->fd.get();
+    clients_.emplace(raw, std::move(client));
+    loop_.add_fd(raw, net::EventLoop::kReadable,
+                 [this, raw](std::uint32_t events) { client_ready(raw, events); });
+  }
+}
+
+void MonitorServer::client_ready(int fd, std::uint32_t events) {
+  const auto it = clients_.find(fd);
+  if (it == clients_.end()) return;
+  Client& client = *it->second;
+  if (events & net::EventLoop::kError) {
+    drop_client(fd);
+    return;
+  }
+  if ((events & net::EventLoop::kWritable) && client.responding) {
+    flush_client(client);
+    return;
+  }
+  if (!(events & net::EventLoop::kReadable) || client.responding) return;
+
+  std::uint8_t buf[4096];
+  while (true) {
+    const long n = net::read_some(fd, buf, sizeof buf);
+    if (n == -1) break;  // drained
+    if (n == 0 || n == -2) {
+      drop_client(fd);
+      return;
+    }
+    client.in.append(reinterpret_cast<const char*>(buf),
+                     static_cast<std::size_t>(n));
+    const std::size_t eol = client.in.find('\n');
+    if (eol == std::string::npos) {
+      if (client.in.size() > kMaxRequestLine) {
+        respond(client, {400, "text/plain", "request line too long\n"});
+        return;
+      }
+      continue;
+    }
+    // Request line complete: everything after it (headers) is ignored —
+    // the response closes the connection either way.
+    std::string_view line(client.in.data(), eol);
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    if (line.size() > kMaxRequestLine) {
+      respond(client, {400, "text/plain", "request line too long\n"});
+      return;
+    }
+    const std::size_t sp1 = line.find(' ');
+    const std::size_t sp2 = sp1 == std::string_view::npos
+                                ? std::string_view::npos
+                                : line.find(' ', sp1 + 1);
+    if (sp1 == std::string_view::npos || sp2 == std::string_view::npos) {
+      respond(client, {400, "text/plain", "malformed request line\n"});
+      return;
+    }
+    const std::string_view method = line.substr(0, sp1);
+    std::string_view target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+    if (method != "GET") {
+      respond(client, {405, "text/plain", "method not allowed\n"});
+      return;
+    }
+    const std::size_t query = target.find('?');
+    if (query != std::string_view::npos) target = target.substr(0, query);
+    const auto route = routes_.find(target);
+    if (route == routes_.end()) {
+      respond(client, {404, "text/plain", "not found\n"});
+      return;
+    }
+    respond(client, route->second());
+    return;
+  }
+}
+
+void MonitorServer::respond(Client& client, const HttpResponse& response) {
+  std::string out = "HTTP/1.0 ";
+  out += std::to_string(response.status);
+  out += ' ';
+  out += status_text(response.status);
+  out += "\r\nContent-Type: ";
+  out += response.content_type;
+  out += "\r\nContent-Length: ";
+  out += std::to_string(response.body.size());
+  out += "\r\nConnection: close\r\n\r\n";
+  out += response.body;
+  client.out = std::move(out);
+  client.wpos = 0;
+  client.responding = true;
+  flush_client(client);
+}
+
+void MonitorServer::flush_client(Client& client) {
+  const int fd = client.fd.get();
+  while (client.wpos < client.out.size()) {
+    const long n = net::write_some(
+        fd, reinterpret_cast<const std::uint8_t*>(client.out.data()) + client.wpos,
+        client.out.size() - client.wpos);
+    if (n == -1) {  // kernel buffer full: wait for writability
+      loop_.set_interest(fd, net::EventLoop::kWritable);
+      return;
+    }
+    if (n == -2) {
+      drop_client(fd);
+      return;
+    }
+    client.wpos += static_cast<std::size_t>(n);
+  }
+  drop_client(fd);  // response fully flushed: HTTP/1.0, connection closes
+}
+
+void MonitorServer::drop_client(int fd) {
+  const auto it = clients_.find(fd);
+  if (it == clients_.end()) return;
+  loop_.remove_fd(fd);
+  clients_.erase(it);  // Fd destructor closes
+}
+
+void add_registry_routes(MonitorServer& server, const Registry& registry) {
+  server.add_route("/metrics", [&registry] {
+    return HttpResponse{200, "application/json", to_json(registry.snapshot())};
+  });
+  server.add_route("/metrics.prom", [&registry] {
+    return HttpResponse{200, "text/plain; version=0.0.4",
+                        to_prometheus(registry.snapshot())};
+  });
+  server.add_route("/healthz",
+                   [] { return HttpResponse{200, "text/plain", "ok\n"}; });
+}
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+int remaining_ms(Clock::time_point deadline) {
+  const auto left =
+      std::chrono::duration_cast<std::chrono::milliseconds>(deadline - Clock::now())
+          .count();
+  return left > 0 ? static_cast<int>(left) : 0;
+}
+
+std::optional<net::Fd> blocking_connect(std::uint16_t port,
+                                        Clock::time_point deadline) {
+  bool in_progress = false;
+  net::Fd fd;
+  try {
+    fd = net::connect_loopback(port, &in_progress);
+  } catch (const net::NetError&) {
+    return std::nullopt;
+  }
+  if (!fd.valid()) return std::nullopt;
+  if (in_progress) {
+    pollfd p{fd.get(), POLLOUT, 0};
+    if (::poll(&p, 1, remaining_ms(deadline)) <= 0) return std::nullopt;
+  }
+  if (net::connect_result(fd.get()) != 0) return std::nullopt;
+  return fd;
+}
+
+}  // namespace
+
+std::optional<std::string> http_raw(std::uint16_t port, std::string_view request,
+                                    int timeout_ms) {
+  const auto deadline = Clock::now() + std::chrono::milliseconds(timeout_ms);
+  auto fd = blocking_connect(port, deadline);
+  if (!fd) return std::nullopt;
+
+  std::size_t sent = 0;
+  while (sent < request.size()) {
+    const long n = net::write_some(
+        fd->get(), reinterpret_cast<const std::uint8_t*>(request.data()) + sent,
+        request.size() - sent);
+    if (n == -2) return std::nullopt;
+    if (n == -1) {
+      pollfd p{fd->get(), POLLOUT, 0};
+      if (::poll(&p, 1, remaining_ms(deadline)) <= 0) return std::nullopt;
+      continue;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+
+  std::string response;
+  std::uint8_t buf[8192];
+  while (true) {
+    const long n = net::read_some(fd->get(), buf, sizeof buf);
+    if (n == 0) return response;  // orderly EOF: response complete
+    if (n == -2) return std::nullopt;
+    if (n == -1) {
+      pollfd p{fd->get(), POLLIN, 0};
+      if (::poll(&p, 1, remaining_ms(deadline)) <= 0) return std::nullopt;
+      continue;
+    }
+    response.append(reinterpret_cast<const char*>(buf),
+                    static_cast<std::size_t>(n));
+  }
+}
+
+std::optional<HttpResult> http_get(std::uint16_t port, std::string_view path,
+                                   int timeout_ms) {
+  std::string request = "GET ";
+  request += path;
+  request += " HTTP/1.0\r\nHost: 127.0.0.1\r\nConnection: close\r\n\r\n";
+  const auto raw = http_raw(port, request, timeout_ms);
+  if (!raw) return std::nullopt;
+  // "HTTP/1.0 NNN reason\r\n...\r\n\r\nbody"
+  const std::size_t sp = raw->find(' ');
+  if (sp == std::string::npos || raw->size() < sp + 4) return std::nullopt;
+  int status = 0;
+  for (std::size_t i = sp + 1; i < sp + 4; ++i) {
+    const char c = (*raw)[i];
+    if (c < '0' || c > '9') return std::nullopt;
+    status = status * 10 + (c - '0');
+  }
+  const std::size_t header_end = raw->find("\r\n\r\n");
+  if (header_end == std::string::npos) return std::nullopt;
+  return HttpResult{status, raw->substr(header_end + 4)};
+}
+
+}  // namespace raptee::obs

@@ -1,0 +1,123 @@
+// Minimal GET-only HTTP/1.0 monitoring endpoint.
+//
+// One MonitorServer is one scrape target: it owns a net::EventLoop on a
+// dedicated thread (the Bus pattern) and serves registered routes to any
+// HTTP/1.0-or-1.1 GET client (curl, Prometheus, a browser). The protocol
+// surface is deliberately tiny — parse the request line, send one
+// Content-Length-framed response, close:
+//
+//   * GET only            — anything else is 405 Method Not Allowed;
+//   * registered paths    — everything else is 404 Not Found;
+//   * bounded request line — longer than kMaxRequestLine before the first
+//     newline is 400 Bad Request and the connection drops (a length bomb
+//     must not grow the buffer);
+//   * Connection: close   — no keep-alive, no chunking, no TLS. The server
+//     binds loopback only (net/socket.hpp), matching the transport's
+//     posture: this monitors a local process, it is not an internet server.
+//
+// Handlers run on the server's loop thread — keep them cheap and
+// thread-safe (the standard ones only snapshot the metrics registry or
+// copy a mutex-guarded struct).
+//
+// http_get/http_raw are small blocking clients for tests, benches and the
+// CI smoke — they speak exactly the protocol subset above.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "net/event_loop.hpp"
+#include "net/socket.hpp"
+
+namespace raptee::obs {
+
+/// Longest accepted request line (method + path + version + CRLF).
+inline constexpr std::size_t kMaxRequestLine = 4096;
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "application/json";
+  std::string body;
+};
+
+class MonitorServer {
+ public:
+  using Handler = std::function<HttpResponse()>;
+
+  MonitorServer() = default;
+  ~MonitorServer();
+  MonitorServer(const MonitorServer&) = delete;
+  MonitorServer& operator=(const MonitorServer&) = delete;
+
+  /// Registers `handler` for exact-match `path` (query strings are
+  /// stripped before matching). Call before start().
+  void add_route(std::string path, Handler handler);
+
+  /// Binds 127.0.0.1:`port` (0 = ephemeral), starts the loop thread and
+  /// begins serving. Returns the bound port. Throws net::NetError if the
+  /// port is taken.
+  std::uint16_t start(std::uint16_t port);
+
+  /// Stops serving and joins the loop thread. Idempotent; the destructor
+  /// calls it.
+  void stop();
+
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+
+ private:
+  struct Client {
+    net::Fd fd;
+    std::string in;        // request bytes until the first newline
+    std::string out;       // serialized response
+    std::size_t wpos = 0;
+    bool responding = false;
+  };
+
+  // --- loop-thread only ---
+  void accept_ready();
+  void client_ready(int fd, std::uint32_t events);
+  void respond(Client& client, const HttpResponse& response);
+  void flush_client(Client& client);
+  void drop_client(int fd);
+
+  std::map<std::string, Handler, std::less<>> routes_;
+  net::EventLoop loop_;
+  std::thread thread_;
+  bool started_ = false;
+  net::Fd listen_fd_;
+  std::uint16_t port_ = 0;
+  std::unordered_map<int, std::unique_ptr<Client>> clients_;
+};
+
+/// Standard registry routes, shared by every embedder (rapteed, the bench
+/// monitor): /metrics (JSON, schema raptee.obs.metrics/1), /metrics.prom
+/// (Prometheus text), /healthz ("ok"). The registry reference must outlive
+/// the server (Registry::global() trivially does).
+void add_registry_routes(MonitorServer& server, const class Registry& registry);
+
+/// Blocking GET against 127.0.0.1:`port`; nullopt on connect/transport
+/// failure or an unparseable response. `timeout_ms` bounds the whole call.
+struct HttpResult {
+  int status = 0;
+  std::string body;
+};
+[[nodiscard]] std::optional<HttpResult> http_get(std::uint16_t port,
+                                                 std::string_view path,
+                                                 int timeout_ms = 2000);
+
+/// Sends raw `request` bytes and returns the raw response stream until
+/// EOF (nullopt on connect failure). For protocol-error tests (bad
+/// method, oversized line) that http_get cannot express.
+[[nodiscard]] std::optional<std::string> http_raw(std::uint16_t port,
+                                                  std::string_view request,
+                                                  int timeout_ms = 2000);
+
+}  // namespace raptee::obs

@@ -1,0 +1,108 @@
+#include "obs/monitor.hpp"
+
+#include <cstdlib>
+
+#include "metrics/json.hpp"
+#include "obs/registry.hpp"
+#include "scenario/knobs.hpp"
+
+namespace raptee::obs {
+
+ScenarioMonitor::ScenarioMonitor() {
+  Registry& reg = Registry::global();
+  pollution_gauge_ = &reg.gauge("scenario.pollution");
+  min_knowledge_gauge_ = &reg.gauge("scenario.min_knowledge");
+  round_gauge_ = &reg.gauge("scenario.round");
+  add_registry_routes(server_, reg);
+  server_.add_route("/snapshot", [this] {
+    return HttpResponse{200, "application/json", snapshot_json()};
+  });
+}
+
+std::uint64_t ScenarioMonitor::runs_completed() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return runs_completed_;
+}
+
+void ScenarioMonitor::on_round(const scenario::RoundSnapshot& snapshot,
+                               const sim::Engine& engine) {
+  (void)engine;  // read-only contract: the monitor never touches it
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    latest_ = snapshot;
+    have_snapshot_ = true;
+  }
+  pollution_gauge_->set(snapshot.pollution);
+  min_knowledge_gauge_->set(snapshot.min_knowledge);
+  round_gauge_->set(static_cast<double>(snapshot.round));
+}
+
+void ScenarioMonitor::on_run_end(const metrics::ExperimentResult& result,
+                                 const sim::Engine& engine) {
+  (void)result;
+  (void)engine;
+  const std::lock_guard<std::mutex> lock(mu_);
+  ++runs_completed_;
+}
+
+std::string ScenarioMonitor::snapshot_json() const {
+  scenario::RoundSnapshot snap;
+  bool have = false;
+  std::uint64_t runs = 0;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    snap = latest_;
+    have = have_snapshot_;
+    runs = runs_completed_;
+  }
+  metrics::JsonObject doc;
+  doc.field("schema", "raptee.obs.snapshot/1")
+      .field("have_snapshot", have)
+      .field("runs_completed", runs);
+  if (have) {
+    doc.field("round", static_cast<std::uint64_t>(snap.round))
+        .field("pollution", snap.pollution)
+        .field("pollution_honest", snap.pollution_honest)
+        .field("pollution_trusted", snap.pollution_trusted)
+        .field("min_knowledge", snap.min_knowledge)
+        .field("eviction_rate", snap.eviction_rate)
+        .field("trusted_ratio", snap.trusted_ratio)
+        .field("victim_pollution", snap.victim_pollution)
+        .field("attack_active", snap.attack_active)
+        .field("swaps_completed", snap.swaps_completed)
+        .field("pulls_completed", snap.pulls_completed)
+        .field("pushes_delivered", snap.pushes_delivered)
+        .field("wire_bytes", snap.wire_bytes)
+        .field("legs_dropped", snap.legs_dropped)
+        .field("legs_tampered", snap.legs_tampered)
+        .field("legs_corrupted", snap.legs_corrupted)
+        .field("legs_suppressed", snap.legs_suppressed);
+    metrics::JsonObject phases;
+    phases.field("begin_round_ms", snap.phase_ms[0])
+        .field("push_gen_ms", snap.phase_ms[1])
+        .field("push_deliver_ms", snap.phase_ms[2])
+        .field("pulls_ms", snap.phase_ms[3])
+        .field("end_round_ms", snap.phase_ms[4]);
+    doc.field_raw("phase_ms", phases.str());
+  }
+  return doc.str();
+}
+
+ScenarioMonitor* env_monitor() {
+  const char* value = std::getenv("RAPTEE_BENCH_MONITOR_PORT");
+  if (value == nullptr || *value == '\0') return nullptr;
+  const auto port = static_cast<std::uint16_t>(
+      scenario::parse_u64("RAPTEE_BENCH_MONITOR_PORT", value, 0, 65535));
+  // One process-wide monitor, started on first armed call and leaked
+  // deliberately (it serves until process exit, like Registry::global()).
+  static std::mutex mu;
+  const std::lock_guard<std::mutex> lock(mu);
+  static ScenarioMonitor* monitor = nullptr;
+  if (monitor == nullptr) {
+    monitor = new ScenarioMonitor();
+    monitor->start(port);
+  }
+  return monitor;
+}
+
+}  // namespace raptee::obs

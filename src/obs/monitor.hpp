@@ -1,0 +1,71 @@
+// Live scenario monitoring: an IScenarioObserver that publishes the
+// observer stream through a MonitorServer.
+//
+// ScenarioMonitor serves the standard registry routes (/metrics,
+// /metrics.prom, /healthz) plus /snapshot — the latest RoundSnapshot as
+// JSON (schema "raptee.obs.snapshot/1"), including the engine phase
+// breakdown. It also mirrors the headline scenario signals (pollution,
+// min_knowledge, round) into registry gauges so a plain Prometheus scrape
+// of /metrics.prom tracks convergence without parsing /snapshot.
+//
+// Monitoring is strictly read-only on the simulation: callbacks copy
+// values under a mutex and never touch the engine, so results::to_json
+// bytes are identical with and without a monitor attached (asserted by
+// obs_test_monitor).
+//
+// env_monitor() is the bench wiring: when RAPTEE_BENCH_MONITOR_PORT is
+// set, the first call starts a process-wide ScenarioMonitor on that port
+// and returns it; scenario::Runner attaches it to every run. When the
+// variable is unset the call returns nullptr — even if an earlier call
+// started the server — so one process can compare monitored and
+// unmonitored runs (the determinism test does).
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+
+#include "obs/http.hpp"
+#include "obs/registry.hpp"
+#include "scenario/observer.hpp"
+
+namespace raptee::obs {
+
+class ScenarioMonitor : public scenario::IScenarioObserver {
+ public:
+  /// Routes are registered here; serving starts with start().
+  ScenarioMonitor();
+
+  /// Binds 127.0.0.1:`port` (0 = ephemeral) and serves. Returns the port.
+  std::uint16_t start(std::uint16_t port) { return server_.start(port); }
+  void stop() { server_.stop(); }
+  [[nodiscard]] std::uint16_t port() const { return server_.port(); }
+
+  /// Number of completed runs observed (grid cells count individually).
+  [[nodiscard]] std::uint64_t runs_completed() const;
+
+  // IScenarioObserver (thread-safe: parallel batch cells share one monitor)
+  void on_round(const scenario::RoundSnapshot& snapshot,
+                const sim::Engine& engine) override;
+  void on_run_end(const metrics::ExperimentResult& result,
+                  const sim::Engine& engine) override;
+
+ private:
+  [[nodiscard]] std::string snapshot_json() const;
+
+  MonitorServer server_;
+  mutable std::mutex mu_;
+  scenario::RoundSnapshot latest_;
+  bool have_snapshot_ = false;
+  std::uint64_t runs_completed_ = 0;
+
+  Gauge* pollution_gauge_;  // registry-owned, process-lifetime
+  Gauge* min_knowledge_gauge_;
+  Gauge* round_gauge_;
+};
+
+/// The process-wide env-armed monitor (see header note). Throws
+/// std::invalid_argument if RAPTEE_BENCH_MONITOR_PORT is set but not a
+/// valid port, net::NetError if the port cannot be bound.
+[[nodiscard]] ScenarioMonitor* env_monitor();
+
+}  // namespace raptee::obs

@@ -1,0 +1,142 @@
+#include "obs/registry.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace raptee::obs {
+
+namespace {
+
+// 1us .. 10s in a 1-2-5 ladder, the span between "an empty phase on a tiny
+// population" and "a 1M-node round under sanitizers".
+constexpr std::uint64_t kTimeBoundsUs[] = {
+    1,       2,       5,       10,      20,      50,       100,      200,
+    500,     1000,    2000,    5000,    10000,   20000,    50000,    100000,
+    200000,  500000,  1000000, 2000000, 5000000, 10000000};
+
+}  // namespace
+
+std::span<const std::uint64_t> Histogram::default_time_bounds_us() {
+  return kTimeBoundsUs;
+}
+
+Histogram::Histogram(std::span<const std::uint64_t> bounds)
+    : bounds_(bounds.begin(), bounds.end()), counts_(bounds.size() + 1) {
+  RAPTEE_REQUIRE(!bounds_.empty(), "histogram needs at least one bucket bound");
+  RAPTEE_REQUIRE(std::is_sorted(bounds_.begin(), bounds_.end()) &&
+                     std::adjacent_find(bounds_.begin(), bounds_.end()) ==
+                         bounds_.end(),
+                 "histogram bounds must be strictly increasing");
+}
+
+void Histogram::record(std::uint64_t value) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  const auto bucket = static_cast<std::size_t>(it - bounds_.begin());
+  counts_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+}
+
+double Histogram::mean() const {
+  const std::uint64_t n = count();
+  return n == 0 ? 0.0 : static_cast<double>(sum()) / static_cast<double>(n);
+}
+
+void Snapshot::clear() {
+  counters.clear();
+  gauges.clear();
+  histograms.clear();
+  bucket_bounds.clear();
+  bucket_counts.clear();
+}
+
+Registry& Registry::global() {
+  static Registry instance;
+  return instance;
+}
+
+void Registry::require_unregistered(std::string_view name, const char* kind) const {
+  // Called with mu_ held. One name = one kind, or /metrics.prom would emit
+  // conflicting TYPE lines for the same series.
+  RAPTEE_REQUIRE(counters_.find(name) == counters_.end() || kind[0] == 'c',
+                 "metric '" << name << "' already registered as a counter");
+  RAPTEE_REQUIRE(gauges_.find(name) == gauges_.end() || kind[0] == 'g',
+                 "metric '" << name << "' already registered as a gauge");
+  RAPTEE_REQUIRE(histograms_.find(name) == histograms_.end() || kind[0] == 'h',
+                 "metric '" << name << "' already registered as a histogram");
+}
+
+Counter& Registry::counter(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = counters_.find(name);
+  if (it != counters_.end()) return it->second;
+  require_unregistered(name, "counter");
+  return counters_.emplace(std::piecewise_construct,
+                           std::forward_as_tuple(name), std::forward_as_tuple())
+      .first->second;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = gauges_.find(name);
+  if (it != gauges_.end()) return it->second;
+  require_unregistered(name, "gauge");
+  return gauges_.emplace(std::piecewise_construct, std::forward_as_tuple(name),
+                         std::forward_as_tuple())
+      .first->second;
+}
+
+Histogram& Registry::histogram(std::string_view name,
+                               std::span<const std::uint64_t> bounds) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = histograms_.find(name);
+  if (it != histograms_.end()) return it->second;
+  require_unregistered(name, "histogram");
+  if (bounds.empty()) bounds = Histogram::default_time_bounds_us();
+  return histograms_.emplace(std::piecewise_construct,
+                             std::forward_as_tuple(name),
+                             std::forward_as_tuple(bounds))
+      .first->second;
+}
+
+void Registry::snapshot_into(Snapshot& out) const {
+  out.clear();
+  const std::lock_guard<std::mutex> lock(mu_);
+  out.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) {
+    out.counters.push_back({name, c.value()});
+  }
+  out.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) {
+    out.gauges.push_back({name, g.value()});
+  }
+  out.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    Snapshot::HistogramValue v;
+    v.name = name;
+    v.count = h.count();
+    v.sum = h.sum();
+    v.first = out.bucket_counts.size();
+    v.buckets = h.bucket_count();
+    const std::span<const std::uint64_t> bounds = h.bounds();
+    for (std::size_t i = 0; i < v.buckets; ++i) {
+      out.bucket_bounds.push_back(i < bounds.size() ? bounds[i] : 0);  // +Inf
+      out.bucket_counts.push_back(h.bucket(i));
+    }
+    out.histograms.push_back(v);
+  }
+}
+
+Snapshot Registry::snapshot() const {
+  Snapshot out;
+  snapshot_into(out);
+  return out;
+}
+
+std::size_t Registry::size() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return counters_.size() + gauges_.size() + histograms_.size();
+}
+
+}  // namespace raptee::obs

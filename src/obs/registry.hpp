@@ -1,0 +1,160 @@
+// Observability metrics core: a process-wide registry of named counters,
+// gauges and fixed-bucket histograms.
+//
+// Design constraints (this is the layer under the engine's hot loop and the
+// bus's event loop, see ISSUE 8):
+//  * increments are relaxed atomics — safe from ThreadPool shards and bus
+//    loop threads, no locks, no allocation;
+//  * registration (get-or-create by name) is the only locked path; metric
+//    objects live in node-based maps, so references stay valid for the
+//    registry's lifetime and hot paths hold plain pointers;
+//  * metrics are ADDITIVE across instruments: two Engines (a parallel
+//    bench batch) publishing deltas into the same named counter yield the
+//    process-wide total, which is exactly what a live dashboard wants;
+//  * snapshot_into() produces a point-in-time copy into caller-owned
+//    buffers whose capacity amortizes — steady-state scraping allocates
+//    nothing (asserted by obs_test_obs_zero_alloc). Names are string_views
+//    into the registry's keys (the registry never erases a metric).
+//
+// Naming convention: dotted lowercase paths ("engine.pushes_sent",
+// "bus.flush_us", "engine.phase.pulls_us"); the Prometheus exporter
+// rewrites separators (see export.hpp). One name is one kind — registering
+// "x" as a counter and again as a gauge is a precondition violation.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace raptee::obs {
+
+/// Monotone additive counter.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  [[nodiscard]] std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-write-wins level (population sizes, uptime, ratios).
+class Gauge {
+ public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  [[nodiscard]] double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram over non-negative integer observations (the
+/// profiling hooks record microseconds). Bucket `i` counts observations
+/// <= bounds[i] and > bounds[i-1]; one implicit overflow bucket (+Inf)
+/// catches the rest. Bounds are fixed at registration, so record() is a
+/// binary search plus three relaxed fetch_adds — allocation-free.
+class Histogram {
+ public:
+  /// Default bounds: a log-ish microsecond ladder from 1us to 10s —
+  /// suitable for every phase/latency histogram in the tree.
+  [[nodiscard]] static std::span<const std::uint64_t> default_time_bounds_us();
+
+  explicit Histogram(std::span<const std::uint64_t> bounds);
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void record(std::uint64_t value);
+
+  [[nodiscard]] std::span<const std::uint64_t> bounds() const { return bounds_; }
+  /// Bucket count including the +Inf overflow bucket (bounds().size() + 1).
+  [[nodiscard]] std::size_t bucket_count() const { return counts_.size(); }
+  [[nodiscard]] std::uint64_t bucket(std::size_t i) const {
+    return counts_[i].load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  /// count() ? sum()/count() : 0 — the cheap "phase breakdown" statistic.
+  [[nodiscard]] double mean() const;
+
+ private:
+  std::vector<std::uint64_t> bounds_;  // strictly increasing upper bounds
+  std::vector<std::atomic<std::uint64_t>> counts_;  // bounds_.size() + 1
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+};
+
+/// Point-in-time copy of a registry (see Registry::snapshot_into). All
+/// name fields view the registry's stable keys; histogram buckets are
+/// flattened into the two shared flat buffers so a reused Snapshot reaches
+/// steady-state capacity and stops allocating.
+struct Snapshot {
+  struct CounterValue {
+    std::string_view name;
+    std::uint64_t value = 0;
+  };
+  struct GaugeValue {
+    std::string_view name;
+    double value = 0.0;
+  };
+  struct HistogramValue {
+    std::string_view name;
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+    std::size_t first = 0;    ///< offset into bucket_bounds / bucket_counts
+    std::size_t buckets = 0;  ///< entries; the last one is +Inf (bound ignored)
+  };
+
+  std::vector<CounterValue> counters;
+  std::vector<GaugeValue> gauges;
+  std::vector<HistogramValue> histograms;
+  std::vector<std::uint64_t> bucket_bounds;  ///< flat; +Inf slots carry 0
+  std::vector<std::uint64_t> bucket_counts;  ///< flat, parallel to bucket_bounds
+
+  void clear();
+};
+
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// The process-wide registry every subsystem instruments by default.
+  [[nodiscard]] static Registry& global();
+
+  /// Get-or-create by name. References stay valid for the registry's
+  /// lifetime. Registering a name that already exists as a different kind
+  /// throws std::invalid_argument.
+  [[nodiscard]] Counter& counter(std::string_view name);
+  [[nodiscard]] Gauge& gauge(std::string_view name);
+  /// `bounds` applies on first registration only (empty = the default
+  /// microsecond ladder); later calls return the existing histogram.
+  [[nodiscard]] Histogram& histogram(std::string_view name,
+                                     std::span<const std::uint64_t> bounds = {});
+
+  /// Point-in-time copy in deterministic (lexicographic) name order.
+  /// Amortized allocation-free: `out`'s buffers are cleared and refilled.
+  void snapshot_into(Snapshot& out) const;
+  [[nodiscard]] Snapshot snapshot() const;
+
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  void require_unregistered(std::string_view name, const char* kind) const;
+
+  mutable std::mutex mu_;  // guards the maps; metric mutation is lock-free
+  std::map<std::string, Counter, std::less<>> counters_;
+  std::map<std::string, Gauge, std::less<>> gauges_;
+  std::map<std::string, Histogram, std::less<>> histograms_;
+};
+
+}  // namespace raptee::obs

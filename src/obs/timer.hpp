@@ -1,0 +1,48 @@
+// RAII wall-clock timer feeding a registry histogram.
+//
+// The profiling hooks (Engine phases, Bus loop dispatch/timer/flush) wrap
+// each region in a ScopedTimer; destruction records elapsed microseconds
+// into the histogram with a relaxed atomic — no locks, no allocation, so
+// the hooks are safe inside the zero-steady-state-allocation gates.
+//
+// Timing is observational only: elapsed values never feed simulation
+// state, preserving the bit-exact results contract.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+#include "obs/registry.hpp"
+
+namespace raptee::obs {
+
+class ScopedTimer {
+ public:
+  /// `hist` may be null (profiling disabled — the timer still measures if
+  /// `elapsed_us_out` wants the value). `elapsed_us_out`, when non-null,
+  /// also receives the elapsed microseconds (used by Engine to surface
+  /// last-round phase times without re-reading histograms).
+  explicit ScopedTimer(Histogram* hist, std::uint64_t* elapsed_us_out = nullptr)
+      : hist_(hist),
+        out_(elapsed_us_out),
+        start_(std::chrono::steady_clock::now()) {}
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  ~ScopedTimer() {
+    if (hist_ == nullptr && out_ == nullptr) return;
+    const auto elapsed = std::chrono::steady_clock::now() - start_;
+    const auto us = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(elapsed).count());
+    if (hist_ != nullptr) hist_->record(us);
+    if (out_ != nullptr) *out_ = us;
+  }
+
+ private:
+  Histogram* hist_;
+  std::uint64_t* out_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace raptee::obs

@@ -2,6 +2,8 @@
 
 #include <cerrno>
 #include <cstdlib>
+#include <cstring>
+#include <iostream>
 
 #include "adversary/strategy.hpp"
 #include "common/assert.hpp"
@@ -54,6 +56,23 @@ double parse_double(const char* what, const char* value, double min, double max)
                  what << "=" << value << " out of range [" << min << ", " << max
                       << "]");
   return parsed;
+}
+
+void cli_usage(const char* program, const char* synopsis,
+               std::initializer_list<CliOption> options, const char* error) {
+  std::size_t width = 0;
+  for (const CliOption& option : options) {
+    const std::size_t len = std::strlen(option.name);
+    if (len > width) width = len;
+  }
+  std::cerr << "error: " << error << "\n"
+            << "usage: " << program << ' ' << synopsis << "\n";
+  for (const CliOption& option : options) {
+    std::cerr << "  " << option.name
+              << std::string(width - std::strlen(option.name) + 2, ' ')
+              << option.help << "\n";
+  }
+  std::exit(2);
 }
 
 namespace {

@@ -33,6 +33,21 @@ namespace raptee::scenario {
 [[nodiscard]] double parse_double(const char* what, const char* value, double min,
                                   double max);
 
+/// One argument row in a tool's usage block: name plus one-line help.
+struct CliOption {
+  const char* name;
+  const char* help;
+};
+
+/// Shared bad-usage exit for the CLI tools (rapteed, raptee_load): prints
+///   error: <error>
+///   usage: <program> <synopsis>
+///     <name>  <help>        (names column-aligned)
+/// to stderr and exits 2 — the status the CI bad-usage gate asserts.
+[[noreturn]] void cli_usage(const char* program, const char* synopsis,
+                            std::initializer_list<CliOption> options,
+                            const char* error);
+
 struct Knobs {
   bool full = false;
   std::size_t n = 400;

@@ -18,6 +18,7 @@
 //   on_run_end      once, after the last round, with the collected result
 #pragma once
 
+#include <array>
 #include <cstdint>
 
 #include "common/types.hpp"
@@ -64,6 +65,12 @@ struct RoundSnapshot {
   std::uint64_t legs_tampered = 0;   ///< on-path flips (tamper_rate)
   std::uint64_t legs_corrupted = 0;  ///< receiver-rejected legs
   std::uint64_t legs_suppressed = 0; ///< pulls an omission adversary refused
+
+  /// Wall-clock milliseconds this round spent in each engine phase,
+  /// indexed by sim::Engine::Phase (begin_round, push_gen, push_deliver,
+  /// pulls, end_round). Profiling data, not simulation state: the values
+  /// vary run to run and are excluded from every determinism gate.
+  std::array<double, 5> phase_ms{};
 };
 
 /// Per-round streaming hook attached to Runner::run / metrics::run_experiment.

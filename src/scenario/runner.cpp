@@ -5,11 +5,38 @@
 #include "common/assert.hpp"
 #include "common/rng.hpp"
 #include "exec/parallel.hpp"
+#include "obs/monitor.hpp"
 #include "scenario/observer.hpp"
 
 namespace raptee::scenario {
 
 namespace {
+
+/// Fans one observer stream out to two sinks (caller observer + the env
+/// monitor). Lives on the stack of Runner::run for the run's duration.
+class TeeObserver final : public IScenarioObserver {
+ public:
+  TeeObserver(IScenarioObserver* a, IScenarioObserver* b) : a_(a), b_(b) {}
+
+  void on_run_start(const metrics::ExperimentConfig& config,
+                    const sim::Engine& engine) override {
+    a_->on_run_start(config, engine);
+    b_->on_run_start(config, engine);
+  }
+  void on_round(const RoundSnapshot& snapshot, const sim::Engine& engine) override {
+    a_->on_round(snapshot, engine);
+    b_->on_round(snapshot, engine);
+  }
+  void on_run_end(const metrics::ExperimentResult& result,
+                  const sim::Engine& engine) override {
+    a_->on_run_end(result, engine);
+    b_->on_run_end(result, engine);
+  }
+
+ private:
+  IScenarioObserver* a_;
+  IScenarioObserver* b_;
+};
 
 /// Flattens (specs × reps) into one run list with decorrelated seeds —
 /// metrics::repetition_seed, so a batch cell and a standalone repetition of
@@ -37,9 +64,15 @@ std::vector<metrics::RepeatedResult> run_flattened(
     std::size_t threads) {
   RAPTEE_REQUIRE(reps >= 1, "need at least one repetition");
   const std::vector<metrics::ExperimentConfig> flat = flatten_reps(configs, reps);
+  // The env monitor (RAPTEE_BENCH_MONITOR_PORT) streams every cell; its
+  // callbacks are mutex-guarded, so parallel cells interleave safely, and
+  // the observer path is read-only, so attaching it leaves every result
+  // byte identical.
+  obs::ScenarioMonitor* monitor = obs::env_monitor();
   const auto results = exec::parallel_map(
-      threads, flat.size(),
-      [&flat](std::size_t i) { return metrics::run_experiment(flat[i]); });
+      threads, flat.size(), [&flat, monitor](std::size_t i) {
+        return metrics::run_experiment(flat[i], monitor);
+      });
 
   std::vector<metrics::RepeatedResult> out;
   out.reserve(configs.size());
@@ -169,7 +202,11 @@ const metrics::RepeatedResult& GridResult::at(
 
 metrics::ExperimentResult Runner::run(const ScenarioSpec& spec,
                                       IScenarioObserver* observer) const {
-  return metrics::run_experiment(spec.config(), observer);
+  obs::ScenarioMonitor* monitor = obs::env_monitor();
+  if (monitor == nullptr) return metrics::run_experiment(spec.config(), observer);
+  if (observer == nullptr) return metrics::run_experiment(spec.config(), monitor);
+  TeeObserver tee(observer, monitor);
+  return metrics::run_experiment(spec.config(), &tee);
 }
 
 metrics::RepeatedResult Runner::run_repeated(const ScenarioSpec& spec,

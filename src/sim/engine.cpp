@@ -1,10 +1,41 @@
 #include "sim/engine.hpp"
 
 #include <algorithm>
+#include <optional>
 
 #include "common/assert.hpp"
+#include "obs/timer.hpp"
 
 namespace raptee::sim {
+
+namespace {
+
+constexpr const char* kPhaseHistNames[Engine::kPhaseCount] = {
+    "engine.phase.begin_round_us", "engine.phase.push_gen_us",
+    "engine.phase.push_deliver_us", "engine.phase.pulls_us",
+    "engine.phase.end_round_us"};
+
+struct CounterMetricEntry {
+  const char* name;
+  std::uint64_t Engine::Counters::* field;
+};
+
+constexpr CounterMetricEntry kCounterEntries[] = {
+    {"engine.pushes_sent", &Engine::Counters::pushes_sent},
+    {"engine.pushes_delivered", &Engine::Counters::pushes_delivered},
+    {"engine.pulls_started", &Engine::Counters::pulls_started},
+    {"engine.pulls_completed", &Engine::Counters::pulls_completed},
+    {"engine.pulls_timed_out", &Engine::Counters::pulls_timed_out},
+    {"engine.swaps_completed", &Engine::Counters::swaps_completed},
+    {"engine.legs_suppressed", &Engine::Counters::legs_suppressed},
+    {"engine.legs_dropped", &Engine::Counters::legs_dropped},
+    {"engine.legs_tampered", &Engine::Counters::legs_tampered},
+    {"engine.legs_corrupted", &Engine::Counters::legs_corrupted},
+    {"engine.wire_bytes", &Engine::Counters::wire_bytes},
+};
+static_assert(std::size(kCounterEntries) == 11);
+
+}  // namespace
 
 Engine::Engine(EngineConfig config)
     : config_(config), rng_(mix64(config.seed, 0x656E67696E65ull)) {
@@ -14,6 +45,14 @@ Engine::Engine(EngineConfig config)
     link_table_ =
         std::make_unique<wire::LinkTable>(link_master_, config_.link_sessions);
   }
+  obs::Registry& reg = obs::Registry::global();
+  for (std::size_t i = 0; i < kPhaseCount; ++i) {
+    phase_hist_[i] = &reg.histogram(kPhaseHistNames[i]);
+  }
+  for (std::size_t i = 0; i < kCounterMetrics; ++i) {
+    counter_metrics_[i] = &reg.counter(kCounterEntries[i].name);
+  }
+  rounds_metric_ = &reg.counter("engine.rounds");
 }
 
 std::uint64_t Engine::link_derivations() const {
@@ -242,6 +281,9 @@ void Engine::deliver_pushes() {
   ArenaVector<Delivery> deliveries(arena_);
   alive_ids(alive_scratch_);
 
+  std::optional<obs::ScopedTimer> gen_timer;
+  gen_timer.emplace(phase_hist_[kPhasePushGen], &last_phase_us_[kPhasePushGen]);
+
   if (!sharded()) {
     // Legacy sequential path: loss draws interleave on the engine stream.
     for (const NodeId id : alive_scratch_) {
@@ -299,6 +341,9 @@ void Engine::deliver_pushes() {
   }
 
   rng_.shuffle(deliveries);
+  gen_timer.reset();  // generation + shuffle measured; delivery starts here
+  const obs::ScopedTimer deliver_timer(phase_hist_[kPhasePushDeliver],
+                                       &last_phase_us_[kPhasePushDeliver]);
 
   if (!sharded()) {
     for (const Delivery& d : deliveries) {
@@ -523,18 +568,41 @@ void Engine::run_pull_exchanges() {
 
 void Engine::step() {
   arena_.reset();  // reclaim last round's scratch wholesale
-  run_begin_rounds();
-  deliver_pushes();
-  run_pull_exchanges();
-  run_end_rounds();
-  if (!listeners_.empty()) {
-    // Publish every node's post-round view into the SoA slab so listeners
-    // read views via view_of() spans instead of allocating current_view().
-    refresh_views();
-    for_listeners([&](ITrafficListener& l) { l.on_round_end(round_, *this); });
+  {
+    const obs::ScopedTimer t(phase_hist_[kPhaseBeginRound],
+                             &last_phase_us_[kPhaseBeginRound]);
+    run_begin_rounds();
+  }
+  deliver_pushes();  // records kPhasePushGen / kPhasePushDeliver itself
+  {
+    const obs::ScopedTimer t(phase_hist_[kPhasePulls],
+                             &last_phase_us_[kPhasePulls]);
+    run_pull_exchanges();
+  }
+  {
+    const obs::ScopedTimer t(phase_hist_[kPhaseEndRound],
+                             &last_phase_us_[kPhaseEndRound]);
+    run_end_rounds();
+    if (!listeners_.empty()) {
+      // Publish every node's post-round view into the SoA slab so listeners
+      // read views via view_of() spans instead of allocating current_view().
+      refresh_views();
+      for_listeners([&](ITrafficListener& l) { l.on_round_end(round_, *this); });
+    }
   }
   if (link_table_) link_table_->retire_idle(round_, config_.link_idle_rounds);
   ++round_;
+  publish_metrics();
+}
+
+void Engine::publish_metrics() {
+  for (std::size_t i = 0; i < kCounterMetrics; ++i) {
+    const auto field = kCounterEntries[i].field;
+    const std::uint64_t delta = counters_.*field - published_.*field;
+    if (delta != 0) counter_metrics_[i]->add(delta);
+  }
+  published_ = counters_;
+  rounds_metric_->add(1);
 }
 
 void Engine::run(Round count, const std::function<bool(Round)>& stop) {

@@ -23,6 +23,7 @@
 //    corruption reaching the protocol).
 #pragma once
 
+#include <array>
 #include <functional>
 #include <memory>
 #include <span>
@@ -33,6 +34,7 @@
 #include "common/types.hpp"
 #include "crypto/key.hpp"
 #include "exec/thread_pool.hpp"
+#include "obs/registry.hpp"
 #include "sim/node.hpp"
 #include "sim/traffic.hpp"
 #include "wire/link_session.hpp"
@@ -157,6 +159,24 @@ class Engine {
   };
   [[nodiscard]] const Counters& counters() const { return counters_; }
 
+  /// The five wall-clock-profiled phases of step(), in execution order.
+  /// Indexes last_phase_us() and RoundSnapshot::phase_ms.
+  enum Phase : std::size_t {
+    kPhaseBeginRound = 0,
+    kPhasePushGen,      ///< push-target generation (incl. the global shuffle)
+    kPhasePushDeliver,  ///< mailbox application + listener replay
+    kPhasePulls,        ///< pull-target generation + the five-leg exchanges
+    kPhaseEndRound,     ///< eviction, view renewal, listener round-end
+    kPhaseCount
+  };
+  /// Wall-clock microseconds each phase of the most recent step() took.
+  /// Observational only: timing never feeds simulation state, so results
+  /// stay bit-exact. The same values accumulate into the process-wide
+  /// "engine.phase.*_us" histograms (obs::Registry::global()).
+  [[nodiscard]] const std::array<std::uint64_t, kPhaseCount>& last_phase_us() const {
+    return last_phase_us_;
+  }
+
   /// Link-session statistics (both 0 unless encrypt_links): total link
   /// secrets derived, and sessions currently cached. With link_sessions
   /// the former tracks the number of active pairs; without it, the number
@@ -219,6 +239,11 @@ class Engine {
   void run_end_rounds();
   /// Runs one five-leg exchange; returns false on timeout.
   bool run_exchange(INode& initiator, INode& responder);
+  /// Adds this step's Counters deltas into the process-wide registry
+  /// (relaxed atomics, allocation-free). Deltas — not absolute values — so
+  /// several engines running in parallel (a bench batch) aggregate into
+  /// process totals instead of clobbering each other.
+  void publish_metrics();
 
   EngineConfig config_;
   Rng rng_;
@@ -258,6 +283,16 @@ class Engine {
   std::vector<std::uint8_t> wire_plain_;
   std::vector<std::uint8_t> wire_frame_;
   std::vector<std::uint8_t> wire_opened_;
+
+  // Observability (all pointers into Registry::global(); the registry
+  // never erases, so they stay valid). Resolved once in the constructor —
+  // step() itself only performs relaxed atomic adds and clock reads.
+  static constexpr std::size_t kCounterMetrics = 11;
+  std::array<obs::Histogram*, kPhaseCount> phase_hist_{};
+  std::array<std::uint64_t, kPhaseCount> last_phase_us_{};
+  std::array<obs::Counter*, kCounterMetrics> counter_metrics_{};
+  Counters published_;  // baseline for the per-step registry deltas
+  obs::Counter* rounds_metric_ = nullptr;
 };
 
 }  // namespace raptee::sim

@@ -1,0 +1,117 @@
+// ScenarioMonitor contract: attaching the live monitoring endpoint to a
+// scenario run is strictly observational — results::to_json bytes are
+// identical with monitoring on and off (ISSUE 8's determinism acceptance
+// gate) — and the /snapshot route serves the latest round as schema-valid
+// JSON with the engine phase breakdown.
+//
+// RAPTEE_BENCH_MONITOR_PORT is read per Runner invocation, so one process
+// can interleave monitored and unmonitored runs; these tests exploit that
+// (setenv/unsetenv around individual runs). Port 0 keeps the test free of
+// port-collision flakes.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "metrics/json.hpp"
+#include "obs/http.hpp"
+#include "obs/monitor.hpp"
+#include "scenario/results.hpp"
+#include "scenario/runner.hpp"
+#include "support/scenario.hpp"
+
+namespace raptee::obs {
+namespace {
+
+scenario::ScenarioSpec MonitoredSpec() {
+  // Small but non-trivial: adversary + trusted population + eviction, so
+  // the serialized result carries every series the monitor also observes.
+  return test::Scenario().rounds(24).adversary(0.2).trusted_share(0.3).eviction_pct(
+      40);
+}
+
+class MonitorEnv : public ::testing::Test {
+ protected:
+  void TearDown() override { ::unsetenv("RAPTEE_BENCH_MONITOR_PORT"); }
+};
+
+TEST_F(MonitorEnv, MonitoringOnAndOffIsByteIdentical) {
+  const scenario::Runner runner(1);
+  const scenario::ScenarioSpec spec = MonitoredSpec();
+
+  ::unsetenv("RAPTEE_BENCH_MONITOR_PORT");
+  const std::string off_before = scenario::results::to_json(runner.run(spec));
+
+  ::setenv("RAPTEE_BENCH_MONITOR_PORT", "0", 1);
+  const std::string on = scenario::results::to_json(runner.run(spec));
+
+  ::unsetenv("RAPTEE_BENCH_MONITOR_PORT");
+  const std::string off_after = scenario::results::to_json(runner.run(spec));
+
+  EXPECT_EQ(off_before, on)
+      << "attaching the monitor changed the serialized result";
+  EXPECT_EQ(off_before, off_after)
+      << "a monitored run perturbed a later unmonitored one";
+}
+
+TEST_F(MonitorEnv, SnapshotRouteServesTheLatestRound) {
+  ::setenv("RAPTEE_BENCH_MONITOR_PORT", "0", 1);
+  ScenarioMonitor* monitor = env_monitor();
+  ASSERT_NE(monitor, nullptr);
+  ASSERT_NE(monitor->port(), 0);
+
+  const std::uint64_t runs_before = monitor->runs_completed();
+  const scenario::Runner runner(1);
+  (void)runner.run(MonitoredSpec());
+  EXPECT_EQ(monitor->runs_completed(), runs_before + 1);
+
+  const auto snap = http_get(monitor->port(), "/snapshot");
+  ASSERT_TRUE(snap.has_value());
+  EXPECT_EQ(snap->status, 200);
+  EXPECT_TRUE(metrics::json_valid(snap->body)) << snap->body;
+  EXPECT_NE(snap->body.find("\"schema\":\"raptee.obs.snapshot/1\""),
+            std::string::npos);
+  EXPECT_NE(snap->body.find("\"have_snapshot\":true"), std::string::npos);
+  EXPECT_NE(snap->body.find("\"round\":"), std::string::npos);
+  EXPECT_NE(snap->body.find("\"phase_ms\""), std::string::npos);
+  EXPECT_NE(snap->body.find("\"pulls_ms\""), std::string::npos);
+
+  // The standard registry routes ride along on the same server.
+  const auto metrics_doc = http_get(monitor->port(), "/metrics");
+  ASSERT_TRUE(metrics_doc.has_value());
+  EXPECT_TRUE(metrics::json_valid(metrics_doc->body));
+  EXPECT_NE(metrics_doc->body.find("engine.phase."), std::string::npos);
+}
+
+TEST_F(MonitorEnv, MonitorTeesWithACallerObserver) {
+  class CountingObserver final : public scenario::IScenarioObserver {
+   public:
+    void on_round(const scenario::RoundSnapshot&, const sim::Engine&) override {
+      ++rounds;
+    }
+    int rounds = 0;
+  };
+
+  ::setenv("RAPTEE_BENCH_MONITOR_PORT", "0", 1);
+  ScenarioMonitor* monitor = env_monitor();
+  ASSERT_NE(monitor, nullptr);
+  const std::uint64_t runs_before = monitor->runs_completed();
+
+  CountingObserver observer;
+  const scenario::Runner runner(1);
+  (void)runner.run(MonitoredSpec(), &observer);
+  EXPECT_EQ(observer.rounds, 24);  // caller observer still sees every round
+  EXPECT_EQ(monitor->runs_completed(), runs_before + 1);  // so does the monitor
+}
+
+TEST(MonitorEnvParsing, RejectsGarbagePorts) {
+  ::setenv("RAPTEE_BENCH_MONITOR_PORT", "not-a-port", 1);
+  EXPECT_THROW((void)env_monitor(), std::invalid_argument);
+  ::setenv("RAPTEE_BENCH_MONITOR_PORT", "70000", 1);
+  EXPECT_THROW((void)env_monitor(), std::invalid_argument);
+  ::unsetenv("RAPTEE_BENCH_MONITOR_PORT");
+  EXPECT_EQ(env_monitor(), nullptr);
+}
+
+}  // namespace
+}  // namespace raptee::obs

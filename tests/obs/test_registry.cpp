@@ -1,0 +1,166 @@
+// Metrics-registry core semantics: get-or-create identity, one-name-one-kind
+// enforcement, histogram bucket assignment on the fixed-bound ladder,
+// deterministic snapshot order, and both exporters (JSON passing the strict
+// metrics::json_valid gate, Prometheus with cumulative le-buckets).
+//
+// Tests use a local Registry, not Registry::global(): the global one is
+// shared process state (the Engine-backed tests mutate it) and these are
+// pure semantics checks.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "metrics/json.hpp"
+#include "obs/export.hpp"
+#include "obs/registry.hpp"
+
+namespace raptee::obs {
+namespace {
+
+TEST(Registry, GetOrCreateReturnsSameInstance) {
+  Registry reg;
+  Counter& a = reg.counter("x.count");
+  Counter& b = reg.counter("x.count");
+  EXPECT_EQ(&a, &b);
+  a.add(3);
+  b.add(2);
+  EXPECT_EQ(a.value(), 5u);
+  EXPECT_EQ(reg.size(), 1u);
+}
+
+TEST(Registry, OneNameIsOneKind) {
+  Registry reg;
+  (void)reg.counter("x");
+  EXPECT_THROW((void)reg.gauge("x"), std::invalid_argument);
+  EXPECT_THROW((void)reg.histogram("x"), std::invalid_argument);
+  (void)reg.gauge("y");
+  EXPECT_THROW((void)reg.counter("y"), std::invalid_argument);
+}
+
+TEST(Registry, HistogramBucketAssignment) {
+  Registry reg;
+  const std::array<std::uint64_t, 3> bounds{10, 100, 1000};
+  Histogram& h = reg.histogram("h", bounds);
+  h.record(0);     // <= 10
+  h.record(10);    // <= 10 (bounds are inclusive upper edges)
+  h.record(11);    // <= 100
+  h.record(1000);  // <= 1000
+  h.record(5000);  // +Inf overflow
+  ASSERT_EQ(h.bucket_count(), 4u);
+  EXPECT_EQ(h.bucket(0), 2u);
+  EXPECT_EQ(h.bucket(1), 1u);
+  EXPECT_EQ(h.bucket(2), 1u);
+  EXPECT_EQ(h.bucket(3), 1u);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_EQ(h.sum(), 0u + 10 + 11 + 1000 + 5000);
+  EXPECT_DOUBLE_EQ(h.mean(), static_cast<double>(h.sum()) / 5.0);
+}
+
+TEST(Registry, HistogramBoundsMustBeStrictlyIncreasing) {
+  Registry reg;
+  const std::array<std::uint64_t, 3> bad{10, 10, 20};
+  EXPECT_THROW((void)reg.histogram("bad", bad), std::invalid_argument);
+  const std::array<std::uint64_t, 2> descending{20, 10};
+  EXPECT_THROW((void)reg.histogram("bad2", descending), std::invalid_argument);
+}
+
+TEST(Registry, DefaultTimeBoundsAreTheMicrosecondLadder) {
+  const auto bounds = Histogram::default_time_bounds_us();
+  ASSERT_FALSE(bounds.empty());
+  EXPECT_EQ(bounds.front(), 1u);
+  EXPECT_EQ(bounds.back(), 10'000'000u);  // 10 s
+  for (std::size_t i = 1; i < bounds.size(); ++i) EXPECT_LT(bounds[i - 1], bounds[i]);
+}
+
+TEST(Registry, SnapshotIsLexicographicAndPointInTime) {
+  Registry reg;
+  reg.counter("b.two").add(2);
+  reg.counter("a.one").add(1);
+  reg.gauge("z.level").set(0.5);
+  reg.histogram("m.hist").record(42);
+
+  Snapshot snap = reg.snapshot();
+  ASSERT_EQ(snap.counters.size(), 2u);
+  EXPECT_EQ(snap.counters[0].name, "a.one");
+  EXPECT_EQ(snap.counters[0].value, 1u);
+  EXPECT_EQ(snap.counters[1].name, "b.two");
+  ASSERT_EQ(snap.gauges.size(), 1u);
+  EXPECT_DOUBLE_EQ(snap.gauges[0].value, 0.5);
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  EXPECT_EQ(snap.histograms[0].count, 1u);
+  EXPECT_EQ(snap.histograms[0].sum, 42u);
+
+  // Point-in-time: later increments do not bleed into the copy.
+  reg.counter("a.one").add(10);
+  EXPECT_EQ(snap.counters[0].value, 1u);
+}
+
+TEST(Registry, ConcurrentIncrementsAreLossless) {
+  Registry reg;
+  Counter& c = reg.counter("c");
+  Histogram& h = reg.histogram("h");
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 10'000;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        c.add(1);
+        h.record(static_cast<std::uint64_t>(i % 1000));
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  EXPECT_EQ(c.value(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(h.count(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(Export, JsonPassesTheStrictValidator) {
+  Registry reg;
+  reg.counter("engine.rounds").add(7);
+  reg.gauge("scenario.pollution").set(0.25);
+  reg.histogram("engine.phase.pulls_us").record(1234);
+  const std::string doc = to_json(reg.snapshot());
+  EXPECT_TRUE(metrics::json_valid(doc)) << doc;
+  EXPECT_NE(doc.find("\"schema\":\"raptee.obs.metrics/1\""), std::string::npos);
+  EXPECT_NE(doc.find("\"engine.rounds\":7"), std::string::npos);
+  EXPECT_NE(doc.find("\"+Inf\""), std::string::npos);
+}
+
+TEST(Export, PrometheusNameSanitization) {
+  EXPECT_EQ(prometheus_name("engine.phase.pulls_us"), "raptee_engine_phase_pulls_us");
+  EXPECT_EQ(prometheus_name("weird-name/x"), "raptee_weird_name_x");
+}
+
+TEST(Export, PrometheusBucketsAreCumulative) {
+  Registry reg;
+  const std::array<std::uint64_t, 2> bounds{10, 100};
+  Histogram& h = reg.histogram("lat", bounds);
+  h.record(5);    // bucket 0
+  h.record(50);   // bucket 1
+  h.record(500);  // +Inf
+  const std::string text = to_prometheus(reg.snapshot());
+  EXPECT_NE(text.find("raptee_lat_bucket{le=\"10\"} 1"), std::string::npos) << text;
+  EXPECT_NE(text.find("raptee_lat_bucket{le=\"100\"} 2"), std::string::npos) << text;
+  EXPECT_NE(text.find("raptee_lat_bucket{le=\"+Inf\"} 3"), std::string::npos) << text;
+  EXPECT_NE(text.find("raptee_lat_count 3"), std::string::npos) << text;
+  EXPECT_NE(text.find("raptee_lat_sum 555"), std::string::npos) << text;
+}
+
+TEST(Export, SummaryLineNamesEveryMetric) {
+  Registry reg;
+  reg.counter("engine.rounds").add(3);
+  reg.histogram("bus.flush_us").record(12);
+  const std::string line = summary_line(reg.snapshot());
+  EXPECT_EQ(line.rfind("metrics:", 0), 0u) << line;
+  EXPECT_NE(line.find("engine.rounds=3"), std::string::npos) << line;
+  EXPECT_NE(line.find("bus.flush_us{"), std::string::npos) << line;
+}
+
+}  // namespace
+}  // namespace raptee::obs

@@ -11,7 +11,6 @@
 // garbage numbers are an error, not a default).
 #include <cstdio>
 #include <cstdlib>
-#include <iostream>
 #include <stdexcept>
 
 #include "net/load_gen.hpp"
@@ -21,13 +20,13 @@
 namespace {
 
 [[noreturn]] void usage_exit(const char* error) {
-  std::cerr << "error: " << error << "\n"
-            << "usage: raptee_load <port> [connections] [duration_ms] [samples]\n"
-            << "  port         rapteed port on 127.0.0.1, 1..65535 (required)\n"
-            << "  connections  concurrent clients, 1..4096 (default 8)\n"
-            << "  duration_ms  load duration, 1..600000 (default 1000)\n"
-            << "  samples      samples per request, 1..256 (default 8)\n";
-  std::exit(2);
+  raptee::scenario::cli_usage(
+      "raptee_load", "<port> [connections] [duration_ms] [samples]",
+      {{"port", "rapteed port on 127.0.0.1, 1..65535 (required)"},
+       {"connections", "concurrent clients, 1..4096 (default 8)"},
+       {"duration_ms", "load duration, 1..600000 (default 1000)"},
+       {"samples", "samples per request, 1..256 (default 8)"}},
+      error);
 }
 
 }  // namespace

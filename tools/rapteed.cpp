@@ -5,28 +5,40 @@
 // src/net/service.hpp for the protocol). Prints the bound port on stdout
 // (scripts with port 0 capture it), then runs until SIGINT/SIGTERM, which
 // triggers a graceful drain: stop accepting, flush replies in flight, then
-// exit 0 with a stats summary.
+// exit 0 with a stats summary (plus a one-line metrics-registry summary on
+// stderr).
 //
-//   ./build/tools/rapteed [port] [population] [seed]
+//   ./build/tools/rapteed [port] [population] [seed] [--monitor-port N]
+//
+// --monitor-port starts the HTTP monitoring endpoint (src/obs/http.hpp) on
+// 127.0.0.1:N serving /metrics, /metrics.prom and /healthz; N=0 binds an
+// ephemeral port, announced on stdout as a second "monitoring on" line.
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
-#include <iostream>
+#include <cstring>
+#include <optional>
 #include <stdexcept>
 #include <thread>
+#include <vector>
 
 #include "net/service.hpp"
+#include "obs/export.hpp"
+#include "obs/http.hpp"
+#include "obs/registry.hpp"
 #include "scenario/knobs.hpp"
 
 namespace {
 
 [[noreturn]] void usage_exit(const char* error) {
-  std::cerr << "error: " << error << "\n"
-            << "usage: rapteed [port] [population] [seed]\n"
-            << "  port        TCP port on 127.0.0.1, 0..65535 (default 0 = ephemeral)\n"
-            << "  population  embedded RAPTEE population, 8..4096 (default 32)\n"
-            << "  seed        simulation seed (default 1)\n";
-  std::exit(2);
+  raptee::scenario::cli_usage(
+      "rapteed", "[port] [population] [seed] [--monitor-port N]",
+      {{"port", "TCP port on 127.0.0.1, 0..65535 (default 0 = ephemeral)"},
+       {"population", "embedded RAPTEE population, 8..4096 (default 32)"},
+       {"seed", "simulation seed (default 1)"},
+       {"--monitor-port N",
+        "serve /metrics, /metrics.prom, /healthz on 127.0.0.1:N (0 = ephemeral)"}},
+      error);
 }
 
 volatile std::sig_atomic_t g_stop = 0;
@@ -39,19 +51,32 @@ int main(int argc, char** argv) {
   using namespace raptee;
 
   net::DaemonConfig config;
+  std::optional<std::uint16_t> monitor_port;
   try {
-    if (argc > 1) {
+    std::vector<const char*> positional;
+    for (int i = 1; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--monitor-port") == 0) {
+        if (i + 1 >= argc) usage_exit("--monitor-port needs a value");
+        monitor_port = static_cast<std::uint16_t>(
+            scenario::parse_u64("--monitor-port", argv[++i], 0, 65535));
+      } else if (argv[i][0] == '-' && argv[i][1] == '-') {
+        usage_exit("unknown flag");
+      } else {
+        positional.push_back(argv[i]);
+      }
+    }
+    if (positional.size() > 0) {
       config.port = static_cast<std::uint16_t>(
-          scenario::parse_u64("port", argv[1], 0, 65535));
+          scenario::parse_u64("port", positional[0], 0, 65535));
     }
-    if (argc > 2) {
+    if (positional.size() > 1) {
       config.population = static_cast<std::size_t>(
-          scenario::parse_u64("population", argv[2], 8, 4096));
+          scenario::parse_u64("population", positional[1], 8, 4096));
     }
-    if (argc > 3) {
-      config.seed = scenario::parse_u64("seed", argv[3], 0, ~0ull);
+    if (positional.size() > 2) {
+      config.seed = scenario::parse_u64("seed", positional[2], 0, ~0ull);
     }
-    if (argc > 4) usage_exit("too many arguments");
+    if (positional.size() > 3) usage_exit("too many arguments");
   } catch (const std::invalid_argument& error) {
     usage_exit(error.what());
   }
@@ -68,11 +93,20 @@ int main(int argc, char** argv) {
   std::printf("rapteed listening on 127.0.0.1:%u\n", port);
   std::fflush(stdout);
 
+  obs::MonitorServer monitor;
+  if (monitor_port) {
+    obs::add_registry_routes(monitor, obs::Registry::global());
+    const std::uint16_t bound = monitor.start(*monitor_port);
+    std::printf("rapteed monitoring on 127.0.0.1:%u\n", bound);
+    std::fflush(stdout);
+  }
+
   while (g_stop == 0) {
     std::this_thread::sleep_for(std::chrono::milliseconds(100));
   }
 
   std::printf("rapteed draining...\n");
+  monitor.stop();
   daemon.stop();
   const auto stats = daemon.bus_stats();
   std::printf("rapteed done: %llu requests served, %llu rejected, "
@@ -82,5 +116,7 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(daemon.rounds_stepped()),
               static_cast<unsigned long long>(stats.frames_received),
               static_cast<unsigned long long>(stats.frames_sent));
+  std::fprintf(stderr, "%s\n",
+               obs::summary_line(obs::Registry::global().snapshot()).c_str());
   return 0;
 }

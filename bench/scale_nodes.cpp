@@ -83,6 +83,7 @@ void* alloc_tracked(std::size_t size, std::size_t align) noexcept {
   }
   if (base == nullptr) return nullptr;
   auto* user = static_cast<std::byte*>(base) + pad;
+  // raptee-lint: allow(cast-allowlist) counting allocator writes its size header into the raw block it just carved
   auto* meta = reinterpret_cast<BlockMeta*>(user - kMetaSize);
   meta->total = total;
   meta->pad = pad;
@@ -93,6 +94,7 @@ void* alloc_tracked(std::size_t size, std::size_t align) noexcept {
 void free_tracked(void* ptr) noexcept {
   if (ptr == nullptr) return;
   auto* user = static_cast<std::byte*>(ptr);
+  // raptee-lint: allow(cast-allowlist) counting allocator reads back the size header it wrote in alloc_tracked
   const BlockMeta meta = *reinterpret_cast<const BlockMeta*>(user - kMetaSize);
   g_live.fetch_sub(meta.total, std::memory_order_relaxed);
   std::free(user - meta.pad);

@@ -1,5 +1,7 @@
 #include "adversary/identification.hpp"
 
+#include <algorithm>
+
 #include "common/assert.hpp"
 
 namespace raptee::adversary {
@@ -32,13 +34,27 @@ IdentificationResult IdentificationAttack::evaluate(Round now, double threshold)
   result.evaluated_at = now;
   if (ledger_.empty()) return result;
 
+  // Traverse the ledger in sorted key order: the per-node shares are
+  // accumulated in floating point, so the summation order reaches the
+  // precision/recall/f1 numbers exported into bench JSON — hash-table
+  // order must never decide result bytes.
+  std::vector<std::uint32_t> ids;
+  ids.reserve(ledger_.size());
+  // raptee-lint: allow(no-unordered-iteration) key collection only; sorted before any order-sensitive use
+  for (const auto& [id, obs] : ledger_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+
   // Average Byzantine share across all observed honest nodes.
   double total = 0.0;
-  for (const auto& [id, obs] : ledger_) total += obs.share_sum / static_cast<double>(obs.count);
+  for (const std::uint32_t id : ids) {
+    const Observation& obs = ledger_.at(id);
+    total += obs.share_sum / static_cast<double>(obs.count);
+  }
   const double average = total / static_cast<double>(ledger_.size());
 
   std::size_t flagged = 0, true_positives = 0, trusted_observed = 0;
-  for (const auto& [id, obs] : ledger_) {
+  for (const std::uint32_t id : ids) {
+    const Observation& obs = ledger_.at(id);
     const NodeId node{id};
     const bool truth = is_trusted_(node);
     if (truth) ++trusted_observed;

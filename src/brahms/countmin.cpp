@@ -62,6 +62,7 @@ std::vector<NodeId> StreamUnbiaser::filter(const std::vector<NodeId>& stream) {
   }
   std::vector<std::uint64_t> freqs;
   freqs.reserve(estimates.size());
+  // raptee-lint: allow(no-unordered-iteration) feeds nth_element; the selected median is order-independent
   for (const auto& [id, est] : estimates) freqs.push_back(est);
   std::nth_element(freqs.begin(), freqs.begin() + static_cast<std::ptrdiff_t>(freqs.size() / 2),
                    freqs.end());

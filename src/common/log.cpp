@@ -33,9 +33,15 @@ const char* level_name(LogLevel level) {
 
 }  // namespace
 
-LogLevel log_level() { return static_cast<LogLevel>(level_storage().load()); }
+// Relaxed suffices for the level gate: a racing set_log_level may drop or
+// admit one borderline message, never tear the value or order other state.
+LogLevel log_level() {
+  return static_cast<LogLevel>(level_storage().load(std::memory_order_relaxed));
+}
 
-void set_log_level(LogLevel level) { level_storage().store(static_cast<int>(level)); }
+void set_log_level(LogLevel level) {
+  level_storage().store(static_cast<int>(level), std::memory_order_relaxed);
+}
 
 LogLevel parse_log_level(const std::string& name) {
   if (name == "trace") return LogLevel::kTrace;

@@ -111,6 +111,7 @@ Digest256 sha256(const std::uint8_t* data, std::size_t len) {
 }
 
 Digest256 sha256(std::string_view s) {
+  // raptee-lint: allow(cast-allowlist) audited byte pun: char -> uint8_t view of the same buffer
   return sha256(reinterpret_cast<const std::uint8_t*>(s.data()), s.size());
 }
 

@@ -22,6 +22,7 @@ class Sha256 {
   void reset();
   void update(const std::uint8_t* data, std::size_t len);
   void update(std::string_view s) {
+    // raptee-lint: allow(cast-allowlist) audited byte pun: char -> uint8_t view of the same buffer
     update(reinterpret_cast<const std::uint8_t*>(s.data()), s.size());
   }
   void update(const std::vector<std::uint8_t>& v) { update(v.data(), v.size()); }

@@ -64,6 +64,8 @@ struct ThreadPool::Impl {
 
   std::mutex wake_mutex;
   std::condition_variable wake;
+  // Relaxed everywhere: `queued` is only a wake hint — the chunk payload
+  // itself is handed off under each deque's mutex, which provides ordering.
   std::atomic<std::size_t> queued{0};  // chunks submitted, not yet claimed
   bool stop = false;                   // guarded by wake_mutex
 

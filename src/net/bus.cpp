@@ -551,11 +551,15 @@ void Bus::record_handshake_failure() {
 void Bus::sweep_idle() {
   const auto now = std::chrono::steady_clock::now();
   std::vector<std::uint64_t> idle;
+  // raptee-lint: allow(no-unordered-iteration) id collection only; sorted below before teardown
   for (const auto& [id, conn] : conns_) {
     const auto cutoff =
         conn->established ? config_.idle_timeout : config_.connect_deadline;
     if (cutoff.count() > 0 && now - conn->last_activity > cutoff) idle.push_back(id);
   }
+  // Tear down in connection-id order so the close/log sequence is stable
+  // rather than hash-table order.
+  std::sort(idle.begin(), idle.end());
   for (const std::uint64_t id : idle) teardown(id, "idle");
   loop_.run_after(std::max(config_.idle_timeout / 2, std::chrono::milliseconds(1)),
                   [this] { sweep_idle(); });
@@ -575,7 +579,10 @@ void Bus::drain_and_stop(std::chrono::milliseconds deadline) {
     }
     std::vector<std::uint64_t> ids;
     ids.reserve(conns_.size());
+    // raptee-lint: allow(no-unordered-iteration) id collection only; sorted below before the drain pass
     for (const auto& [id, conn] : conns_) ids.push_back(id);
+    // Drain in connection-id order: deterministic flush/close sequence.
+    std::sort(ids.begin(), ids.end());
     for (const std::uint64_t id : ids) {
       const auto it = conns_.find(id);
       if (it == conns_.end()) continue;

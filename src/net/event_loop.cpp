@@ -184,6 +184,7 @@ void EventLoop::poll_once(int timeout_ms) {
   std::vector<pollfd> pfds;
   pfds.reserve(fds_.size() + 1);
   pfds.push_back(pollfd{wake_read_.get(), POLLIN, 0});
+  // raptee-lint: allow(no-unordered-iteration) poll registration order only affects same-pass dispatch order of ready fds, which the epoll path leaves to the kernel anyway; the socket layer is outside the deterministic core
   for (const auto& [fd, entry] : fds_) {
     short mask = 0;
     if (entry.interest & kReadable) mask |= POLLIN;

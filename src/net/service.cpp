@@ -111,12 +111,15 @@ std::uint16_t ServiceDaemon::start() {
   const std::uint16_t port = bus_->listen(config_.port);
   bus_->start();
 
+  // Release pairs with step_loop()'s acquire load: everything built above
+  // (engine_, bus_, snapshot) is visible to the stepper before it runs.
   running_.store(true, std::memory_order_release);
   stepper_ = std::thread([this] { step_loop(); });
   return port;
 }
 
 void ServiceDaemon::step_loop() {
+  // Acquire pairs with start()'s release store — see above.
   while (running_.load(std::memory_order_acquire)) {
     engine_->step();
     rounds_.fetch_add(1, std::memory_order_relaxed);
@@ -168,6 +171,8 @@ void ServiceDaemon::on_frame(const Peer& peer, std::vector<std::uint8_t> payload
 
 void ServiceDaemon::stop() {
   if (!started_) return;
+  // acq_rel: the winning stop() both observes the stepper's last round and
+  // publishes the false before join(); a racing second stop() sees false.
   if (running_.exchange(false, std::memory_order_acq_rel)) {
     stepper_.join();
   }

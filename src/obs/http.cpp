@@ -60,6 +60,7 @@ void MonitorServer::stop() {
   loop_.stop();
   thread_.join();
   // Loop thread is gone: tear client state down directly.
+  // raptee-lint: allow(no-unordered-iteration) unobservable teardown order; every client is dropped and nothing is emitted
   for (auto& [fd, client] : clients_) loop_.remove_fd(fd);
   clients_.clear();
   if (listen_fd_.valid()) {
@@ -103,6 +104,7 @@ void MonitorServer::client_ready(int fd, std::uint32_t events) {
       drop_client(fd);
       return;
     }
+    // raptee-lint: allow(cast-allowlist) audited byte pun: uint8_t read buffer -> char for std::string::append
     client.in.append(reinterpret_cast<const char*>(buf),
                      static_cast<std::size_t>(n));
     const std::size_t eol = client.in.find('\n');
@@ -168,6 +170,7 @@ void MonitorServer::flush_client(Client& client) {
   const int fd = client.fd.get();
   while (client.wpos < client.out.size()) {
     const long n = net::write_some(
+        // raptee-lint: allow(cast-allowlist) audited byte pun: response string -> uint8_t for the socket shim
         fd, reinterpret_cast<const std::uint8_t*>(client.out.data()) + client.wpos,
         client.out.size() - client.wpos);
     if (n == -1) {  // kernel buffer full: wait for writability
@@ -242,6 +245,7 @@ std::optional<std::string> http_raw(std::uint16_t port, std::string_view request
   std::size_t sent = 0;
   while (sent < request.size()) {
     const long n = net::write_some(
+        // raptee-lint: allow(cast-allowlist) audited byte pun: request string -> uint8_t for the socket shim
         fd->get(), reinterpret_cast<const std::uint8_t*>(request.data()) + sent,
         request.size() - sent);
     if (n == -2) return std::nullopt;
@@ -264,6 +268,7 @@ std::optional<std::string> http_raw(std::uint16_t port, std::string_view request
       if (::poll(&p, 1, remaining_ms(deadline)) <= 0) return std::nullopt;
       continue;
     }
+    // raptee-lint: allow(cast-allowlist) audited byte pun: uint8_t read buffer -> char for std::string::append
     response.append(reinterpret_cast<const char*>(buf),
                     static_cast<std::size_t>(n));
   }

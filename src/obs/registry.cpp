@@ -33,6 +33,8 @@ Histogram::Histogram(std::span<const std::uint64_t> bounds)
 void Histogram::record(std::uint64_t value) {
   const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
   const auto bucket = static_cast<std::size_t>(it - bounds_.begin());
+  // Relaxed: pure statistics — nothing synchronizes on these counters, and
+  // a snapshot reading mid-record is already an approximation by design.
   counts_[bucket].fetch_add(1, std::memory_order_relaxed);
   count_.fetch_add(1, std::memory_order_relaxed);
   sum_.fetch_add(value, std::memory_order_relaxed);

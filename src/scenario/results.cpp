@@ -289,9 +289,11 @@ std::string grid_document(const GridResult& sweep, std::size_t reps) {
 
 bool write(const std::string& path, std::string_view json) {
   if (!metrics::write_text_file(path, json)) {
+    // raptee-lint: allow(no-iostream-in-lib) bench front-door contract: the warning must reach the operator even with logging off
     std::cerr << "warning: could not write " << path << '\n';
     return false;
   }
+  // raptee-lint: allow(no-iostream-in-lib) bench front-door contract: the "[json] path" line is part of every bench's stdout
   std::cout << "[json] " << path << '\n';
   return true;
 }

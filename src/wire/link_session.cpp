@@ -101,6 +101,7 @@ void LinkTable::invalidate_session(NodeId a, NodeId b, const LinkSession* expect
 
 void LinkTable::retire_idle(std::uint64_t round, std::uint64_t max_idle) {
   const std::lock_guard<std::mutex> lock(mu_);
+  // raptee-lint: allow(no-unordered-iteration) pure filter; which sessions retire depends only on per-session round stamps, not visit order
   std::erase_if(sessions_, [&](const auto& entry) {
     return entry.second->last_used + max_idle < round;
   });

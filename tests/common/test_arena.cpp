@@ -89,6 +89,7 @@ TEST(Arena, HonorsAlignment) {
   (void)arena.allocate(1, 1);  // skew the cursor
   for (std::size_t align : {2u, 4u, 8u, 16u, 32u, 64u}) {
     void* p = arena.allocate(3, align);
+    // raptee-lint: allow(cast-allowlist) the test asserts pointer alignment, which requires the integer view
     EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % align, 0u)
         << "alignment " << align;
   }

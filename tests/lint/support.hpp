@@ -1,0 +1,58 @@
+// Shared helpers for the raptee-lint self-tests: fixture loading (the
+// checked-in .fixture files are real programs the real scan never sees —
+// wrong extension by design) and finding queries.
+#pragma once
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "lint.hpp"
+
+namespace raptee::lint::testing {
+
+inline std::string fixture_dir() { return RAPTEE_LINT_FIXTURE_DIR; }
+
+inline std::string load_fixture(const std::string& name) {
+  const std::string path = fixture_dir() + "/" + name;
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing fixture " << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+/// 1-based line of the first source line containing `needle` (0 if absent)
+/// — keeps expected line numbers in sync with fixture edits.
+inline int line_of(const std::string& source, const std::string& needle) {
+  std::istringstream in(source);
+  std::string line;
+  int number = 0;
+  while (std::getline(in, line)) {
+    ++number;
+    if (line.find(needle) != std::string::npos) return number;
+  }
+  return 0;
+}
+
+inline std::size_t count_rule(const std::vector<Finding>& findings,
+                              const std::string& rule) {
+  std::size_t n = 0;
+  for (const Finding& f : findings) {
+    if (f.rule == rule) ++n;
+  }
+  return n;
+}
+
+inline bool has_finding(const std::vector<Finding>& findings, const std::string& rule,
+                        int line) {
+  for (const Finding& f : findings) {
+    if (f.rule == rule && f.line == line) return true;
+  }
+  return false;
+}
+
+}  // namespace raptee::lint::testing

@@ -1,0 +1,77 @@
+// The JSON report contract: schema raptee.lint/1, validates against the
+// repo's own JSON checker, and is byte-identical across runs — the report
+// is diffable CI evidence, so nondeterminism in it is a bug.
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "metrics/json.hpp"
+#include "support.hpp"
+
+namespace raptee::lint {
+namespace {
+
+using testing::fixture_dir;
+using testing::load_fixture;
+
+std::string repo_root() {
+  // RAPTEE_LINT_FIXTURE_DIR is <root>/tests/lint/fixtures.
+  const std::string dir = fixture_dir();
+  const std::string suffix = "/tests/lint/fixtures";
+  EXPECT_TRUE(dir.ends_with(suffix));
+  return dir.substr(0, dir.size() - suffix.size());
+}
+
+TEST(LintReport, JsonIsValidAndCarriesSchema) {
+  const std::string source = load_fixture("plain_assert_bad.fixture");
+  const std::vector<Finding> findings =
+      lint_source("src/core/fixture.cpp", source, Config{});
+  ASSERT_FALSE(findings.empty());
+  const std::string json = report_json(findings, 1, Config{});
+  EXPECT_TRUE(metrics::json_valid(json));
+  EXPECT_NE(json.find("\"schema\":\"raptee.lint/1\""), std::string::npos);
+  EXPECT_NE(json.find("\"finding_count\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"rule\":\"no-plain-assert\""), std::string::npos);
+}
+
+TEST(LintReport, EmptyReportIsValid) {
+  const std::string json = report_json({}, 0, Config{});
+  EXPECT_TRUE(metrics::json_valid(json));
+  EXPECT_NE(json.find("\"finding_count\":0"), std::string::npos);
+  EXPECT_NE(json.find("\"findings\":[]"), std::string::npos);
+}
+
+TEST(LintReport, OnlyFilterNarrowsRuleList) {
+  Config config;
+  config.only = {"no-plain-assert"};
+  const std::string json = report_json({}, 0, config);
+  EXPECT_NE(json.find("\"rules\":[\"no-plain-assert\"]"), std::string::npos);
+}
+
+TEST(LintReport, TreeScanIsByteIdenticalAcrossRuns) {
+  const std::string root = repo_root();
+  std::size_t scanned_a = 0;
+  std::size_t scanned_b = 0;
+  const std::vector<Finding> a = lint_tree(root, Config{}, &scanned_a);
+  const std::vector<Finding> b = lint_tree(root, Config{}, &scanned_b);
+  EXPECT_EQ(scanned_a, scanned_b);
+  EXPECT_GT(scanned_a, 0u);
+  const std::string report_a = report_json(a, scanned_a, Config{});
+  const std::string report_b = report_json(b, scanned_b, Config{});
+  EXPECT_EQ(report_a, report_b);
+  EXPECT_TRUE(metrics::json_valid(report_a));
+}
+
+TEST(LintReport, TreeIsClean) {
+  // The repo's own acceptance bar: the sweep left zero findings at HEAD.
+  const std::string root = repo_root();
+  std::size_t scanned = 0;
+  const std::vector<Finding> findings = lint_tree(root, Config{}, &scanned);
+  for (const Finding& f : findings) {
+    ADD_FAILURE() << f.file << ":" << f.line << ": " << f.rule << ": " << f.message;
+  }
+}
+
+}  // namespace
+}  // namespace raptee::lint

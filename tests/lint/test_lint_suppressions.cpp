@@ -1,0 +1,129 @@
+// Suppression semantics: placement (inline covers its own line, standalone
+// the next), the mandatory reason, unknown-rule hygiene, --only filtering,
+// and the lexer edges that keep rules from firing on comments/strings.
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "support.hpp"
+
+namespace raptee::lint {
+namespace {
+
+using testing::count_rule;
+using testing::has_finding;
+using testing::line_of;
+using testing::load_fixture;
+
+std::vector<Finding> run(const std::string& rel_path, const std::string& source,
+                         Config config = {}) {
+  return lint_source(rel_path, source, config);
+}
+
+TEST(LintSuppressions, GoodFixtureIsClean) {
+  const std::string source = load_fixture("suppression_good.fixture");
+  EXPECT_TRUE(run("src/core/fixture.cpp", source).empty());
+}
+
+TEST(LintSuppressions, BadFixtureKeepsFindingsAndAddsHygiene) {
+  const std::string source = load_fixture("suppression_bad.fixture");
+  const std::vector<Finding> findings = run("src/core/fixture.cpp", source);
+  // A reasonless allow suppresses nothing: the cast finding survives and the
+  // annotation itself is flagged.
+  EXPECT_EQ(count_rule(findings, "cast-allowlist"), 2u);
+  EXPECT_EQ(count_rule(findings, "suppression-hygiene"), 2u);
+  EXPECT_TRUE(has_finding(findings, "suppression-hygiene",
+                          line_of(source, "allow(cast-allowlist)")));
+  EXPECT_TRUE(has_finding(findings, "suppression-hygiene",
+                          line_of(source, "allow(no-such-rule)")));
+}
+
+TEST(LintSuppressions, InlineCoversOwnLineOnly) {
+  const std::string source =
+      "const char* a = reinterpret_cast<const char*>(0);  "
+      "// raptee-lint: allow(cast-allowlist) test pun\n"
+      "const char* b = reinterpret_cast<const char*>(0);\n";
+  const std::vector<Finding> findings = run("src/core/fixture.cpp", source);
+  EXPECT_EQ(count_rule(findings, "cast-allowlist"), 1u);
+  EXPECT_TRUE(has_finding(findings, "cast-allowlist", 2));
+}
+
+TEST(LintSuppressions, StandaloneCoversNextLineOnly) {
+  const std::string source =
+      "// raptee-lint: allow(cast-allowlist) test pun\n"
+      "const char* a = reinterpret_cast<const char*>(0);\n"
+      "const char* b = reinterpret_cast<const char*>(0);\n";
+  const std::vector<Finding> findings = run("src/core/fixture.cpp", source);
+  EXPECT_EQ(count_rule(findings, "cast-allowlist"), 1u);
+  EXPECT_TRUE(has_finding(findings, "cast-allowlist", 3));
+}
+
+TEST(LintSuppressions, OneAnnotationMayAllowSeveralRules) {
+  const std::string source =
+      "// raptee-lint: allow(cast-allowlist, no-plain-assert) both audited here\n"
+      "void f() { assert(reinterpret_cast<const char*>(0) != nullptr); }\n";
+  EXPECT_TRUE(run("src/core/fixture.cpp", source).empty());
+}
+
+TEST(LintSuppressions, AllowedRuleMustMatchTheFinding) {
+  const std::string source =
+      "// raptee-lint: allow(no-plain-assert) wrong rule named\n"
+      "const char* a = reinterpret_cast<const char*>(0);\n";
+  const std::vector<Finding> findings = run("src/core/fixture.cpp", source);
+  EXPECT_EQ(count_rule(findings, "cast-allowlist"), 1u);
+  EXPECT_EQ(count_rule(findings, "suppression-hygiene"), 0u);
+}
+
+TEST(LintSuppressions, MalformedAnnotationIsAFinding) {
+  const std::string source = "// raptee-lint: allow(cast-allowlist forgot the paren\n";
+  const std::vector<Finding> findings = run("src/core/fixture.cpp", source);
+  EXPECT_EQ(count_rule(findings, "suppression-hygiene"), 1u);
+}
+
+TEST(LintSuppressions, OnlyFiltersRules) {
+  const std::string source =
+      "void f() { assert(true); }\n"
+      "const char* a = reinterpret_cast<const char*>(0);\n";
+  Config only_assert;
+  only_assert.only = {"no-plain-assert"};
+  const std::vector<Finding> findings = run("src/core/fixture.cpp", source, only_assert);
+  EXPECT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "no-plain-assert");
+
+  Config only_cast;
+  only_cast.only = {"cast-allowlist"};
+  const std::vector<Finding> cast_only = run("src/core/fixture.cpp", source, only_cast);
+  EXPECT_EQ(cast_only.size(), 1u);
+  EXPECT_EQ(cast_only[0].rule, "cast-allowlist");
+}
+
+TEST(LintLexer, CommentsAndStringsDoNotFire) {
+  const std::string source =
+      "// mentions assert( and reinterpret_cast in prose\n"
+      "/* std::cout << random_device also fine here */\n"
+      "const char* s = \"assert(reinterpret_cast<int*>(0))\";\n"
+      "const char* r = R\"(std::random_device rd; assert(rd);)\";\n";
+  EXPECT_TRUE(run("src/sim/fixture.cpp", source).empty());
+}
+
+TEST(LintLexer, PreprocessorLinesAreOpaque) {
+  // A #define body is one preprocessor token — its idents are not code.
+  const std::string source =
+      "#define CHECK(x) assert(x)\n"
+      "#define PUN(p) reinterpret_cast<const char*>(p)\n";
+  EXPECT_TRUE(run("src/core/fixture.cpp", source).empty());
+}
+
+TEST(LintLexer, LineNumbersSurviveMultilineConstructs) {
+  const std::string source =
+      "/* a\n"
+      "   multi-line\n"
+      "   comment */\n"
+      "void f() { assert(true); }\n";
+  const std::vector<Finding> findings = run("src/core/fixture.cpp", source);
+  EXPECT_TRUE(has_finding(findings, "no-plain-assert", 4));
+}
+
+}  // namespace
+}  // namespace raptee::lint

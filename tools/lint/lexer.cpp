@@ -1,0 +1,278 @@
+#include "lexer.hpp"
+
+#include <cctype>
+
+namespace raptee::lint {
+
+namespace {
+
+[[nodiscard]] bool is_ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+[[nodiscard]] bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+[[nodiscard]] bool is_digit(char c) {
+  return std::isdigit(static_cast<unsigned char>(c)) != 0;
+}
+
+/// Two-character punctuators the rules care to see as one token. `::` is
+/// the load-bearing one (qualified names); the rest exist so that e.g.
+/// `a != b` never looks like an `=` assignment and `++`/`--` are single
+/// tokens for the atomic-increment check.
+[[nodiscard]] bool is_two_char_punct(char a, char b) {
+  switch (a) {
+    case ':': return b == ':';
+    case '+': return b == '+' || b == '=';
+    case '-': return b == '-' || b == '=' || b == '>';
+    case '<': return b == '<' || b == '=';
+    case '>': return b == '>' || b == '=';
+    case '=': return b == '=';
+    case '!': return b == '=';
+    case '&': return b == '&' || b == '=';
+    case '|': return b == '|' || b == '=';
+    case '*': return b == '=';
+    case '/': return b == '=';
+    case '^': return b == '=';
+    case '%': return b == '=';
+    default: return false;
+  }
+}
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view source) : src_(source) {}
+
+  LexResult run() {
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (c == '\n') {
+        ++line_;
+        ++pos_;
+        at_line_start_ = true;
+        continue;
+      }
+      if (c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f') {
+        ++pos_;
+        continue;
+      }
+      if (c == '/' && pos_ + 1 < src_.size() && src_[pos_ + 1] == '/') {
+        lex_line_comment();
+        continue;
+      }
+      if (c == '/' && pos_ + 1 < src_.size() && src_[pos_ + 1] == '*') {
+        lex_block_comment();
+        continue;
+      }
+      if (c == '#' && at_line_start_) {
+        lex_preprocessor();
+        continue;
+      }
+      at_line_start_ = false;
+      if (c == '"') {
+        lex_string();
+        continue;
+      }
+      if (c == '\'') {
+        lex_char();
+        continue;
+      }
+      if (is_ident_start(c)) {
+        lex_ident_or_raw_string();
+        continue;
+      }
+      if (is_digit(c) || (c == '.' && pos_ + 1 < src_.size() && is_digit(src_[pos_ + 1]))) {
+        lex_number();
+        continue;
+      }
+      lex_punct();
+    }
+    return std::move(out_);
+  }
+
+ private:
+  void emit(TokenKind kind, std::string text, int line) {
+    out_.tokens.push_back(Token{kind, std::move(text), line});
+    last_code_line_ = line;
+  }
+
+  void lex_line_comment() {
+    const int line = line_;
+    const bool standalone = last_code_line_ != line;
+    pos_ += 2;
+    const std::size_t start = pos_;
+    while (pos_ < src_.size() && src_[pos_] != '\n') ++pos_;
+    out_.comments.push_back(
+        Comment{line, std::string(src_.substr(start, pos_ - start)), standalone});
+  }
+
+  void lex_block_comment() {
+    const int line = line_;
+    const bool standalone = last_code_line_ != line;
+    pos_ += 2;
+    const std::size_t start = pos_;
+    std::size_t end = src_.size();
+    while (pos_ < src_.size()) {
+      if (src_[pos_] == '\n') ++line_;
+      if (src_[pos_] == '*' && pos_ + 1 < src_.size() && src_[pos_ + 1] == '/') {
+        end = pos_;
+        pos_ += 2;
+        break;
+      }
+      ++pos_;
+    }
+    out_.comments.push_back(
+        Comment{line, std::string(src_.substr(start, end - start)), standalone});
+  }
+
+  void lex_preprocessor() {
+    const int line = line_;
+    const std::size_t start = pos_;
+    while (pos_ < src_.size()) {
+      if (src_[pos_] == '\\' && pos_ + 1 < src_.size() && src_[pos_ + 1] == '\n') {
+        ++line_;
+        pos_ += 2;
+        continue;
+      }
+      // A // comment terminates the directive's interesting part but we
+      // must still let the comment lexer see it for suppressions.
+      if (src_[pos_] == '/' && pos_ + 1 < src_.size() &&
+          (src_[pos_ + 1] == '/' || src_[pos_ + 1] == '*')) {
+        break;
+      }
+      if (src_[pos_] == '\n') break;
+      ++pos_;
+    }
+    emit(TokenKind::kPreprocessor, std::string(src_.substr(start, pos_ - start)), line);
+  }
+
+  void lex_string() {
+    const int line = line_;
+    const std::size_t start = pos_;
+    ++pos_;  // opening quote
+    while (pos_ < src_.size()) {
+      if (src_[pos_] == '\\' && pos_ + 1 < src_.size()) {
+        pos_ += 2;
+        continue;
+      }
+      if (src_[pos_] == '\n') {  // unterminated; be forgiving
+        break;
+      }
+      if (src_[pos_] == '"') {
+        ++pos_;
+        break;
+      }
+      ++pos_;
+    }
+    emit(TokenKind::kString, std::string(src_.substr(start, pos_ - start)), line);
+  }
+
+  void lex_char() {
+    const int line = line_;
+    const std::size_t start = pos_;
+    ++pos_;
+    while (pos_ < src_.size()) {
+      if (src_[pos_] == '\\' && pos_ + 1 < src_.size()) {
+        pos_ += 2;
+        continue;
+      }
+      if (src_[pos_] == '\n') break;
+      if (src_[pos_] == '\'') {
+        ++pos_;
+        break;
+      }
+      ++pos_;
+    }
+    emit(TokenKind::kChar, std::string(src_.substr(start, pos_ - start)), line);
+  }
+
+  /// Identifiers, with the one lexical wart that matters here: R"( starts
+  /// a raw string whose body must not produce tokens (fixture programs are
+  /// embedded in tests as raw strings). Encoding prefixes (u8R etc.) fold
+  /// into the same path.
+  void lex_ident_or_raw_string() {
+    const int line = line_;
+    const std::size_t start = pos_;
+    while (pos_ < src_.size() && is_ident_char(src_[pos_])) ++pos_;
+    std::string text(src_.substr(start, pos_ - start));
+    const bool raw_prefix = text == "R" || text == "u8R" || text == "uR" ||
+                            text == "UR" || text == "LR";
+    if (raw_prefix && pos_ < src_.size() && src_[pos_] == '"') {
+      lex_raw_string_body(line, start);
+      return;
+    }
+    emit(TokenKind::kIdent, std::move(text), line);
+  }
+
+  void lex_raw_string_body(int line, std::size_t start) {
+    ++pos_;  // opening quote
+    std::string delim;
+    while (pos_ < src_.size() && src_[pos_] != '(' && src_[pos_] != '\n') {
+      delim += src_[pos_++];
+    }
+    if (pos_ < src_.size() && src_[pos_] == '(') ++pos_;
+    const std::string closer = ")" + delim + "\"";
+    while (pos_ < src_.size()) {
+      if (src_[pos_] == '\n') {
+        ++line_;
+        ++pos_;
+        continue;
+      }
+      if (src_.compare(pos_, closer.size(), closer) == 0) {
+        pos_ += closer.size();
+        break;
+      }
+      ++pos_;
+    }
+    emit(TokenKind::kString, std::string(src_.substr(start, pos_ - start)), line);
+  }
+
+  void lex_number() {
+    const int line = line_;
+    const std::size_t start = pos_;
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (is_ident_char(c) || c == '\'' || c == '.') {
+        ++pos_;
+        continue;
+      }
+      // Exponent signs: 1e+5, 0x1p-3
+      if ((c == '+' || c == '-') && pos_ > start) {
+        const char prev = src_[pos_ - 1];
+        if (prev == 'e' || prev == 'E' || prev == 'p' || prev == 'P') {
+          ++pos_;
+          continue;
+        }
+      }
+      break;
+    }
+    emit(TokenKind::kNumber, std::string(src_.substr(start, pos_ - start)), line);
+  }
+
+  void lex_punct() {
+    const int line = line_;
+    const char a = src_[pos_];
+    if (pos_ + 1 < src_.size() && is_two_char_punct(a, src_[pos_ + 1])) {
+      emit(TokenKind::kPunct, std::string(src_.substr(pos_, 2)), line);
+      pos_ += 2;
+      return;
+    }
+    emit(TokenKind::kPunct, std::string(1, a), line);
+    ++pos_;
+  }
+
+  std::string_view src_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  bool at_line_start_ = true;
+  int last_code_line_ = 0;
+  LexResult out_;
+};
+
+}  // namespace
+
+LexResult lex(std::string_view source) { return Lexer(source).run(); }
+
+}  // namespace raptee::lint

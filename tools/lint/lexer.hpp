@@ -1,0 +1,55 @@
+// raptee-lint lexical layer: a minimal, dependency-free C++ tokenizer.
+//
+// The linter works at token level — no preprocessing, no name lookup, no
+// libclang. The lexer's only obligations are the ones the rules need:
+//  * comments and string/char literals never produce code tokens (so a
+//    banned identifier inside a docstring cannot fire a rule),
+//  * raw strings (R"delim(...)delim") are skipped correctly — test sources
+//    embed whole fixture programs in them,
+//  * every token carries its 1-based source line for diagnostics,
+//  * preprocessor directives are captured as single tokens (full logical
+//    line, backslash continuations folded) for the header-hygiene rule,
+//  * comments are captured out-of-band with a "standalone" flag so the
+//    suppression parser can tell an inline annotation from one on its own
+//    line (which applies to the line below).
+//
+// Good-faith lexing: malformed input (unterminated literal/comment) does
+// not abort — the lexer consumes to end of input and the rules see what
+// was recognized. The real compiler rejects such files anyway.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace raptee::lint {
+
+enum class TokenKind {
+  kIdent,
+  kNumber,
+  kPunct,
+  kString,
+  kChar,
+  kPreprocessor,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kPunct;
+  std::string text;
+  int line = 0;  // 1-based line of the token's first character
+};
+
+struct Comment {
+  int line = 0;          // 1-based line of the comment's first character
+  std::string text;      // body without the // or /* */ delimiters
+  bool standalone = false;  // no code token precedes it on its line
+};
+
+struct LexResult {
+  std::vector<Token> tokens;
+  std::vector<Comment> comments;
+};
+
+[[nodiscard]] LexResult lex(std::string_view source);
+
+}  // namespace raptee::lint

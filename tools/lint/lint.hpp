@@ -1,0 +1,81 @@
+// raptee-lint: the repo's determinism & hot-path invariants as named,
+// machine-checkable rules (see tools/lint/README.md for the catalog and
+// how to add one).
+//
+// The analyzer is deliberately tokenizer-level (lexer.hpp): no
+// preprocessing, no type information. Each rule is a conservative pattern
+// over the token stream with an annotation escape hatch — a finding means
+// "this needs either a fix or a written-down reason", never "the compiler
+// is wrong". Suppressions are per-line comments with a mandatory reason:
+//
+//   conns_.reserve(n);  // raptee-lint: allow(no-unordered-iteration) teardown order is invisible
+//   // raptee-lint: allow(cast-allowlist) kernel ABI requires the pun
+//   auto* hdr = reinterpret_cast<Header*>(buf);
+//
+// An inline annotation covers its own line; a standalone one covers the
+// next line. A suppression without a reason (or naming an unknown rule) is
+// itself a finding (rule `suppression-hygiene`), so every allow in the
+// tree carries its justification.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace raptee::lint {
+
+struct RuleInfo {
+  std::string_view name;
+  std::string_view summary;
+};
+
+/// The rule catalog, in the stable order used by --list-rules and the
+/// JSON report.
+[[nodiscard]] std::span<const RuleInfo> rules();
+
+/// True iff `name` names a rule in the catalog.
+[[nodiscard]] bool rule_exists(std::string_view name);
+
+struct Finding {
+  std::string file;  // root-relative, forward slashes
+  int line = 0;
+  std::string rule;
+  std::string message;
+};
+
+struct Config {
+  /// Empty = every rule. Names must exist (CLI validates; lint_source
+  /// ignores unknown names).
+  std::vector<std::string> only;
+
+  [[nodiscard]] bool enabled(std::string_view rule) const;
+};
+
+/// Lints one file's contents. `rel_path` is the root-relative path used
+/// both for rule scoping (directory classification, per-file allowlists)
+/// and in emitted findings. `sibling_header` optionally carries the
+/// paired .hpp's contents so member declarations (atomics, unordered
+/// containers) inform the .cpp scan.
+[[nodiscard]] std::vector<Finding> lint_source(std::string_view rel_path,
+                                               std::string_view source,
+                                               const Config& config,
+                                               std::string_view sibling_header = {});
+
+/// Walks `root`'s scanned directories (src, bench, examples, tests,
+/// tools), lints every .cpp/.cc/.hpp/.h in deterministic path order, and
+/// returns all findings sorted by (file, line, rule). Fixture files
+/// (*.fixture) are not sources and are skipped by construction.
+[[nodiscard]] std::vector<Finding> lint_tree(const std::string& root,
+                                             const Config& config,
+                                             std::size_t* files_scanned);
+
+/// Deterministic JSON report ("raptee.lint/1"): same findings in, same
+/// bytes out — no timestamps, no absolute paths. Validated against
+/// metrics::json_valid by the CLI before it is written.
+[[nodiscard]] std::string report_json(const std::vector<Finding>& findings,
+                                      std::size_t files_scanned,
+                                      const Config& config);
+
+}  // namespace raptee::lint

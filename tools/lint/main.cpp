@@ -1,0 +1,108 @@
+// raptee_lint — CLI front-end. See tools/lint/README.md.
+//
+//   raptee_lint [--root DIR] [--only rule,rule] [--json PATH] [--list-rules]
+//
+// Exit codes follow the repo's strict-CLI contract: 0 clean, 1 findings,
+// 2 usage error. Diagnostics print as clickable `file:line: rule: message`
+// lines; --json additionally writes the deterministic "raptee.lint/1"
+// report (self-validated against metrics::json_valid before writing).
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "lint.hpp"
+#include "metrics/json.hpp"
+
+namespace {
+
+int usage(const char* error) {
+  if (error != nullptr) std::cerr << "error: " << error << '\n';
+  std::cerr << "usage: raptee_lint [--root DIR] [--only rule[,rule...]]"
+               " [--json PATH] [--list-rules]\n"
+               "  --root DIR    repo root to scan (default: .)\n"
+               "  --only LIST   comma-separated rule names to run (default: all)\n"
+               "  --json PATH   write the raptee.lint/1 JSON report to PATH\n"
+               "  --list-rules  print the rule catalog and exit\n";
+  return 2;
+}
+
+void split_csv(const std::string& csv, std::vector<std::string>& out) {
+  std::size_t start = 0;
+  while (start <= csv.size()) {
+    const std::size_t comma = csv.find(',', start);
+    const std::string name = csv.substr(start, comma - start);
+    if (!name.empty()) out.push_back(name);
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  std::string json_path;
+  raptee::lint::Config config;
+  bool list_rules = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--list-rules") {
+      list_rules = true;
+    } else if (arg == "--root") {
+      if (++i >= argc) return usage("--root needs a directory");
+      root = argv[i];
+    } else if (arg == "--only") {
+      if (++i >= argc) return usage("--only needs a rule list");
+      split_csv(argv[i], config.only);
+    } else if (arg == "--json") {
+      if (++i >= argc) return usage("--json needs a path");
+      json_path = argv[i];
+    } else {
+      return usage(("unknown argument '" + arg + "'").c_str());
+    }
+  }
+
+  for (const std::string& name : config.only) {
+    if (!raptee::lint::rule_exists(name)) {
+      return usage(("unknown rule '" + name + "' (see --list-rules)").c_str());
+    }
+  }
+
+  if (list_rules) {
+    for (const raptee::lint::RuleInfo& rule : raptee::lint::rules()) {
+      std::cout << rule.name << "\n    " << rule.summary << '\n';
+    }
+    return 0;
+  }
+
+  std::size_t files_scanned = 0;
+  const std::vector<raptee::lint::Finding> findings =
+      raptee::lint::lint_tree(root, config, &files_scanned);
+  if (files_scanned == 0) return usage("nothing to scan under --root");
+
+  for (const raptee::lint::Finding& finding : findings) {
+    std::cout << finding.file << ':' << finding.line << ": " << finding.rule
+              << ": " << finding.message << '\n';
+  }
+  std::cout << "raptee_lint: " << files_scanned << " files, "
+            << findings.size() << " finding" << (findings.size() == 1 ? "" : "s")
+            << '\n';
+
+  if (!json_path.empty()) {
+    const std::string report =
+        raptee::lint::report_json(findings, files_scanned, config);
+    if (!raptee::metrics::json_valid(report)) {
+      std::cerr << "error: internal: report failed JSON validation\n";
+      return 2;
+    }
+    if (!raptee::metrics::write_text_file(json_path, report)) {
+      std::cerr << "error: could not write " << json_path << '\n';
+      return 2;
+    }
+    std::cout << "[json] " << json_path << '\n';
+  }
+
+  return findings.empty() ? 0 : 1;
+}

@@ -4,7 +4,7 @@
 // coverage BASALT-style evaluations demand and the single balanced attack
 // of the paper's §VI cannot provide.
 //
-// Emits bench_out/attack_matrix.{csv,json} (raptee.bench/3) and exits
+// Emits bench_out/attack_matrix.{csv,json} (raptee.bench/4) and exits
 // non-zero if the catalog loses its teeth:
 //   * capture — the honest-victim eclipse must push its victims well past
 //     the population-wide pollution, to majority capture (eviction cannot

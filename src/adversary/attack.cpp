@@ -37,12 +37,32 @@ AttackSpec AttackSpec::bogus_swap() {
   return spec;
 }
 
+AttackSpec AttackSpec::delay_eclipse(std::uint64_t delay_ms, double victim_fraction) {
+  AttackSpec spec;
+  spec.strategy = "delay_eclipse";
+  spec.delay_ms = delay_ms;
+  spec.victim_fraction = victim_fraction;
+  return spec;
+}
+
+AttackSpec AttackSpec::partition_eclipse(Round window_from, Round window_until,
+                                         double victim_fraction) {
+  AttackSpec spec;
+  spec.strategy = "partition_eclipse";
+  spec.window_from = window_from;
+  spec.window_until = window_until;
+  spec.victim_fraction = victim_fraction;
+  return spec;
+}
+
 AttackSpec AttackSpec::named(const std::string& name) {
   if (name == "balanced") return balanced();
   if (name == "eclipse") return eclipse();
   if (name == "oscillating") return oscillating();
   if (name == "omission") return omission();
   if (name == "bogus_swap") return bogus_swap();
+  if (name == "delay_eclipse") return delay_eclipse();
+  if (name == "partition_eclipse") return partition_eclipse();
   AttackSpec spec;
   spec.strategy = name;  // custom registered strategy with default knobs
   return spec;
@@ -62,6 +82,10 @@ void AttackSpec::validate() const {
                      isolation_threshold <= 1.0,
                  "isolation threshold out of (0,1]: " << isolation_threshold);
   RAPTEE_REQUIRE(on_rounds >= 1, "oscillating on_rounds must be >= 1");
+  RAPTEE_REQUIRE(delay_ms <= 60000, "delay_ms above 60 s: " << delay_ms);
+  RAPTEE_REQUIRE(window_until == 0 || window_from < window_until,
+                 "attack window [" << window_from << ", " << window_until
+                                   << ") is empty");
 }
 
 }  // namespace raptee::adversary

@@ -22,6 +22,15 @@
 //                  counts the suppressed legs).
 //   bogus_swap   — balanced plus a forged swap offer on every AuthConfirm,
 //                  probing the trusted-swap authentication defence.
+//   delay_eclipse— eclipse assisted by link delay (event-driven time only):
+//                  the adversary slows honest→victim links by delay_ms so
+//                  honest refresh arrives past the round deadline, leaving
+//                  its own poison as the victims' freshest input. In round
+//                  mode it degrades to plain eclipse.
+//   partition_eclipse — eclipse concentrated in a [window_from,
+//                  window_until) round window, built to exploit a network
+//                  partition: capture views while the victims' region is
+//                  cut off from honest refresh, camouflage before and after.
 #pragma once
 
 #include <cstdint>
@@ -71,11 +80,28 @@ struct AttackSpec {
   /// bogus_swap strategy; composable with any other).
   bool attach_bogus_swap_offer = false;
 
+  /// delay_eclipse: extra one-way latency (ms) injected on every
+  /// honest→victim link while the strategy is on duty. Only the event
+  /// scheduler consults it (IStrategy::extra_delay_us); capped at 60 s.
+  std::uint64_t delay_ms = 400;
+
+  /// partition_eclipse: the round window [window_from, window_until) the
+  /// focused attack runs in — normally aligned with a PartitionWindow so
+  /// the capture happens while honest refresh is severed. until == 0 means
+  /// "always on" (plain eclipse behaviour).
+  Round window_from = 0;
+  Round window_until = 0;
+
   [[nodiscard]] static AttackSpec balanced();
   [[nodiscard]] static AttackSpec eclipse(double victim_fraction = 0.05);
   [[nodiscard]] static AttackSpec oscillating(Round on_rounds = 8, Round off_rounds = 8);
   [[nodiscard]] static AttackSpec omission();
   [[nodiscard]] static AttackSpec bogus_swap();
+  [[nodiscard]] static AttackSpec delay_eclipse(std::uint64_t delay_ms = 400,
+                                                double victim_fraction = 0.05);
+  [[nodiscard]] static AttackSpec partition_eclipse(Round window_from = 0,
+                                                    Round window_until = 0,
+                                                    double victim_fraction = 0.05);
   /// Defaults for a strategy name — the built-ins above, or an otherwise
   /// default spec carrying `name` (custom registered strategies).
   [[nodiscard]] static AttackSpec named(const std::string& name);

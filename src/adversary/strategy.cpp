@@ -75,7 +75,7 @@ class BalancedStrategy : public IStrategy {
 /// push budget focuses on the targeted victims, throttled per victim so
 /// the flood never trips Brahms' push-rate detection, and pulls harvest
 /// the victims' increasingly polluted views.
-class EclipseStrategy final : public BalancedStrategy {
+class EclipseStrategy : public BalancedStrategy {
  public:
   using BalancedStrategy::BalancedStrategy;
 
@@ -129,6 +129,84 @@ class EclipseStrategy final : public BalancedStrategy {
     out.reserve(fanout);
     for (std::size_t i = 0; i < fanout; ++i) {
       out.push_back(pool[static_cast<std::size_t>(coord.rng().below(pool.size()))]);
+    }
+  }
+};
+
+// ----------------------------------------------------------- delay_eclipse
+
+/// Eclipse assisted by link delay (event-driven time only): on top of the
+/// focused push budget, every honest→victim link gains spec_.delay_ms of
+/// one-way latency, so the victims' honest refresh lands past the round
+/// deadline and is dropped — the adversary's poison becomes the freshest
+/// input the victims see. In round mode (no scheduler) the delay hook is
+/// never consulted and the strategy degrades to plain eclipse.
+class DelayEclipseStrategy final : public EclipseStrategy {
+ public:
+  using EclipseStrategy::EclipseStrategy;
+
+  [[nodiscard]] std::string_view name() const override { return "delay_eclipse"; }
+
+  [[nodiscard]] std::uint64_t extra_delay_us(Round /*r*/, NodeId from, NodeId to,
+                                             const Coordinator& coord) const override {
+    // Delay only honest→victim traffic: the adversary's own messages (and
+    // everything not aimed at a victim) travel at network speed, so the
+    // poison always outruns the honest refresh it displaces.
+    if (coord.is_member(from)) return 0;
+    const std::vector<NodeId>& pool =
+        coord.targeted().empty() ? coord.victims() : coord.targeted();
+    for (const NodeId victim : pool) {
+      if (victim == to) return spec_.delay_ms * 1000;
+    }
+    return 0;
+  }
+};
+
+// ------------------------------------------------------- partition_eclipse
+
+/// Eclipse concentrated in an absolute round window, built to exploit a
+/// network partition: while the victims' region is severed from honest
+/// refresh the focused capture runs at full budget; before and after, the
+/// strategy camouflages (no pushes, honest-looking pull answers) so
+/// window-smoothed statistics see nothing until the heal reveals an
+/// already-captured view. until == 0 means always-on (plain eclipse).
+class PartitionEclipseStrategy final : public EclipseStrategy {
+ public:
+  using EclipseStrategy::EclipseStrategy;
+
+  [[nodiscard]] std::string_view name() const override { return "partition_eclipse"; }
+
+  [[nodiscard]] bool active(Round r) const override {
+    if (spec_.window_until == 0) return true;
+    return r >= spec_.window_from && r < spec_.window_until;
+  }
+
+  void plan_pushes(Round r, Coordinator& coord,
+                   std::vector<NodeId>& schedule) override {
+    if (!active(r)) {
+      schedule.clear();
+      return;
+    }
+    EclipseStrategy::plan_pushes(r, coord, schedule);
+  }
+
+  void answer_view(Round r, Coordinator& coord, std::size_t k,
+                   std::vector<NodeId>& out) override {
+    if (active(r)) {
+      coord.faulty_view_into(k, out);
+      return;
+    }
+    // Outside the window: advertise correct IDs, exactly like a dormant
+    // oscillating attacker.
+    out.clear();
+    const std::vector<NodeId>& victims = coord.victims();
+    if (victims.empty()) {
+      coord.faulty_view_into(k, out);
+      return;
+    }
+    out.reserve(k);
+    for (std::size_t i = 0; i < k; ++i) {
+      out.push_back(victims[static_cast<std::size_t>(coord.rng().below(victims.size()))]);
     }
   }
 };
@@ -239,6 +317,15 @@ StrategyRegistry::StrategyRegistry() : impl_(std::make_shared<Impl>()) {
       [](const AttackSpec&) { return std::make_unique<OmissionStrategy>(); });
   add("bogus_swap", "balanced + forged swap offer on every confirm",
       [](const AttackSpec& spec) { return std::make_unique<BogusSwapStrategy>(spec); });
+  add("delay_eclipse",
+      "eclipse + delayed honest→victim links (event-driven time)",
+      [](const AttackSpec& spec) {
+        return std::make_unique<DelayEclipseStrategy>(spec);
+      });
+  add("partition_eclipse", "eclipse focused into a partition round window",
+      [](const AttackSpec& spec) {
+        return std::make_unique<PartitionEclipseStrategy>(spec);
+      });
 }
 
 StrategyRegistry& StrategyRegistry::instance() {

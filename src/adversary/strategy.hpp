@@ -77,6 +77,20 @@ class IStrategy {
   /// resolves AttackSpec::victim_fraction/victim_count into a concrete
   /// targeted set (and attaches victim-centric metrics).
   [[nodiscard]] virtual bool wants_victims() const { return false; }
+
+  /// Extra per-link latency (µs) injected on top of the event-mode latency
+  /// model — the delay-assisted attacker's lever (delay_eclipse slows
+  /// honest→victim links so refresh arrives past the round deadline).
+  /// Ignored in round mode. Must be a pure function of its arguments so
+  /// event runs stay bit-identical across worker counts.
+  [[nodiscard]] virtual std::uint64_t extra_delay_us(Round r, NodeId from, NodeId to,
+                                                     const Coordinator& coord) const {
+    (void)r;
+    (void)from;
+    (void)to;
+    (void)coord;
+    return 0;
+  }
 };
 
 /// Name → factory registry resolving AttackSpecs into strategies. Process

@@ -13,6 +13,12 @@ Rng Rng::fork(std::string_view label) const {
   return split(h);
 }
 
+Rng Rng::fork(std::string_view label, std::uint64_t a, std::uint64_t b) const {
+  std::uint64_t h = 0x53706C6974526E67ull;  // "SplitRng"
+  for (const char c : label) h = mix64(h, static_cast<unsigned char>(c));
+  return split(mix64(mix64(h, a), b));
+}
+
 Rng Rng::split(std::uint64_t index) const {
   std::uint64_t s = mix64(state_[0], state_[1]);
   s = mix64(s, state_[2]);

@@ -61,6 +61,13 @@ class Rng {
   /// what makes the exec subsystem's parallel fan-out reproducible.
   [[nodiscard]] Rng fork(std::string_view label) const;
 
+  /// Two-index variant of the labelled splittable fork: the child is a pure
+  /// function of (parent state, label, a, b) and the parent is not advanced.
+  /// This keys per-link streams — `fork("evt.link", from, to)` — without
+  /// formatting the indices into the label.
+  [[nodiscard]] Rng fork(std::string_view label, std::uint64_t a,
+                         std::uint64_t b) const;
+
   /// Indexed variant of the splittable fork for hot paths (per-node streams
   /// in the engine's sharded phases); same contract, no string handling.
   [[nodiscard]] Rng split(std::uint64_t index) const;

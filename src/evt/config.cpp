@@ -1,0 +1,21 @@
+#include "evt/config.hpp"
+
+#include "common/assert.hpp"
+
+namespace raptee::evt {
+
+void EventConfig::validate() const {
+  if (!enabled) return;
+  RAPTEE_REQUIRE(round_interval_us > 0, "event mode needs round_interval_us > 0");
+  topology.validate();
+  latency.validate();
+  partition.validate(topology.regions);
+  if (latency.kind == LatencyKind::kMatrix) {
+    RAPTEE_REQUIRE(latency.matrix_regions == topology.regions,
+                   "latency matrix regions (" << latency.matrix_regions
+                                              << ") must match topology regions ("
+                                              << topology.regions << ")");
+  }
+}
+
+}  // namespace raptee::evt

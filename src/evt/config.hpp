@@ -1,0 +1,29 @@
+// Event-driven engine mode configuration: the opt-in switch plus the three
+// new axes (latency distribution, partition schedule, region topology).
+// Plumbed EngineConfig -> ExperimentConfig -> ScenarioSpec -> Grid axes and
+// serialized (conditionally — only when enabled) into results JSON.
+#pragma once
+
+#include <cstdint>
+
+#include "evt/latency.hpp"
+#include "evt/partition.hpp"
+
+namespace raptee::evt {
+
+struct EventConfig {
+  /// Off by default: round mode stays the bit-exact baseline and the
+  /// results JSON is byte-identical to a tree without this subsystem.
+  bool enabled = false;
+  /// Virtual duration of one protocol round. The paper deploys 2.5-second
+  /// rounds on Grid'5000; messages whose sampled delay lands past the round
+  /// deadline are late and discarded (Counters::legs_late).
+  std::uint64_t round_interval_us = 2'500'000;
+  LatencySpec latency;
+  PartitionSchedule partition;
+  RegionTopology topology;
+
+  void validate() const;
+};
+
+}  // namespace raptee::evt

@@ -1,0 +1,166 @@
+#include "evt/latency.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+#include "common/assert.hpp"
+
+namespace raptee::evt {
+
+namespace {
+
+[[nodiscard]] constexpr std::uint64_t ms_to_us(double ms) {
+  return static_cast<std::uint64_t>(ms * 1000.0);
+}
+
+[[nodiscard]] std::string format_ms(std::uint64_t us) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.1fms", static_cast<double>(us) / 1000.0);
+  return buf;
+}
+
+}  // namespace
+
+LatencySpec LatencySpec::zero() { return LatencySpec{}; }
+
+LatencySpec LatencySpec::fixed(double ms, double jitter_pct) {
+  LatencySpec spec;
+  spec.kind = LatencyKind::kFixed;
+  spec.fixed_us = ms_to_us(ms);
+  spec.jitter_pct = jitter_pct;
+  return spec;
+}
+
+LatencySpec LatencySpec::uniform(double min_ms, double max_ms) {
+  LatencySpec spec;
+  spec.kind = LatencyKind::kUniform;
+  spec.min_us = ms_to_us(min_ms);
+  spec.max_us = ms_to_us(max_ms);
+  return spec;
+}
+
+LatencySpec LatencySpec::lognormal(double median_ms, double sigma) {
+  LatencySpec spec;
+  spec.kind = LatencyKind::kLognormal;
+  spec.log_median_ms = median_ms;
+  spec.log_sigma = sigma;
+  return spec;
+}
+
+LatencySpec LatencySpec::matrix(std::uint32_t regions,
+                                const std::vector<double>& ms,
+                                double jitter_pct) {
+  LatencySpec spec;
+  spec.kind = LatencyKind::kMatrix;
+  spec.matrix_regions = regions;
+  spec.matrix_us.reserve(ms.size());
+  for (const double entry : ms) spec.matrix_us.push_back(ms_to_us(entry));
+  spec.jitter_pct = jitter_pct;
+  return spec;
+}
+
+LatencySpec LatencySpec::named(std::string_view name) {
+  if (name == "zero") return zero();
+  // Datacenter LAN: sub-millisecond, mildly jittered.
+  if (name == "lan") return fixed(0.5, 10.0);
+  // Continental WAN: a broad uniform band.
+  if (name == "wan") return uniform(40.0, 160.0);
+  // Heavy-tailed internet path: lognormal around a 60 ms median.
+  if (name == "tail") return lognormal(60.0, 0.6);
+  // Three geo-regions with asymmetric inter-region delays.
+  if (name == "geo3") {
+    return matrix(3,
+                  {5.0, 80.0, 250.0,   //
+                   80.0, 5.0, 120.0,   //
+                   250.0, 120.0, 5.0},
+                  10.0);
+  }
+  throw std::invalid_argument("unknown latency spec '" + std::string(name) +
+                              "' (expected one of: zero, lan, wan, tail, geo3)");
+}
+
+const std::vector<std::string>& LatencySpec::names() {
+  static const std::vector<std::string> kNames{"zero", "lan", "wan", "tail",
+                                               "geo3"};
+  return kNames;
+}
+
+void LatencySpec::validate() const {
+  RAPTEE_REQUIRE(jitter_pct >= 0.0 && jitter_pct <= 100.0,
+                 "latency jitter_pct must be in [0, 100], got " << jitter_pct);
+  switch (kind) {
+    case LatencyKind::kZero:
+    case LatencyKind::kFixed:
+      break;
+    case LatencyKind::kUniform:
+      RAPTEE_REQUIRE(min_us <= max_us, "uniform latency bounds inverted: "
+                                           << min_us << " > " << max_us);
+      break;
+    case LatencyKind::kLognormal:
+      RAPTEE_REQUIRE(log_median_ms > 0.0 && log_sigma >= 0.0,
+                     "lognormal latency needs median > 0 and sigma >= 0");
+      break;
+    case LatencyKind::kMatrix:
+      RAPTEE_REQUIRE(matrix_regions >= 1, "latency matrix needs >= 1 region");
+      RAPTEE_REQUIRE(
+          matrix_us.size() ==
+              static_cast<std::size_t>(matrix_regions) * matrix_regions,
+          "latency matrix must be regions x regions: expected "
+              << static_cast<std::size_t>(matrix_regions) * matrix_regions
+              << " entries, got " << matrix_us.size());
+      break;
+  }
+}
+
+std::uint64_t LatencySpec::sample_us(Rng& rng, std::uint32_t from_region,
+                                     std::uint32_t to_region) const {
+  std::uint64_t base = 0;
+  switch (kind) {
+    case LatencyKind::kZero:
+      return 0;
+    case LatencyKind::kFixed:
+      base = fixed_us;
+      break;
+    case LatencyKind::kUniform:
+      base = max_us > min_us ? min_us + rng.below(max_us - min_us + 1) : min_us;
+      break;
+    case LatencyKind::kLognormal:
+      base = ms_to_us(log_median_ms * std::exp(rng.normal(0.0, log_sigma)));
+      break;
+    case LatencyKind::kMatrix: {
+      const std::uint32_t a = from_region % matrix_regions;
+      const std::uint32_t b = to_region % matrix_regions;
+      base = matrix_us[static_cast<std::size_t>(a) * matrix_regions + b];
+      break;
+    }
+  }
+  if (jitter_pct > 0.0 && base > 0) {
+    const double factor =
+        1.0 + (rng.uniform01() * 2.0 - 1.0) * (jitter_pct / 100.0);
+    base = static_cast<std::uint64_t>(static_cast<double>(base) * factor);
+  }
+  return base;
+}
+
+std::string LatencySpec::describe() const {
+  switch (kind) {
+    case LatencyKind::kZero:
+      return "zero";
+    case LatencyKind::kFixed:
+      return "fixed(" + format_ms(fixed_us) + ")";
+    case LatencyKind::kUniform:
+      return "uniform(" + format_ms(min_us) + ".." + format_ms(max_us) + ")";
+    case LatencyKind::kLognormal: {
+      char buf[64];
+      std::snprintf(buf, sizeof buf, "lognormal(%.0fms, %.2f)", log_median_ms,
+                    log_sigma);
+      return buf;
+    }
+    case LatencyKind::kMatrix:
+      return "matrix(" + std::to_string(matrix_regions) + " regions)";
+  }
+  return "unknown";
+}
+
+}  // namespace raptee::evt

@@ -1,0 +1,67 @@
+// Per-link latency models for the event-driven engine mode.
+//
+// A LatencySpec describes the one-way delay distribution of a link. Samples
+// are drawn from forked Rng streams keyed per link
+// (`rng.fork("evt.link", from, to)`), so a (seed, spec) pair reproduces every
+// delay bit-for-bit regardless of how many links are in flight — the
+// determinism contract the round-mode engine already guarantees extends
+// unchanged to event-driven time.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace raptee::evt {
+
+enum class LatencyKind : std::uint8_t {
+  kZero,       ///< every message arrives instantly (event mode's degenerate case)
+  kFixed,      ///< constant one-way delay
+  kUniform,    ///< uniform in [min_us, max_us]
+  kLognormal,  ///< heavy-tailed: exp(normal(ln median, sigma))
+  kMatrix,     ///< per-region-pair base delay (row-major regions x regions)
+};
+
+struct LatencySpec {
+  LatencyKind kind = LatencyKind::kZero;
+  std::uint64_t fixed_us = 0;
+  std::uint64_t min_us = 0;
+  std::uint64_t max_us = 0;
+  double log_median_ms = 0.0;
+  double log_sigma = 0.0;
+  std::uint32_t matrix_regions = 0;
+  std::vector<std::uint64_t> matrix_us;  ///< row-major regions x regions
+  /// Symmetric multiplicative jitter: the sampled base delay is scaled by a
+  /// uniform factor in [1 - jitter_pct/100, 1 + jitter_pct/100].
+  double jitter_pct = 0.0;
+
+  [[nodiscard]] static LatencySpec zero();
+  [[nodiscard]] static LatencySpec fixed(double ms, double jitter_pct = 0.0);
+  [[nodiscard]] static LatencySpec uniform(double min_ms, double max_ms);
+  [[nodiscard]] static LatencySpec lognormal(double median_ms, double sigma);
+  [[nodiscard]] static LatencySpec matrix(std::uint32_t regions,
+                                          const std::vector<double>& ms,
+                                          double jitter_pct = 0.0);
+
+  /// The named catalog backing RAPTEE_BENCH_LATENCY: "zero", "lan", "wan",
+  /// "tail", "geo3". Throws std::invalid_argument for anything else.
+  [[nodiscard]] static LatencySpec named(std::string_view name);
+  [[nodiscard]] static const std::vector<std::string>& names();
+
+  /// Rejects malformed specs (inverted uniform bounds, bad matrix shape,
+  /// out-of-range jitter) with RAPTEE_REQUIRE.
+  void validate() const;
+
+  /// Draws one one-way delay for a (from_region, to_region) link. Pure in
+  /// (rng state, spec, regions); advances `rng`.
+  [[nodiscard]] std::uint64_t sample_us(Rng& rng, std::uint32_t from_region,
+                                        std::uint32_t to_region) const;
+
+  /// Short human label ("uniform(40ms..160ms)"), used by bench tables.
+  [[nodiscard]] std::string describe() const;
+};
+
+}  // namespace raptee::evt

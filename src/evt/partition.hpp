@@ -1,0 +1,60 @@
+// Region topology and timed network partitions for event-driven runs.
+//
+// Nodes map onto regions round-robin (node index mod regions); a
+// PartitionSchedule is a list of round windows during which a set of regions
+// is cut off from the rest. Messages crossing an active cut are dropped and
+// counted (Engine::Counters::partition_drops) — the partition_eclipse
+// adversary exploits exactly these windows.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace raptee::evt {
+
+struct RegionTopology {
+  std::uint32_t regions = 1;
+
+  [[nodiscard]] std::uint32_t region_of(std::uint64_t node_index) const {
+    return regions <= 1 ? 0 : static_cast<std::uint32_t>(node_index % regions);
+  }
+  void validate() const;
+};
+
+/// One cut: during rounds [from, until) the `isolated` regions can only
+/// reach each other, and everyone else can only reach non-isolated regions.
+struct PartitionWindow {
+  Round from = 0;
+  Round until = 0;
+  std::vector<std::uint32_t> isolated;
+};
+
+struct PartitionSchedule {
+  std::vector<PartitionWindow> windows;
+
+  [[nodiscard]] static PartitionSchedule none();
+  /// The named catalog backing RAPTEE_BENCH_PARTITION: "none", "mid-third"
+  /// (region 0 isolated for the middle third of the run), "late-half"
+  /// (region 0 isolated for the second half). Throws std::invalid_argument
+  /// for anything else.
+  [[nodiscard]] static PartitionSchedule named(std::string_view name,
+                                               Round total_rounds);
+  [[nodiscard]] static const std::vector<std::string>& names();
+
+  /// True if any window is active at round `r`.
+  [[nodiscard]] bool active(Round r) const;
+  /// True if a message between the two regions is cut at round `r`.
+  [[nodiscard]] bool severed(std::uint32_t region_a, std::uint32_t region_b,
+                             Round r) const;
+
+  /// Rejects inverted windows and isolated regions outside [0, regions).
+  void validate(std::uint32_t regions) const;
+
+  [[nodiscard]] std::string describe() const;
+};
+
+}  // namespace raptee::evt

@@ -1,0 +1,70 @@
+#include "evt/scheduler.hpp"
+
+#include <utility>
+
+#include "common/assert.hpp"
+
+namespace raptee::evt {
+
+void Scheduler::schedule(std::uint64_t at_us, std::uint32_t kind,
+                         std::uint64_t a, std::uint64_t b) {
+  Event e;
+  e.at_us = at_us < now_us_ ? now_us_ : at_us;
+  e.seq = next_seq_++;
+  e.kind = kind;
+  e.a = a;
+  e.b = b;
+  heap_.push_back(e);
+  sift_up(heap_.size() - 1);
+  if (heap_.size() > max_depth_) max_depth_ = heap_.size();
+}
+
+Event Scheduler::pop() {
+  RAPTEE_REQUIRE(!heap_.empty(), "Scheduler::pop on an empty heap");
+  const Event out = heap_.front();
+  heap_.front() = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) sift_down(0);
+  now_us_ = out.at_us;
+  return out;
+}
+
+void Scheduler::advance_to(std::uint64_t at_us) {
+  if (at_us > now_us_) now_us_ = at_us;
+}
+
+void Scheduler::close_window(std::uint64_t at_us) {
+  RAPTEE_REQUIRE(heap_.empty(),
+                 "Scheduler::close_window with events still pending");
+  now_us_ = at_us;
+}
+
+void Scheduler::clear() {
+  heap_.clear();
+  max_depth_ = 0;
+}
+
+void Scheduler::sift_up(std::size_t i) {
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 2;
+    if (!before(heap_[i], heap_[parent])) return;
+    std::swap(heap_[i], heap_[parent]);
+    i = parent;
+  }
+}
+
+void Scheduler::sift_down(std::size_t i) {
+  const std::size_t n = heap_.size();
+  for (;;) {
+    const std::size_t left = 2 * i + 1;
+    const std::size_t right = left + 1;
+    std::size_t best = i;
+    if (left < n && before(heap_[left], heap_[best])) best = left;
+    if (right < n && before(heap_[right], heap_[best])) best = right;
+    if (best == i) return;
+    std::swap(heap_[i], heap_[best]);
+    i = best;
+  }
+}
+
+}  // namespace raptee::evt

@@ -1,0 +1,81 @@
+// Deterministic discrete-event scheduler.
+//
+// A binary min-heap keyed by (virtual_time_us, seq): two events at the same
+// virtual instant pop in the order they were scheduled, mirroring the
+// net::EventLoop timer heap's (deadline, id) tie-break — so the dispatch
+// order is a pure function of the schedule calls, never of heap internals.
+// The engine drains the heap serially on its coordinating thread, which is
+// what makes event-mode results bit-identical across worker counts.
+//
+// This is simulated time: no wall clock is ever consulted (raptee-lint's
+// no-wall-clock rule polices src/evt), and popping an event advances the
+// virtual clock to the event's timestamp.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace raptee::evt {
+
+/// One scheduled occurrence. `kind`/`a`/`b` are caller-defined (the engine
+/// uses kind as a message-class discriminator and `a` as an index into its
+/// per-round staging arrays).
+struct Event {
+  std::uint64_t at_us = 0;
+  std::uint64_t seq = 0;
+  std::uint32_t kind = 0;
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+};
+
+class Scheduler {
+ public:
+  /// Current virtual time: the timestamp of the last popped event, or the
+  /// last advance_to() mark, whichever is later. Starts at zero.
+  [[nodiscard]] std::uint64_t now_us() const { return now_us_; }
+
+  [[nodiscard]] bool empty() const { return heap_.empty(); }
+  [[nodiscard]] std::size_t size() const { return heap_.size(); }
+  /// High-water mark of size() since the last clear() (feeds the
+  /// evt.queue_depth histogram).
+  [[nodiscard]] std::size_t max_depth() const { return max_depth_; }
+
+  /// Enqueues an event; timestamps in the past are clamped to now (a
+  /// message cannot arrive before it was sent).
+  void schedule(std::uint64_t at_us, std::uint32_t kind, std::uint64_t a,
+                std::uint64_t b = 0);
+
+  /// Pops the earliest event — ties broken by schedule order — and advances
+  /// the virtual clock to its timestamp. The heap must be non-empty.
+  Event pop();
+
+  /// Moves the virtual clock forward to `at_us` without dispatching
+  /// (end-of-round idle time). Never moves time backwards.
+  void advance_to(std::uint64_t at_us);
+
+  /// Closes a fully-drained round window: snaps the clock to exactly
+  /// `at_us`, *backwards* if draining popped a late arrival past the
+  /// window's deadline (the late leg was dropped, so the round still ends
+  /// on schedule — virtual time stays rounds x interval). The heap must be
+  /// empty: rewinding over pending events would violate causality.
+  void close_window(std::uint64_t at_us);
+
+  /// Drops all pending events and resets the depth high-water mark; the
+  /// virtual clock keeps its value.
+  void clear();
+
+ private:
+  void sift_up(std::size_t i);
+  void sift_down(std::size_t i);
+  [[nodiscard]] static bool before(const Event& x, const Event& y) {
+    return x.at_us != y.at_us ? x.at_us < y.at_us : x.seq < y.seq;
+  }
+
+  std::vector<Event> heap_;
+  std::uint64_t now_us_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::size_t max_depth_ = 0;
+};
+
+}  // namespace raptee::evt

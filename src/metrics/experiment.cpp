@@ -69,6 +69,7 @@ void ExperimentConfig::validate() const {
   brahms.validate();
   eviction.validate();
   churn.validate();
+  event.validate();
 }
 
 ExperimentResult run_experiment(const ExperimentConfig& config,
@@ -111,6 +112,7 @@ ExperimentResult run_experiment(const ExperimentConfig& config,
   engine_config.tamper_rate = config.tamper_rate;
   engine_config.link_sessions = config.link_sessions;
   engine_config.threads = config.engine_threads;
+  engine_config.event = config.event;
   sim::Engine engine(engine_config);
 
   std::shared_ptr<adversary::Coordinator> coordinator;
@@ -152,6 +154,14 @@ ExperimentResult run_experiment(const ExperimentConfig& config,
     coordinator = std::make_shared<adversary::Coordinator>(
         byz_ids, correct_ids, attack, mix64(config.seed, 0x636F6F72ull),
         std::move(strategy));
+    if (config.event.enabled) {
+      // Delay-capable strategies (delay_eclipse) inject extra per-link
+      // latency through the engine's scheduling path; extra_delay_us is a
+      // pure function, so determinism across worker counts is preserved.
+      engine.set_link_delay([coordinator](Round r, NodeId from, NodeId to) {
+        return coordinator->strategy().extra_delay_us(r, from, to, *coordinator);
+      });
+    }
   }
 
   const sgx::CycleModel cycle_model = sgx::CycleModel::paper_table1();
@@ -298,6 +308,11 @@ ExperimentResult run_experiment(const ExperimentConfig& config,
                                            victim_before);
       }
       snapshot.attack_active = coordinator && coordinator->active();
+      if (config.event.enabled) {
+        snapshot.virtual_ms = engine.virtual_now_us() / 1000;
+        snapshot.legs_late = engine.counters().legs_late;
+        snapshot.partition_drops = engine.counters().partition_drops;
+      }
       for (std::size_t p = 0; p < snapshot.phase_ms.size(); ++p) {
         snapshot.phase_ms[p] =
             static_cast<double>(engine.last_phase_us()[p]) / 1000.0;
@@ -344,6 +359,18 @@ ExperimentResult run_experiment(const ExperimentConfig& config,
     result.attack.victim_pollution_series = victim_tracker->pollution_series();
     result.attack.steady_victim_pollution = victim_tracker->steady_state_pollution();
     result.attack.rounds_to_isolation = victim_tracker->isolation_round();
+  }
+
+  if (config.event.enabled) {
+    result.evt.engaged = true;
+    result.evt.virtual_ms = engine.virtual_now_us() / 1000;
+    result.evt.legs_late = engine.counters().legs_late;
+    result.evt.partition_drops = engine.counters().partition_drops;
+    if (result.discovery_round) {
+      result.evt.dissemination_time_ms =
+          (static_cast<std::uint64_t>(*result.discovery_round) + 1) *
+          config.event.round_interval_us / 1000;
+    }
   }
   if (observer) observer->on_run_end(result, engine);
   return result;

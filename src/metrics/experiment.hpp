@@ -24,6 +24,7 @@
 #include "core/eviction.hpp"
 #include "common/stats.hpp"
 #include "common/types.hpp"
+#include "evt/config.hpp"
 
 namespace raptee::scenario {
 class IScenarioObserver;
@@ -110,6 +111,11 @@ struct ExperimentConfig {
   /// this.
   std::size_t engine_threads = 1;
 
+  /// Event-driven time (sim::EngineConfig::event, src/evt): opt-in message
+  /// latency/jitter, region partitions and a virtual clock. Off = round
+  /// mode, the bit-exact baseline. ScenarioSpec's event setters fill this.
+  evt::EventConfig event;
+
   [[nodiscard]] std::size_t byzantine_count() const;
   [[nodiscard]] std::size_t trusted_count() const;
   [[nodiscard]] std::size_t poisoned_count() const;
@@ -129,6 +135,21 @@ struct AttackOutcome {
   std::optional<Round> rounds_to_isolation;     ///< all victims eclipsed
   std::uint64_t legs_suppressed = 0;   ///< pulls the adversary refused to answer
   std::uint64_t rounds_active = 0;     ///< rounds the strategy was on duty
+};
+
+/// Event-mode observables of one run. `engaged` is false when event mode is
+/// off — results::to_json then omits the whole block, keeping round-mode
+/// documents byte-identical to the pre-evt schema.
+struct EvtOutcome {
+  bool engaged = false;
+  std::uint64_t virtual_ms = 0;       ///< total simulated virtual time
+  std::uint64_t legs_late = 0;        ///< messages past their round deadline
+  std::uint64_t partition_drops = 0;  ///< messages cut by an active partition
+  /// Wall-clock-realistic dissemination figure: virtual time at which every
+  /// correct node had discovered the full membership (the DiscoveryTracker
+  /// round, denominated in the configured round interval). 0 when discovery
+  /// was not reached within the run.
+  std::uint64_t dissemination_time_ms = 0;
 };
 
 struct ExperimentResult {
@@ -152,6 +173,7 @@ struct ExperimentResult {
   std::uint64_t legs_corrupted = 0;  ///< legs the receiver rejected
   std::uint64_t wire_bytes = 0;      ///< serialized bytes put on the wire
   AttackOutcome attack;              ///< adversary-side observables
+  EvtOutcome evt;                    ///< event-mode observables
 };
 
 /// Runs one experiment. `observer`, when given, receives one RoundSnapshot

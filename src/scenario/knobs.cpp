@@ -116,6 +116,19 @@ Knobs Knobs::from_env() {
   knobs.port = static_cast<std::uint16_t>(env_u64("RAPTEE_BENCH_PORT", 0, 0, 65535));
   knobs.connections = env_size("RAPTEE_BENCH_CONNECTIONS", knobs.connections, 1, 4096);
   knobs.duration_ms = env_u64("RAPTEE_BENCH_DURATION_MS", knobs.duration_ms, 1, 600000);
+  if (const char* latency = std::getenv("RAPTEE_BENCH_LATENCY")) {
+    // Resolve through the evt catalog so a typo fails loudly, with the
+    // valid names in the message (LatencySpec::named throws).
+    (void)evt::LatencySpec::named(latency);
+    knobs.latency = latency;
+  }
+  if (const char* jitter = std::getenv("RAPTEE_BENCH_JITTER_PCT")) {
+    knobs.jitter_pct = parse_double("RAPTEE_BENCH_JITTER_PCT", jitter, 0.0, 100.0);
+  }
+  if (const char* partition = std::getenv("RAPTEE_BENCH_PARTITION")) {
+    (void)evt::PartitionSchedule::named(partition, knobs.rounds);
+    knobs.partition = partition;
+  }
   if (const char* attack = std::getenv("RAPTEE_BENCH_ATTACK")) {
     RAPTEE_REQUIRE(adversary::StrategyRegistry::instance().contains(attack),
                    "RAPTEE_BENCH_ATTACK names an unregistered strategy: '" << attack
@@ -134,6 +147,16 @@ ScenarioSpec Knobs::base_spec() const {
       .adversary(0.0)
       .attack(adversary::AttackSpec::named(attack))
       .auth_mode(brahms::AuthMode::kFingerprint);
+}
+
+evt::LatencySpec Knobs::latency_spec() const {
+  evt::LatencySpec spec = evt::LatencySpec::named(latency);
+  if (jitter_pct > 0.0) spec.jitter_pct = jitter_pct;
+  return spec;
+}
+
+evt::PartitionSchedule Knobs::partition_schedule() const {
+  return evt::PartitionSchedule::named(partition, rounds);
 }
 
 std::vector<int> Knobs::f_grid() const {

@@ -71,6 +71,16 @@ struct Knobs {
   std::uint16_t port = 0;
   std::size_t connections = 8;
   std::uint64_t duration_ms = 1000;
+  /// Event-mode knobs (bench/latency_sweep). RAPTEE_BENCH_LATENCY accepts
+  /// any evt::LatencySpec::named model ("zero", "lan", "wan", "tail",
+  /// "geo3"); RAPTEE_BENCH_JITTER_PCT accepts 0..100 (applied on top of the
+  /// model's own jitter); RAPTEE_BENCH_PARTITION accepts any
+  /// evt::PartitionSchedule::named schedule ("none", "mid-third",
+  /// "late-half"). base_spec() stays in round mode — benches opt into the
+  /// event scheduler per cell with event_spec().
+  std::string latency = "lan";
+  double jitter_pct = 0.0;
+  std::string partition = "none";
 
   /// Reads RAPTEE_BENCH_* from the environment (strict parse, see above).
   [[nodiscard]] static Knobs from_env();
@@ -78,6 +88,13 @@ struct Knobs {
   /// The base spec shared by all figure benches (fingerprint auth, no
   /// adversary/trust configured — benches layer those per cell).
   [[nodiscard]] ScenarioSpec base_spec() const;
+
+  /// The latency/jitter/partition knobs resolved into an event-mode
+  /// LatencySpec + PartitionSchedule pair (partition windows denominated in
+  /// `rounds`). Benches apply them via ScenarioSpec::latency()/partition()
+  /// or the Grid axes.
+  [[nodiscard]] evt::LatencySpec latency_spec() const;
+  [[nodiscard]] evt::PartitionSchedule partition_schedule() const;
 
   /// Byzantine-fraction grid (percent): paper 10..30 step 2; quick {10,20,30}.
   [[nodiscard]] std::vector<int> f_grid() const;

@@ -66,6 +66,13 @@ struct RoundSnapshot {
   std::uint64_t legs_corrupted = 0;  ///< receiver-rejected legs
   std::uint64_t legs_suppressed = 0; ///< pulls an omission adversary refused
 
+  /// Event-mode observables (src/evt), all 0 in round mode: the engine's
+  /// virtual clock after this round, plus cumulative deadline misses and
+  /// partition-severed messages.
+  std::uint64_t virtual_ms = 0;
+  std::uint64_t legs_late = 0;
+  std::uint64_t partition_drops = 0;
+
   /// Wall-clock milliseconds this round spent in each engine phase,
   /// indexed by sim::Engine::Phase (begin_round, push_gen, push_deliver,
   /// pulls, end_round). Profiling data, not simulation state: the values

@@ -58,6 +58,9 @@ std::string to_json(const Knobs& knobs) {
       .field("port", static_cast<std::uint64_t>(knobs.port))
       .field("connections", knobs.connections)
       .field("duration_ms", knobs.duration_ms)
+      .field("latency", knobs.latency)
+      .field("jitter_pct", knobs.jitter_pct)
+      .field("partition", knobs.partition)
       .str();
 }
 
@@ -88,6 +91,15 @@ std::string to_json(const metrics::AttackOutcome& attack) {
       .str();
 }
 
+std::string to_json(const metrics::EvtOutcome& evt) {
+  return JsonObject()
+      .field("virtual_ms", evt.virtual_ms)
+      .field("legs_late", evt.legs_late)
+      .field("partition_drops", evt.partition_drops)
+      .field("dissemination_time_ms", evt.dissemination_time_ms)
+      .str();
+}
+
 std::string to_json(const metrics::ExperimentConfig& config) {
   const JsonObject brahms = JsonObject()
                                 .field("l1", config.brahms.l1)
@@ -109,8 +121,8 @@ std::string to_json(const metrics::ExperimentConfig& config) {
           .field("rate_per_round", config.churn.rate_per_round)
           .field("downtime", static_cast<std::uint64_t>(config.churn.downtime))
           .field("rejoin", config.churn.rejoin);
-  return JsonObject()
-      .field("n", config.n)
+  JsonObject doc;
+  doc.field("n", config.n)
       .field("byzantine_fraction", config.byzantine_fraction)
       .field("trusted_fraction", config.trusted_fraction)
       .field("poisoned_extra_fraction", config.poisoned_extra_fraction)
@@ -131,8 +143,21 @@ std::string to_json(const metrics::ExperimentConfig& config) {
       .field("message_loss", config.message_loss)
       .field("tamper_rate", config.tamper_rate)
       .field("link_sessions", config.link_sessions)
-      .field("engine_threads", config.engine_threads)
-      .str();
+      .field("engine_threads", config.engine_threads);
+  // The event block exists only for event-mode configs, so round-mode config
+  // JSON stays byte-identical to the pre-evt schema (same omission rule as
+  // the result-side attack/evt blocks).
+  if (config.event.enabled) {
+    doc.field_raw("event",
+                  JsonObject()
+                      .field("round_interval_us", config.event.round_interval_us)
+                      .field("regions", static_cast<std::uint64_t>(
+                                            config.event.topology.regions))
+                      .field("latency", config.event.latency.describe())
+                      .field("partition", config.event.partition.describe())
+                      .str());
+  }
+  return doc.str();
 }
 
 std::string to_json(const RunningStats& stats) {
@@ -184,6 +209,8 @@ std::string to_json(const metrics::ExperimentResult& result) {
   // them otherwise keeps default-run result JSON byte-identical to the
   // pre-AttackSpec schema (asserted by scenario_test_attack_determinism).
   if (result.attack.engaged) doc.field_raw("attack", to_json(result.attack));
+  // Same rule for event-mode observables: round-mode runs omit the block.
+  if (result.evt.engaged) doc.field_raw("evt", to_json(result.evt));
   return doc.str();
 }
 
@@ -234,7 +261,7 @@ std::string to_json(const metrics::ComparisonResult& result) {
 std::string experiment_document(const ScenarioSpec& spec,
                                 const metrics::ExperimentResult& result) {
   return JsonObject()
-      .field("schema", "raptee.scenario.experiment/3")
+      .field("schema", "raptee.scenario.experiment/4")
       .field("label", spec.label())
       .field_raw("config", to_json(spec.config()))
       .field_raw("result", to_json(result))
@@ -244,7 +271,7 @@ std::string experiment_document(const ScenarioSpec& spec,
 std::string repeated_document(const ScenarioSpec& spec, std::size_t reps,
                               const metrics::RepeatedResult& result) {
   return JsonObject()
-      .field("schema", "raptee.scenario.repeated/3")
+      .field("schema", "raptee.scenario.repeated/4")
       .field("label", spec.label())
       .field("reps", reps)
       .field_raw("config", to_json(spec.config()))
@@ -255,7 +282,7 @@ std::string repeated_document(const ScenarioSpec& spec, std::size_t reps,
 std::string comparison_document(const ScenarioSpec& spec, std::size_t reps,
                                 const metrics::ComparisonResult& result) {
   return JsonObject()
-      .field("schema", "raptee.scenario.comparison/3")
+      .field("schema", "raptee.scenario.comparison/4")
       .field("label", spec.label())
       .field("reps", reps)
       .field_raw("config", to_json(spec.config()))
@@ -280,7 +307,7 @@ std::string grid_document(const GridResult& sweep, std::size_t reps) {
     cells.item_raw(cell.str());
   }
   return JsonObject()
-      .field("schema", "raptee.scenario.grid/3")
+      .field("schema", "raptee.scenario.grid/4")
       .field("reps", reps)
       .field_raw("axes", axes.str())
       .field_raw("cells", cells.str())
@@ -315,7 +342,7 @@ BenchReport& BenchReport::set_timing(double wall_seconds, std::size_t threads,
 
 std::string BenchReport::document() const {
   JsonObject doc;
-  doc.field("schema", "raptee.bench/3")
+  doc.field("schema", "raptee.bench/4")
       .field("bench", bench_name_)
       .field_raw("knobs", knobs_json_);
   if (!timing_json_.empty()) doc.field_raw("timing", timing_json_);

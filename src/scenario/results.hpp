@@ -8,11 +8,11 @@
 // bench trajectory diffable.
 //
 // Document shapes ("schema" field, versioned):
-//   raptee.scenario.experiment/3  — one run: config + full result series
-//   raptee.scenario.repeated/3    — mean/σ aggregate over reps
-//   raptee.scenario.comparison/3  — RAPTEE vs Brahms at matched f
-//   raptee.scenario.grid/3        — axes + one aggregate per cell
-//   raptee.bench/3                — a figure bench: knobs + derived rows +
+//   raptee.scenario.experiment/4  — one run: config + full result series
+//   raptee.scenario.repeated/4    — mean/σ aggregate over reps
+//   raptee.scenario.comparison/4  — RAPTEE vs Brahms at matched f
+//   raptee.scenario.grid/4        — axes + one aggregate per cell
+//   raptee.bench/4                — a figure bench: knobs + derived rows +
 //                                   optional wall-clock timing
 //
 // /3 (AttackSpec): every config block gains an "attack" object (strategy +
@@ -20,6 +20,12 @@
 // object (victim pollution series, rounds_to_isolation, legs_suppressed,
 // rounds_active) ONLY when the run's adversary deviates from the default
 // balanced attack — default-run *result* JSON is byte-identical to /2.
+//
+// /4 (event-driven time): bench knobs gain "latency"/"jitter_pct"/
+// "partition". Config blocks gain an "event" object and result blocks an
+// "evt" object (virtual_ms, legs_late, partition_drops,
+// dissemination_time_ms) ONLY when the run opted into the event scheduler —
+// round-mode config and result JSON is byte-identical to /3.
 #pragma once
 
 #include <string>
@@ -37,6 +43,7 @@ namespace raptee::scenario::results {
 [[nodiscard]] std::string to_json(const Knobs& knobs);
 [[nodiscard]] std::string to_json(const adversary::AttackSpec& attack);
 [[nodiscard]] std::string to_json(const metrics::AttackOutcome& attack);
+[[nodiscard]] std::string to_json(const metrics::EvtOutcome& evt);
 [[nodiscard]] std::string to_json(const metrics::ExperimentConfig& config);
 [[nodiscard]] std::string to_json(const RunningStats& stats);
 [[nodiscard]] std::string to_json(const metrics::ExperimentResult& result);

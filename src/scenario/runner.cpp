@@ -150,6 +150,27 @@ Grid& Grid::axis_eviction(
   return axis("eviction", std::move(points));
 }
 
+Grid& Grid::axis_latency(
+    const std::vector<std::pair<std::string, evt::LatencySpec>>& specs) {
+  std::vector<AxisPoint> points;
+  points.reserve(specs.size());
+  for (const auto& [label, latency] : specs) {
+    points.push_back({label, [latency](ScenarioSpec& spec) { spec.latency(latency); }});
+  }
+  return axis("latency", std::move(points));
+}
+
+Grid& Grid::axis_partition(
+    const std::vector<std::pair<std::string, evt::PartitionSchedule>>& specs) {
+  std::vector<AxisPoint> points;
+  points.reserve(specs.size());
+  for (const auto& [label, partition] : specs) {
+    points.push_back(
+        {label, [partition](ScenarioSpec& spec) { spec.partition(partition); }});
+  }
+  return axis("partition", std::move(points));
+}
+
 std::size_t Grid::size() const {
   std::size_t total = 1;
   for (const Axis& axis : axes_) total *= axis.points.size();

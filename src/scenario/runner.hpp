@@ -58,6 +58,12 @@ class Grid {
   /// Eviction-policy axis with explicit labelled specs (e.g. none / fixed /
   /// adaptive — richer than the fixed-percent axis).
   Grid& axis_eviction(const std::vector<std::pair<std::string, core::EvictionSpec>>& specs);
+  /// Latency-model axis (event-driven time): each point switches the cell
+  /// onto the event scheduler with the given model. Label "zero"/"lan"/...
+  Grid& axis_latency(const std::vector<std::pair<std::string, evt::LatencySpec>>& specs);
+  /// Partition-schedule axis (event-driven time); implies event mode.
+  Grid& axis_partition(
+      const std::vector<std::pair<std::string, evt::PartitionSchedule>>& specs);
 
   [[nodiscard]] const ScenarioSpec& base() const { return base_; }
   [[nodiscard]] const std::vector<Axis>& axes() const { return axes_; }

@@ -115,6 +115,44 @@ ScenarioSpec& ScenarioSpec::link_sessions(bool enabled) {
   base_.link_sessions = enabled;
   return *this;
 }
+ScenarioSpec& ScenarioSpec::event(const evt::EventConfig& config) {
+  base_.event = config;
+  return *this;
+}
+ScenarioSpec& ScenarioSpec::event_mode(bool enabled) {
+  base_.event.enabled = enabled;
+  return *this;
+}
+ScenarioSpec& ScenarioSpec::latency(const evt::LatencySpec& spec) {
+  base_.event.enabled = true;
+  base_.event.latency = spec;
+  if (spec.kind == evt::LatencyKind::kMatrix) {
+    base_.event.topology.regions = spec.matrix_regions;
+  }
+  return *this;
+}
+ScenarioSpec& ScenarioSpec::latency(const std::string& name) {
+  return latency(evt::LatencySpec::named(name));
+}
+ScenarioSpec& ScenarioSpec::partition(const evt::PartitionSchedule& schedule) {
+  base_.event.enabled = true;
+  base_.event.partition = schedule;
+  if (base_.event.topology.regions < 2 && !schedule.windows.empty()) {
+    base_.event.topology.regions = 2;
+  }
+  return *this;
+}
+ScenarioSpec& ScenarioSpec::partition(const std::string& name) {
+  return partition(evt::PartitionSchedule::named(name, base_.rounds));
+}
+ScenarioSpec& ScenarioSpec::regions(std::uint32_t regions) {
+  base_.event.topology.regions = regions;
+  return *this;
+}
+ScenarioSpec& ScenarioSpec::round_interval_ms(std::uint64_t ms) {
+  base_.event.round_interval_us = ms * 1000;
+  return *this;
+}
 ScenarioSpec& ScenarioSpec::label(std::string text) {
   label_ = std::move(text);
   return *this;

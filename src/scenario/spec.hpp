@@ -103,6 +103,28 @@ class ScenarioSpec {
   /// exchange — the bench/scale_links ablation baseline.
   ScenarioSpec& link_sessions(bool enabled);
 
+  // --- event-driven time (src/evt) ---
+  /// Adopts a full event config (escape hatch; the setters below compose).
+  ScenarioSpec& event(const evt::EventConfig& config);
+  /// Switches the engine onto the event scheduler (virtual clock, per-link
+  /// latency, partitions). Off = round mode, the bit-exact baseline.
+  ScenarioSpec& event_mode(bool enabled = true);
+  /// Per-link latency model; implies event_mode(true).
+  ScenarioSpec& latency(const evt::LatencySpec& spec);
+  /// Named latency model from evt::LatencySpec::named ("zero", "lan", "wan",
+  /// "tail", "geo3"); implies event_mode(true).
+  ScenarioSpec& latency(const std::string& name);
+  /// Timed region partition; implies event_mode(true).
+  ScenarioSpec& partition(const evt::PartitionSchedule& schedule);
+  /// Named partition schedule from evt::PartitionSchedule::named ("none",
+  /// "mid-third", "late-half"), resolved against rounds(); implies
+  /// event_mode(true).
+  ScenarioSpec& partition(const std::string& name);
+  /// Region count of the event topology (node → node % regions).
+  ScenarioSpec& regions(std::uint32_t regions);
+  /// Virtual round deadline; messages past it are counted late and dropped.
+  ScenarioSpec& round_interval_ms(std::uint64_t ms);
+
   /// Free-form label carried into result provenance (JSON "label" field).
   ScenarioSpec& label(std::string text);
   [[nodiscard]] const std::string& label() const { return label_; }

@@ -32,13 +32,22 @@ constexpr CounterMetricEntry kCounterEntries[] = {
     {"engine.legs_tampered", &Engine::Counters::legs_tampered},
     {"engine.legs_corrupted", &Engine::Counters::legs_corrupted},
     {"engine.wire_bytes", &Engine::Counters::wire_bytes},
+    {"engine.legs_late", &Engine::Counters::legs_late},
+    {"engine.partition_drops", &Engine::Counters::partition_drops},
 };
-static_assert(std::size(kCounterEntries) == 11);
+static_assert(std::size(kCounterEntries) == 13);
+
+// Event kinds on the engine's scheduler: `a` indexes the per-round staging
+// array of the matching kind; a pull event's `b` carries the exchange's
+// virtual completion time.
+constexpr std::uint32_t kEvtPush = 0;
+constexpr std::uint32_t kEvtPull = 1;
 
 }  // namespace
 
 Engine::Engine(EngineConfig config)
     : config_(config), rng_(mix64(config.seed, 0x656E67696E65ull)) {
+  config_.event.validate();
   crypto::Drbg key_rng(mix64(config.seed, 0x6C696E6B6Dull));
   link_master_ = key_rng.generate_key();
   if (config_.encrypt_links) {
@@ -53,6 +62,11 @@ Engine::Engine(EngineConfig config)
     counter_metrics_[i] = &reg.counter(kCounterEntries[i].name);
   }
   rounds_metric_ = &reg.counter("engine.rounds");
+  if (config_.event.enabled) {
+    evt_queue_hist_ = &reg.histogram("evt.queue_depth");
+    evt_events_hist_ = &reg.histogram("evt.events_us");
+    evt_virtual_hist_ = &reg.histogram("evt.virtual_ms");
+  }
 }
 
 std::uint64_t Engine::link_derivations() const {
@@ -566,7 +580,218 @@ void Engine::run_pull_exchanges() {
   }
 }
 
+void Engine::step_event() {
+  arena_.reset();
+  {
+    const obs::ScopedTimer t(phase_hist_[kPhaseBeginRound],
+                             &last_phase_us_[kPhaseBeginRound]);
+    run_begin_rounds();
+  }
+
+  const evt::EventConfig& ev = config_.event;
+  const std::uint64_t round_start = evt_sched_.now_us();
+  const std::uint64_t deadline = round_start + ev.round_interval_us;
+  // Round-scoped base for every per-link stream: one advancing fork per
+  // round, so the same link draws fresh delays each round while each delay
+  // stays a pure function of (seed, round, from, to) — never of the worker
+  // count or of how many other links are in flight.
+  const Rng link_base = rng_.fork("evt.round");
+  const auto region_of = [&](NodeId id) {
+    return ev.topology.region_of(id.value);
+  };
+  const auto link_latency = [&](Rng& link_rng, NodeId from, NodeId to) {
+    std::uint64_t sampled =
+        ev.latency.sample_us(link_rng, region_of(from), region_of(to));
+    if (link_delay_) sampled += link_delay_(round_, from, to);
+    return sampled;
+  };
+
+  // --- push generation: the round-mode planner, but delivery goes through
+  // the event heap. Loss always draws per-node split streams (even at width
+  // 1) so event-mode results are bit-identical for every worker count.
+  ArenaVector<Delivery> deliveries(arena_);
+  alive_ids(alive_scratch_);
+  {
+    const obs::ScopedTimer t(phase_hist_[kPhasePushGen],
+                             &last_phase_us_[kPhasePushGen]);
+    const Rng phase_base = rng_.fork("push-phase");
+    if (shard_slots_.size() < alive_scratch_.size()) {
+      shard_slots_.resize(alive_scratch_.size());
+    }
+    const auto collect = [&](std::size_t k) {
+      const NodeId id = alive_scratch_[k];
+      INode& sender = *nodes_[id.value];
+      ShardSlot& slot = shard_slots_[k];
+      slot.deliveries.clear();
+      slot.sent = 0;
+      slot.dropped = 0;
+      Rng loss_rng = phase_base.split(id.value);
+      sender.push_targets(slot.targets);
+      for (NodeId target : slot.targets) {
+        ++slot.sent;
+        if (config_.message_loss > 0.0 && loss_rng.chance(config_.message_loss)) {
+          ++slot.dropped;
+          continue;
+        }
+        if (!is_alive(target)) continue;
+        slot.deliveries.push_back({target, sender.id(), sender.make_push()});
+      }
+    };
+    if (!sharded()) {
+      for (std::size_t k = 0; k < alive_scratch_.size(); ++k) collect(k);
+    } else {
+      shard_over_alive(collect);
+    }
+    std::size_t total = 0;
+    for (std::size_t k = 0; k < alive_scratch_.size(); ++k) {
+      total += shard_slots_[k].deliveries.size();
+    }
+    deliveries.reserve(total);
+    for (std::size_t k = 0; k < alive_scratch_.size(); ++k) {
+      ShardSlot& slot = shard_slots_[k];
+      counters_.pushes_sent += slot.sent;
+      counters_.legs_dropped += slot.dropped;
+      for (const Delivery& d : slot.deliveries) deliveries.push_back(d);
+    }
+  }
+  for (std::size_t i = 0; i < deliveries.size(); ++i) {
+    const Delivery& d = deliveries[i];
+    if (ev.partition.severed(region_of(d.from), region_of(d.to), round_)) {
+      ++counters_.partition_drops;
+      ++counters_.legs_dropped;
+      continue;
+    }
+    Rng link_rng = link_base.fork("evt.link", d.from.value, d.to.value);
+    evt_sched_.schedule(round_start + link_latency(link_rng, d.from, d.to),
+                        kEvtPush, i);
+  }
+
+  // --- pull generation: same lists as round mode, started as events at the
+  // request's arrival; the remaining legs' delays are pre-sampled so each
+  // pull event carries its exchange's virtual completion time in `b`.
+  struct PendingPull {
+    NodeId initiator;
+    NodeId target;
+  };
+  ArenaVector<PendingPull> pulls(arena_);
+  alive_ids(alive_scratch_);
+  if (!sharded()) {
+    for (const NodeId id : alive_scratch_) {
+      nodes_[id.value]->pull_targets(targets_scratch_);
+      for (NodeId target : targets_scratch_) pulls.push_back({id, target});
+    }
+  } else {
+    if (shard_slots_.size() < alive_scratch_.size()) {
+      shard_slots_.resize(alive_scratch_.size());
+    }
+    shard_over_alive([&](std::size_t k) {
+      nodes_[alive_scratch_[k].value]->pull_targets(shard_slots_[k].targets);
+    });
+    for (std::size_t k = 0; k < alive_scratch_.size(); ++k) {
+      for (NodeId target : shard_slots_[k].targets) {
+        pulls.push_back({alive_scratch_[k], target});
+      }
+    }
+  }
+  rng_.shuffle(pulls);
+  for (std::size_t i = 0; i < pulls.size(); ++i) {
+    const PendingPull& p = pulls[i];
+    if (!p.target.valid() || p.target.value >= nodes_.size()) {
+      evt_sched_.schedule(round_start, kEvtPull, i, round_start);
+      continue;
+    }
+    // The five-leg exchange alternates direction; each one-way delay comes
+    // from the initiator-keyed pair stream, so completion time is as
+    // deterministic as the arrival.
+    Rng link_rng = link_base.fork("evt.link", p.initiator.value, p.target.value);
+    std::uint64_t elapsed = 0;
+    std::uint64_t arrival = 0;
+    for (int leg = 0; leg < 4; ++leg) {
+      const bool fwd = (leg % 2) == 0;
+      const NodeId from = fwd ? p.initiator : p.target;
+      const NodeId to = fwd ? p.target : p.initiator;
+      elapsed += link_latency(link_rng, from, to);
+      if (leg == 0) arrival = elapsed;
+    }
+    evt_sched_.schedule(round_start + arrival, kEvtPull, i,
+                        round_start + elapsed);
+  }
+
+  if (evt_queue_hist_) {
+    evt_queue_hist_->record(static_cast<std::uint64_t>(evt_sched_.size()));
+  }
+
+  // --- drain: serial, in (virtual_time, seq) order. Pushes and exchanges
+  // interleave by timestamp — the point of event mode — so the whole drain
+  // is profiled under the pulls phase (push_deliver reads ~0 here).
+  {
+    const obs::ScopedTimer t(phase_hist_[kPhasePulls],
+                             &last_phase_us_[kPhasePulls]);
+    while (!evt_sched_.empty()) {
+      const evt::Event e = evt_sched_.pop();
+      if (evt_events_hist_) evt_events_hist_->record(e.at_us - round_start);
+      if (e.kind == kEvtPush) {
+        const Delivery& d = deliveries[e.a];
+        if (e.at_us > deadline) {
+          ++counters_.legs_late;
+          ++counters_.legs_dropped;
+          continue;
+        }
+        nodes_[d.to.value]->on_push(d.payload);
+        ++counters_.pushes_delivered;
+        for_listeners([&](ITrafficListener& l) {
+          l.on_push_delivered(round_, d.from, d.payload.sender, d.to);
+        });
+        continue;
+      }
+      const PendingPull& p = pulls[e.a];
+      ++counters_.pulls_started;
+      INode& initiator = *nodes_[p.initiator.value];
+      const auto timeout = [&] {
+        ++counters_.pulls_timed_out;
+        initiator.on_pull_timeout(p.target);
+      };
+      if (!is_alive(p.target) || p.target == p.initiator) {
+        timeout();
+      } else if (ev.partition.severed(region_of(p.initiator),
+                                     region_of(p.target), round_)) {
+        ++counters_.partition_drops;
+        timeout();
+      } else if (e.b > deadline) {
+        // The exchange could not have concluded before the round closed.
+        ++counters_.legs_late;
+        timeout();
+      } else if (run_exchange(initiator, *nodes_[p.target.value])) {
+        ++counters_.pulls_completed;
+      } else {
+        timeout();
+      }
+    }
+  }
+  // A popped late arrival may have carried the clock past the deadline;
+  // the leg was dropped, so the round still closes exactly on schedule.
+  evt_sched_.close_window(deadline);
+  if (evt_virtual_hist_) evt_virtual_hist_->record(deadline / 1000);
+
+  {
+    const obs::ScopedTimer t(phase_hist_[kPhaseEndRound],
+                             &last_phase_us_[kPhaseEndRound]);
+    run_end_rounds();
+    if (!listeners_.empty()) {
+      refresh_views();
+      for_listeners([&](ITrafficListener& l) { l.on_round_end(round_, *this); });
+    }
+  }
+  if (link_table_) link_table_->retire_idle(round_, config_.link_idle_rounds);
+  ++round_;
+  publish_metrics();
+}
+
 void Engine::step() {
+  if (config_.event.enabled) {
+    step_event();
+    return;
+  }
   arena_.reset();  // reclaim last round's scratch wholesale
   {
     const obs::ScopedTimer t(phase_hist_[kPhaseBeginRound],

@@ -33,6 +33,8 @@
 #include "common/rng.hpp"
 #include "common/types.hpp"
 #include "crypto/key.hpp"
+#include "evt/config.hpp"
+#include "evt/scheduler.hpp"
 #include "exec/thread_pool.hpp"
 #include "obs/registry.hpp"
 #include "sim/node.hpp"
@@ -68,6 +70,13 @@ struct EngineConfig {
   /// stream and each leg mutates two nodes, so sharding them could not
   /// preserve the bit-identity contract.
   std::size_t threads = 1;
+  /// Opt-in event-driven step mode (src/evt): pushes and pulls become
+  /// timestamped message events with per-link latency/jitter, partitions
+  /// and a virtual clock. Off by default — round mode is the bit-exact
+  /// baseline. With event mode on, results are bit-identical across every
+  /// worker count (1 included): generation always draws per-node split
+  /// streams and the event heap drains serially on the coordinating thread.
+  evt::EventConfig event;
 };
 
 class Engine {
@@ -137,6 +146,19 @@ class Engine {
   /// (models Brahms' periodic probe of sampled peers; see DESIGN.md).
   [[nodiscard]] std::function<bool(NodeId)> aliveness_probe() const;
 
+  /// Event mode only: adversary-injected extra one-way delay (microseconds)
+  /// for a (round, from, to) link, added on top of the sampled latency —
+  /// wired by the experiment driver when a delay-capable attack strategy is
+  /// active. Must be a pure function of its arguments (it is consulted on
+  /// the deterministic scheduling path).
+  void set_link_delay(std::function<std::uint64_t(Round, NodeId, NodeId)> hook) {
+    link_delay_ = std::move(hook);
+  }
+
+  /// Virtual clock (event mode): microseconds of simulated time elapsed.
+  /// Always 0 in round mode.
+  [[nodiscard]] std::uint64_t virtual_now_us() const { return evt_sched_.now_us(); }
+
   /// Exchange-leg statistics (diagnostics & tests).
   struct Counters {
     std::uint64_t pushes_sent = 0;
@@ -156,6 +178,13 @@ class Engine {
     /// type-confused decode. Each is also counted in legs_dropped.
     std::uint64_t legs_corrupted = 0;
     std::uint64_t wire_bytes = 0;
+    /// Event mode only: messages whose sampled arrival (or exchange
+    /// completion) landed past the round deadline and were discarded. Late
+    /// pushes are also counted in legs_dropped.
+    std::uint64_t legs_late = 0;
+    /// Event mode only: messages dropped because the link crossed an active
+    /// partition cut. Dropped pushes are also counted in legs_dropped.
+    std::uint64_t partition_drops = 0;
   };
   [[nodiscard]] const Counters& counters() const { return counters_; }
 
@@ -237,6 +266,10 @@ class Engine {
   void deliver_pushes();
   void run_pull_exchanges();
   void run_end_rounds();
+  /// Event-driven round (config_.event.enabled): same begin/end phases, but
+  /// pushes and pull exchanges flow through the (virtual_time, seq) event
+  /// heap with per-link latency, partition cuts and the round deadline.
+  void step_event();
   /// Runs one five-leg exchange; returns false on timeout.
   bool run_exchange(INode& initiator, INode& responder);
   /// Adds this step's Counters deltas into the process-wide registry
@@ -287,12 +320,20 @@ class Engine {
   // Observability (all pointers into Registry::global(); the registry
   // never erases, so they stay valid). Resolved once in the constructor —
   // step() itself only performs relaxed atomic adds and clock reads.
-  static constexpr std::size_t kCounterMetrics = 11;
+  static constexpr std::size_t kCounterMetrics = 13;
   std::array<obs::Histogram*, kPhaseCount> phase_hist_{};
   std::array<std::uint64_t, kPhaseCount> last_phase_us_{};
   std::array<obs::Counter*, kCounterMetrics> counter_metrics_{};
   Counters published_;  // baseline for the per-step registry deltas
   obs::Counter* rounds_metric_ = nullptr;
+
+  // Event mode (config_.event.enabled): the (virtual_time, seq) heap, the
+  // optional adversary delay hook, and the evt.* histograms.
+  evt::Scheduler evt_sched_;
+  std::function<std::uint64_t(Round, NodeId, NodeId)> link_delay_;
+  obs::Histogram* evt_queue_hist_ = nullptr;
+  obs::Histogram* evt_events_hist_ = nullptr;
+  obs::Histogram* evt_virtual_hist_ = nullptr;
 };
 
 }  // namespace raptee::sim

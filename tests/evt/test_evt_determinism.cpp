@@ -1,0 +1,115 @@
+// Event-mode determinism gates (ctest label `evt`):
+//
+//  * worker-count independence — the same event-mode spec produces
+//    byte-identical results::to_json documents at engine widths 1, 2, 4 and
+//    hardware concurrency (the heap drains serially on the coordinating
+//    thread; per-node loss streams split deterministically);
+//  * same-seed stability for every event feature: latency models, region
+//    partitions, and the delay-assisted adversaries;
+//  * schema shape — the "evt" result block and "event" config block appear
+//    exactly when event mode is on, and event-mode runs actually diverge
+//    from the round-mode baseline they wrap.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "metrics/report.hpp"
+#include "scenario/scenario.hpp"
+
+namespace raptee::scenario {
+namespace {
+
+ScenarioSpec event_base() {
+  return ScenarioSpec()
+      .population(96)
+      .view_size(12)
+      .rounds(24)
+      .adversary(0.2)
+      .trusted_share(0.25)
+      .eviction(core::EvictionSpec::adaptive())
+      .latency("wan")
+      .round_interval_ms(500)
+      .seed(20220308);
+}
+
+TEST(EvtDeterminism, BitIdenticalAcrossWorkerCounts) {
+  const std::string reference = results::to_json(event_base().threads(1).run());
+  EXPECT_TRUE(metrics::json_valid(reference));
+  for (const std::size_t width : {std::size_t{2}, std::size_t{4}, std::size_t{0}}) {
+    const std::string doc = results::to_json(event_base().threads(width).run());
+    EXPECT_EQ(doc, reference)
+        << "event mode diverged at engine width " << width
+        << " (0 = hardware concurrency)";
+  }
+}
+
+TEST(EvtDeterminism, EveryLatencyModelIsSameSeedStable) {
+  for (const std::string& name : evt::LatencySpec::names()) {
+    const auto spec = event_base().latency(name);
+    const std::string first = results::to_json(spec.run());
+    const std::string second = results::to_json(spec.run());
+    EXPECT_EQ(first, second) << "latency model '" << name
+                             << "' is not same-seed deterministic";
+  }
+}
+
+TEST(EvtDeterminism, PartitionedRunsAreStableAndActuallySever) {
+  auto spec = event_base().partition("mid-third");
+  const metrics::ExperimentResult run = spec.run();
+  EXPECT_GT(run.evt.partition_drops, 0u) << "mid-third partition cut nothing";
+  EXPECT_EQ(results::to_json(run), results::to_json(spec.run()));
+  EXPECT_EQ(results::to_json(spec.threads(4).run()), results::to_json(run));
+}
+
+TEST(EvtDeterminism, DelayAssistedAttacksAreStableAcrossWidths) {
+  for (const char* strategy : {"delay_eclipse", "partition_eclipse"}) {
+    auto spec = event_base().attack(strategy);
+    const std::string serial = results::to_json(spec.threads(1).run());
+    const std::string sharded = results::to_json(spec.threads(4).run());
+    EXPECT_EQ(serial, sharded) << "strategy '" << strategy
+                               << "' diverged under sharded event mode";
+  }
+}
+
+TEST(EvtDeterminism, DelayEclipseInjectsLatencyOnlyEventModeSees) {
+  // The same delay_eclipse spec must behave differently with event mode on:
+  // the injected honest→victim delay pushes refresh past the 500 ms
+  // deadline, which round mode cannot express.
+  auto attack = adversary::AttackSpec::delay_eclipse(400, 0.25);
+  const metrics::ExperimentResult event_run = event_base().attack(attack).run();
+  EXPECT_GT(event_run.evt.legs_late, 0u)
+      << "the 400 ms injected delay produced no late legs on wan links";
+}
+
+TEST(EvtDeterminism, EvtBlocksAppearExactlyWhenEventModeIsOn) {
+  const ScenarioSpec round_mode = ScenarioSpec()
+                                      .population(96)
+                                      .view_size(12)
+                                      .rounds(24)
+                                      .adversary(0.2)
+                                      .seed(5);
+  const metrics::ExperimentResult round_run = round_mode.run();
+  EXPECT_FALSE(round_run.evt.engaged);
+  const std::string round_doc = results::to_json(round_run);
+  EXPECT_EQ(round_doc.find("\"evt\""), std::string::npos);
+  EXPECT_EQ(results::to_json(round_mode.config()).find("\"event\""),
+            std::string::npos);
+
+  const metrics::ExperimentResult event_run = event_base().run();
+  EXPECT_TRUE(event_run.evt.engaged);
+  EXPECT_EQ(event_run.evt.virtual_ms, 24u * 500u)
+      << "virtual clock must end at rounds x interval";
+  const std::string event_doc = results::to_json(event_run);
+  EXPECT_NE(event_doc.find("\"evt\""), std::string::npos);
+  EXPECT_NE(results::to_json(event_base().config()).find("\"event\""),
+            std::string::npos);
+  EXPECT_TRUE(metrics::json_valid(event_doc));
+
+  EXPECT_NE(results::to_json(event_base().run()),
+            results::to_json(event_base().event_mode(false).run()))
+      << "wan latency at a 500 ms deadline must not be a silent no-op";
+}
+
+}  // namespace
+}  // namespace raptee::scenario

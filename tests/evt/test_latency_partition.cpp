@@ -1,0 +1,151 @@
+// evt::LatencySpec + PartitionSchedule unit gates: the named catalogs the
+// bench knobs resolve against, sample-range and determinism contracts of
+// every latency kind, and the region-cut predicate the engine consults per
+// message.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "common/rng.hpp"
+#include "evt/config.hpp"
+
+namespace raptee::evt {
+namespace {
+
+TEST(LatencySpec, NamedCatalogRoundTripsAndRejectsUnknown) {
+  for (const std::string& name : LatencySpec::names()) {
+    const LatencySpec spec = LatencySpec::named(name);
+    spec.validate();
+  }
+  EXPECT_THROW((void)LatencySpec::named("dialup"), std::invalid_argument);
+  try {
+    (void)LatencySpec::named("dialup");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    EXPECT_NE(std::string(error.what()).find("lan"), std::string::npos)
+        << "the error should list the catalog";
+  }
+}
+
+TEST(LatencySpec, SamplesAreDeterministicPerRngState) {
+  const LatencySpec spec = LatencySpec::named("wan");
+  Rng a(42), b(42);
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ(spec.sample_us(a, 0, 0), spec.sample_us(b, 0, 0));
+  }
+}
+
+TEST(LatencySpec, UniformSamplesStayInBounds) {
+  const LatencySpec spec = LatencySpec::uniform(40.0, 160.0);
+  Rng rng(7);
+  for (int i = 0; i < 256; ++i) {
+    const std::uint64_t us = spec.sample_us(rng, 0, 0);
+    EXPECT_GE(us, 40'000u);
+    EXPECT_LE(us, 160'000u);
+  }
+}
+
+TEST(LatencySpec, FixedWithJitterStaysInBand) {
+  const LatencySpec spec = LatencySpec::fixed(10.0, 10.0);  // 10 ms +/- 10 %
+  Rng rng(7);
+  bool moved = false;
+  for (int i = 0; i < 256; ++i) {
+    const std::uint64_t us = spec.sample_us(rng, 0, 0);
+    EXPECT_GE(us, 9'000u);
+    EXPECT_LE(us, 11'000u);
+    if (us != 10'000u) moved = true;
+  }
+  EXPECT_TRUE(moved) << "jitter_pct=10 never moved the sample";
+}
+
+TEST(LatencySpec, ZeroIsAlwaysZeroAndLognormalIsPositive) {
+  Rng rng(3);
+  EXPECT_EQ(LatencySpec::zero().sample_us(rng, 0, 0), 0u);
+  const LatencySpec tail = LatencySpec::lognormal(60.0, 0.6);
+  for (int i = 0; i < 64; ++i) EXPECT_GT(tail.sample_us(rng, 0, 0), 0u);
+}
+
+TEST(LatencySpec, MatrixIndexesByRegionPair) {
+  const LatencySpec geo = LatencySpec::matrix(2, {1.0, 50.0, 50.0, 2.0});
+  Rng rng(1);
+  EXPECT_EQ(geo.sample_us(rng, 0, 0), 1'000u);
+  EXPECT_EQ(geo.sample_us(rng, 0, 1), 50'000u);
+  EXPECT_EQ(geo.sample_us(rng, 1, 0), 50'000u);
+  EXPECT_EQ(geo.sample_us(rng, 1, 1), 2'000u);
+}
+
+TEST(LatencySpec, ValidateRejectsMalformedSpecs) {
+  LatencySpec inverted = LatencySpec::uniform(100.0, 50.0);
+  EXPECT_THROW(inverted.validate(), std::invalid_argument);
+
+  LatencySpec bad_jitter = LatencySpec::fixed(1.0, 150.0);
+  EXPECT_THROW(bad_jitter.validate(), std::invalid_argument);
+
+  LatencySpec bad_matrix = LatencySpec::matrix(2, {1.0, 2.0, 3.0, 4.0});
+  bad_matrix.matrix_us.pop_back();
+  EXPECT_THROW(bad_matrix.validate(), std::invalid_argument);
+}
+
+TEST(RegionTopology, MapsNodesRoundRobin) {
+  RegionTopology topo;
+  EXPECT_EQ(topo.region_of(41), 0u) << "one region maps everything to 0";
+  topo.regions = 3;
+  EXPECT_EQ(topo.region_of(0), 0u);
+  EXPECT_EQ(topo.region_of(4), 1u);
+  EXPECT_EQ(topo.region_of(5), 2u);
+}
+
+TEST(PartitionSchedule, NamedCatalogResolvesAgainstTotalRounds) {
+  EXPECT_TRUE(PartitionSchedule::named("none", 60).windows.empty());
+  const PartitionSchedule mid = PartitionSchedule::named("mid-third", 60);
+  ASSERT_EQ(mid.windows.size(), 1u);
+  EXPECT_EQ(mid.windows[0].from, 20u);
+  EXPECT_EQ(mid.windows[0].until, 40u);
+  const PartitionSchedule late = PartitionSchedule::named("late-half", 60);
+  ASSERT_EQ(late.windows.size(), 1u);
+  EXPECT_EQ(late.windows[0].from, 30u);
+  EXPECT_EQ(late.windows[0].until, 60u);
+  EXPECT_THROW((void)PartitionSchedule::named("weekly", 60), std::invalid_argument);
+}
+
+TEST(PartitionSchedule, SeveredCutsIsolatedFromTheRestOnlyInsideWindows) {
+  const PartitionSchedule mid = PartitionSchedule::named("mid-third", 60);
+  EXPECT_FALSE(mid.active(19));
+  EXPECT_TRUE(mid.active(20));
+  EXPECT_TRUE(mid.active(39));
+  EXPECT_FALSE(mid.active(40)) << "until is exclusive";
+
+  EXPECT_TRUE(mid.severed(0, 1, 25));
+  EXPECT_TRUE(mid.severed(1, 0, 25));
+  EXPECT_FALSE(mid.severed(0, 0, 25)) << "same region is never severed";
+  EXPECT_FALSE(mid.severed(1, 2, 25)) << "two mainland regions stay connected";
+  EXPECT_FALSE(mid.severed(0, 1, 10)) << "no cut outside the window";
+}
+
+TEST(PartitionSchedule, ValidateRejectsBadWindowsAndRegions) {
+  PartitionSchedule inverted;
+  inverted.windows.push_back({40, 20, {0}});
+  EXPECT_THROW(inverted.validate(2), std::invalid_argument);
+
+  PartitionSchedule out_of_range;
+  out_of_range.windows.push_back({0, 10, {5}});
+  EXPECT_THROW(out_of_range.validate(2), std::invalid_argument);
+}
+
+TEST(EventConfig, ValidateIsLazyWhenDisabledAndStrictWhenEnabled) {
+  EventConfig config;
+  config.latency = LatencySpec::uniform(100.0, 50.0);  // malformed
+  config.validate();                                   // disabled: not checked
+
+  config.enabled = true;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+
+  config.latency = LatencySpec::named("geo3");
+  config.topology.regions = 2;  // mismatched with the 3-region matrix
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+  config.topology.regions = 3;
+  config.validate();
+}
+
+}  // namespace
+}  // namespace raptee::evt

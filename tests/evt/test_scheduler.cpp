@@ -1,0 +1,129 @@
+// evt::Scheduler unit gates: (virtual_time, seq) ordering, same-instant
+// FIFO ties, past-timestamp clamping, idle advancement and the depth
+// high-water mark — the properties the engine's event mode leans on for
+// worker-count-independent dispatch order.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "evt/scheduler.hpp"
+
+namespace raptee::evt {
+namespace {
+
+TEST(Scheduler, PopsInTimestampOrderAndAdvancesTheClock) {
+  Scheduler sched;
+  sched.schedule(300, 0, 3);
+  sched.schedule(100, 0, 1);
+  sched.schedule(200, 0, 2);
+  EXPECT_EQ(sched.size(), 3u);
+  EXPECT_EQ(sched.now_us(), 0u);
+
+  EXPECT_EQ(sched.pop().a, 1u);
+  EXPECT_EQ(sched.now_us(), 100u);
+  EXPECT_EQ(sched.pop().a, 2u);
+  EXPECT_EQ(sched.pop().a, 3u);
+  EXPECT_EQ(sched.now_us(), 300u);
+  EXPECT_TRUE(sched.empty());
+}
+
+TEST(Scheduler, SameInstantTiesBreakInScheduleOrder) {
+  Scheduler sched;
+  for (std::uint64_t i = 0; i < 16; ++i) sched.schedule(500, 7, i);
+  for (std::uint64_t i = 0; i < 16; ++i) {
+    const Event event = sched.pop();
+    EXPECT_EQ(event.a, i) << "tie broken by heap internals, not schedule order";
+    EXPECT_EQ(event.kind, 7u);
+  }
+}
+
+TEST(Scheduler, PastTimestampsClampToNow) {
+  Scheduler sched;
+  sched.schedule(1000, 0, 1);
+  (void)sched.pop();  // now = 1000
+  sched.schedule(200, 0, 2);
+  const Event event = sched.pop();
+  EXPECT_EQ(event.a, 2u);
+  EXPECT_EQ(event.at_us, 1000u) << "a message cannot arrive before it was sent";
+  EXPECT_EQ(sched.now_us(), 1000u);
+}
+
+TEST(Scheduler, AdvanceToNeverMovesBackwardsAndCarriesB) {
+  Scheduler sched;
+  sched.advance_to(2500);
+  EXPECT_EQ(sched.now_us(), 2500u);
+  sched.advance_to(100);
+  EXPECT_EQ(sched.now_us(), 2500u);
+
+  sched.schedule(3000, 1, 4, 77);
+  const Event event = sched.pop();
+  EXPECT_EQ(event.kind, 1u);
+  EXPECT_EQ(event.b, 77u);
+}
+
+TEST(Scheduler, MaxDepthTracksHighWaterAndClearResets) {
+  Scheduler sched;
+  for (std::uint64_t i = 0; i < 5; ++i) sched.schedule(i, 0, i);
+  (void)sched.pop();
+  (void)sched.pop();
+  sched.schedule(10, 0, 9);
+  EXPECT_EQ(sched.max_depth(), 5u);
+
+  sched.clear();
+  EXPECT_TRUE(sched.empty());
+  EXPECT_EQ(sched.max_depth(), 0u);
+  EXPECT_EQ(sched.now_us(), 1u) << "clear drops events, not the clock";
+}
+
+TEST(Scheduler, CloseWindowSnapsTheClockButOnlyWhenDrained) {
+  // A late arrival popped past the round deadline must not leak into the
+  // next round's start: close_window rewinds the drained clock to the
+  // deadline, but refuses while events are still pending.
+  Scheduler sched;
+  sched.schedule(560, 0, 1);  // a delayed leg landing after the 500 us window
+  (void)sched.pop();
+  EXPECT_EQ(sched.now_us(), 560u);
+  sched.close_window(500);
+  EXPECT_EQ(sched.now_us(), 500u);
+
+  sched.schedule(700, 0, 2);
+  EXPECT_THROW(sched.close_window(600), std::invalid_argument);
+}
+
+TEST(Scheduler, PopOnEmptyHeapThrows) {
+  Scheduler sched;
+  EXPECT_THROW((void)sched.pop(), std::invalid_argument);
+}
+
+TEST(Scheduler, InterleavedScheduleAndPopStaysSorted) {
+  // Deterministic pseudo-random interleaving: every popped timestamp must be
+  // monotonically non-decreasing no matter how schedule/pop interleave.
+  Scheduler sched;
+  std::uint64_t state = 0x9E3779B97F4A7C15ull;
+  auto next = [&state] {
+    state ^= state << 7;
+    state ^= state >> 9;
+    return state;
+  };
+  std::uint64_t popped = 0, last = 0;
+  for (int i = 0; i < 2000; ++i) {
+    sched.schedule(sched.now_us() + next() % 5000, 0, static_cast<std::uint64_t>(i));
+    if (next() % 3 == 0 && !sched.empty()) {
+      const Event event = sched.pop();
+      EXPECT_GE(event.at_us, last);
+      last = event.at_us;
+      ++popped;
+    }
+  }
+  while (!sched.empty()) {
+    const Event event = sched.pop();
+    EXPECT_GE(event.at_us, last);
+    last = event.at_us;
+    ++popped;
+  }
+  EXPECT_EQ(popped, 2000u);
+}
+
+}  // namespace
+}  // namespace raptee::evt

@@ -41,6 +41,22 @@ TEST(LintRules, WallClockCleanAndScoped) {
   EXPECT_EQ(count_rule(run("src/net/fixture.cpp", bad), "no-wall-clock"), 0u);
 }
 
+TEST(LintRules, WallClockCoversEvtScheduler) {
+  // src/evt is a deterministic dir: the event scheduler must never read the
+  // host's clock — virtual time is its whole contract.
+  const std::string bad = load_fixture("evt_clock_bad.fixture");
+  const std::vector<Finding> findings = run("src/evt/fixture.cpp", bad);
+  EXPECT_EQ(count_rule(findings, "no-wall-clock"), 2u);
+  EXPECT_TRUE(has_finding(findings, "no-wall-clock",
+                          line_of(bad, "system_clock::now()")));
+  EXPECT_TRUE(has_finding(findings, "no-wall-clock", line_of(bad, "time(nullptr)")));
+}
+
+TEST(LintRules, WallClockEvtVirtualTimeIsClean) {
+  const std::string good = load_fixture("evt_clock_good.fixture");
+  EXPECT_TRUE(run("src/evt/fixture.cpp", good).empty());
+}
+
 TEST(LintRules, UnorderedIterationFires) {
   const std::string source = load_fixture("unordered_iter_bad.fixture");
   const std::vector<Finding> findings = run("src/net/fixture.cpp", source);

@@ -92,6 +92,41 @@ TEST(EventLoop, CancelledTimerNeverFires) {
   EXPECT_FALSE(cancelled_fired);
 }
 
+TEST(EventLoop, TimerMayCancelALaterTimerDuringDispatch) {
+  // Cancel-during-dispatch: an earlier timer's callback cancels a later
+  // timer that is already armed (possibly due in the same poll pass). The
+  // cancelled callback must never run — the heap may not hand out a stale
+  // entry it popped before the cancellation.
+  EventLoop loop;
+  bool victim_fired = false;
+  loop.post([&] {
+    EventLoop::TimerId victim = loop.run_after(std::chrono::milliseconds(2),
+                                               [&] { victim_fired = true; });
+    loop.run_after(std::chrono::milliseconds(1),
+                   [&, victim] { loop.cancel_timer(victim); });
+    loop.run_after(std::chrono::milliseconds(20), [&] { loop.stop(); });
+  });
+  loop.run();
+  EXPECT_FALSE(victim_fired);
+}
+
+TEST(EventLoop, IdenticalDeadlinesFireInCreationOrder) {
+  // Two timers armed for the same deadline must dispatch in the order they
+  // were created — the (deadline, id) tie-break the evt::Scheduler mirrors
+  // with its (virtual_time, seq) key.
+  EventLoop loop;
+  std::vector<int> order;
+  loop.post([&] {
+    const auto deadline = std::chrono::milliseconds(10);
+    loop.run_after(deadline, [&] { order.push_back(1); });
+    loop.run_after(deadline, [&] { order.push_back(2); });
+    loop.run_after(deadline, [&] { order.push_back(3); });
+    loop.run_after(std::chrono::milliseconds(30), [&] { loop.stop(); });
+  });
+  loop.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
 TEST(EventLoop, HandlerMayRemoveItsOwnFd) {
   EventLoop loop;
   Pipe pipe;

@@ -20,7 +20,9 @@ const char* const kVars[] = {"RAPTEE_BENCH_FULL",        "RAPTEE_BENCH_N",
                              "RAPTEE_BENCH_REPS",        "RAPTEE_BENCH_THREADS",
                              "RAPTEE_BENCH_SEED",        "RAPTEE_BENCH_TAMPER_PCT",
                              "RAPTEE_BENCH_ATTACK",      "RAPTEE_BENCH_PORT",
-                             "RAPTEE_BENCH_CONNECTIONS", "RAPTEE_BENCH_DURATION_MS"};
+                             "RAPTEE_BENCH_CONNECTIONS", "RAPTEE_BENCH_DURATION_MS",
+                             "RAPTEE_BENCH_LATENCY",     "RAPTEE_BENCH_JITTER_PCT",
+                             "RAPTEE_BENCH_PARTITION"};
 
 /// Clears every RAPTEE_BENCH_* variable for the test and restores the
 /// ambient values afterwards (CI exports RAPTEE_BENCH_THREADS, so the
@@ -180,6 +182,40 @@ TEST_F(KnobsEnvFixture, ServiceBenchKnobsAreRangeAndFormatChecked) {
   set("RAPTEE_BENCH_DURATION_MS", "600001");  // cap: 10 minutes
   EXPECT_THROW((void)Knobs::from_env(), std::invalid_argument);
   set("RAPTEE_BENCH_DURATION_MS", "250ms");  // strict: no unit suffix
+  EXPECT_THROW((void)Knobs::from_env(), std::invalid_argument);
+}
+
+TEST_F(KnobsEnvFixture, EventKnobsDefaultAndParse) {
+  const Knobs defaults = Knobs::from_env();
+  EXPECT_EQ(defaults.latency, "lan");
+  EXPECT_EQ(defaults.jitter_pct, 0.0);
+  EXPECT_EQ(defaults.partition, "none");
+  set("RAPTEE_BENCH_LATENCY", "wan");
+  set("RAPTEE_BENCH_JITTER_PCT", "12.5");
+  set("RAPTEE_BENCH_PARTITION", "mid-third");
+  const Knobs knobs = Knobs::from_env();
+  EXPECT_EQ(knobs.latency, "wan");
+  EXPECT_EQ(knobs.jitter_pct, 12.5);
+  EXPECT_EQ(knobs.partition, "mid-third");
+  // The resolvers hand back validated evt specs.
+  knobs.latency_spec().validate();
+  EXPECT_FALSE(knobs.partition_schedule().windows.empty());
+}
+
+TEST_F(KnobsEnvFixture, EventKnobsAreValidatedAgainstTheCatalogs) {
+  set("RAPTEE_BENCH_LATENCY", "dialup");  // not in the named catalog
+  EXPECT_THROW((void)Knobs::from_env(), std::invalid_argument);
+  ::unsetenv("RAPTEE_BENCH_LATENCY");
+
+  set("RAPTEE_BENCH_PARTITION", "weekly");  // unknown schedule
+  EXPECT_THROW((void)Knobs::from_env(), std::invalid_argument);
+  ::unsetenv("RAPTEE_BENCH_PARTITION");
+
+  set("RAPTEE_BENCH_JITTER_PCT", "150");  // jitter is a percentage
+  EXPECT_THROW((void)Knobs::from_env(), std::invalid_argument);
+  set("RAPTEE_BENCH_JITTER_PCT", "lots");
+  EXPECT_THROW((void)Knobs::from_env(), std::invalid_argument);
+  set("RAPTEE_BENCH_JITTER_PCT", "10%");  // strict: no suffix
   EXPECT_THROW((void)Knobs::from_env(), std::invalid_argument);
 }
 

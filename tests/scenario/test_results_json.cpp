@@ -45,7 +45,7 @@ TEST(ResultsJson, RepeatedDocumentIsBitIdenticalAcrossRuns) {
 TEST(ResultsJson, DocumentsCarryProvenance) {
   const ScenarioSpec spec = fixed_spec();
   const std::string doc = results::experiment_document(spec, spec.run());
-  EXPECT_NE(doc.find("\"schema\":\"raptee.scenario.experiment/3\""), std::string::npos);
+  EXPECT_NE(doc.find("\"schema\":\"raptee.scenario.experiment/4\""), std::string::npos);
   EXPECT_NE(doc.find("\"label\":\"roundtrip-fixture\""), std::string::npos);
   EXPECT_NE(doc.find("\"seed\":20220308"), std::string::npos);
   EXPECT_NE(doc.find("\"byzantine_fraction\":0.2"), std::string::npos);
@@ -103,7 +103,7 @@ TEST(ResultsJson, GridDocumentIndexesCellsRowMajor) {
 
   const std::string doc = results::grid_document(sweep, 1);
   EXPECT_TRUE(metrics::json_valid(doc));
-  EXPECT_NE(doc.find("\"schema\":\"raptee.scenario.grid/3\""), std::string::npos);
+  EXPECT_NE(doc.find("\"schema\":\"raptee.scenario.grid/4\""), std::string::npos);
   EXPECT_NE(doc.find("adversary=f=10%"), std::string::npos);
 
   // Determinism holds for grids too.

@@ -20,7 +20,8 @@ namespace {
 constexpr std::array<RuleInfo, 8> kRules{{
     {"no-wall-clock",
      "no wall-clock/time sources (std::chrono *_clock, time(), std::random_device) "
-     "in deterministic dirs (src/sim, src/adversary, src/scenario, src/metrics, src/wire)"},
+     "in deterministic dirs (src/sim, src/adversary, src/scenario, src/metrics, "
+     "src/wire, src/evt)"},
     {"no-unordered-iteration",
      "iterating an unordered_map/unordered_set in src/ requires an allow annotation "
      "stating why iteration order cannot reach results, exports or logs"},
@@ -44,8 +45,9 @@ constexpr std::array<RuleInfo, 8> kRules{{
 
 // ------------------------------------------------------------ file scoping
 
-constexpr std::array<std::string_view, 5> kDeterministicDirs{
-    "src/sim/", "src/adversary/", "src/scenario/", "src/metrics/", "src/wire/"};
+constexpr std::array<std::string_view, 6> kDeterministicDirs{
+    "src/sim/",     "src/adversary/", "src/scenario/",
+    "src/metrics/", "src/wire/",      "src/evt/"};
 
 /// Files audited for raw casts: the syscall shim (kernel ABI requires the
 /// sockaddr puns) and the arena (a bump allocator is a cast by definition).
